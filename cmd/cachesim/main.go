@@ -1,0 +1,132 @@
+// Command cachesim drives the trace-driven cache/TLB simulator standalone:
+// it generates a synthetic access pattern (or reads hex addresses from
+// stdin) and reports per-level hit/miss statistics on a chosen machine
+// profile — a quick way to see where a working set falls in the hierarchy.
+//
+// Usage:
+//
+//	cachesim -machine server-2s8c -pattern random -n 1000000 -ws 64MiB
+//	cat trace.txt | cachesim -pattern stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"hwstar/internal/cache"
+	"hwstar/internal/hw"
+)
+
+func main() {
+	machineName := flag.String("machine", "server-2s8c", "machine profile (see -machines)")
+	pattern := flag.String("pattern", "seq", "access pattern: seq | random | stride | pointer | stdin")
+	n := flag.Int("n", 1_000_000, "number of accesses")
+	ws := flag.String("ws", "64MiB", "working set size, e.g. 256KiB, 64MiB, 2GiB")
+	stride := flag.Int64("stride", 256, "stride in bytes for -pattern stride")
+	seed := flag.Int64("seed", 1, "random seed")
+	machines := flag.Bool("machines", false, "list machine profiles and exit")
+	flag.Parse()
+
+	if *machines {
+		for name, m := range hw.Profiles() {
+			fmt.Printf("%-16s %s\n", name, m)
+		}
+		return
+	}
+
+	m, ok := hw.Profiles()[*machineName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q (use -machines to list)\n", *machineName)
+		os.Exit(2)
+	}
+	wsBytes, err := parseBytes(*ws)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	h := cache.FromMachine(m)
+	switch *pattern {
+	case "seq":
+		addr := uint64(0)
+		for i := 0; i < *n; i++ {
+			h.Access(addr % uint64(wsBytes))
+			addr += 8
+		}
+	case "random":
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *n; i++ {
+			h.Access(uint64(rng.Int63n(wsBytes)))
+		}
+	case "stride":
+		addr := uint64(0)
+		for i := 0; i < *n; i++ {
+			h.Access(addr % uint64(wsBytes))
+			addr += uint64(*stride)
+		}
+	case "pointer":
+		// Dependent pointer chase over a shuffled permutation — the worst
+		// case for any prefetcher-free hierarchy.
+		slots := wsBytes / 64
+		if slots < 2 {
+			slots = 2
+		}
+		perm := rand.New(rand.NewSource(*seed)).Perm(int(slots))
+		cur := 0
+		for i := 0; i < *n; i++ {
+			h.Access(uint64(cur) * 64)
+			cur = perm[cur]
+		}
+	case "stdin":
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			addr, err := strconv.ParseUint(strings.TrimPrefix(line, "0x"), 16, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad address %q: %v\n", line, err)
+				os.Exit(1)
+			}
+			h.Access(addr)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	fmt.Printf("machine: %s\npattern: %s, working set %s\n\n", m, *pattern, *ws)
+	for _, s := range h.Levels() {
+		fmt.Println("  " + s.String())
+	}
+	fmt.Printf("\naccesses: %d\navg cycles/access: %.2f\n", h.Accesses(), h.Cycles()/float64(h.Accesses()))
+}
+
+func parseBytes(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "B"):
+		s = strings.TrimSuffix(s, "B")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

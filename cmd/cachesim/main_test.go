@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"64":    64,
+		"64B":   64,
+		"2KiB":  2 << 10,
+		"64MiB": 64 << 20,
+		"2GiB":  2 << 30,
+		" 8KiB": 8 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "-5MiB", "0", "1.5GiB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Command hwsql is a small interactive front end to the hwstar engine: it
+// generates data and runs the built-in analytic queries on a chosen machine
+// profile and execution engine, printing results alongside modeled hardware
+// cost. It exists to demo the public API end to end; the experiment suite
+// lives in hwbench.
+//
+// Commands (stdin, one per line, or as a single -c argument):
+//
+//	machine <name>            switch machine profile
+//	gen <rows>                generate a lineitem table
+//	q1 <volcano|vectorized|fused>
+//	q6 <volcano|vectorized|fused>
+//	join <build> <probe> <npo|radix|auto>
+//	sort <n>                  radix vs comparison sort, live
+//	compress <n> <domain>     encode a column, report ratio & scan trade
+//	advise <rows> <cols> <scans> <points>
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hwstar"
+	"hwstar/internal/compress"
+	"hwstar/internal/hw"
+	"hwstar/internal/queries"
+	hwsort "hwstar/internal/sort"
+	"hwstar/internal/table"
+	"hwstar/internal/workload"
+)
+
+type session struct {
+	machine *hwstar.Machine
+	engine  *hwstar.Engine
+	li      *table.Table
+}
+
+func main() {
+	cmd := flag.String("c", "", "run these semicolon-separated commands and exit")
+	flag.Parse()
+
+	s := &session{}
+	if err := s.setMachine("server-2s8c"); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *cmd != "" {
+		for _, line := range strings.Split(*cmd, ";") {
+			if err := s.exec(strings.TrimSpace(line)); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("hwsql — hwstar interactive shell (type 'help')")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("hwsql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if line == "" {
+			continue
+		}
+		if err := s.exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func (s *session) setMachine(name string) error {
+	m, ok := hw.Profiles()[name]
+	if !ok {
+		return fmt.Errorf("unknown machine %q", name)
+	}
+	e, err := hwstar.New(m)
+	if err != nil {
+		return err
+	}
+	s.machine, s.engine = m, e
+	fmt.Println("machine:", m)
+	return nil
+}
+
+func (s *session) exec(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "help":
+		fmt.Println("commands: machine <name> | gen <rows> | q1 <engine> | q6 <engine> | join <build> <probe> <algo>")
+		fmt.Println("          sort <n> | compress <n> <domain> | advise <rows> <cols> <scans> <points> | quit")
+		fmt.Print("machines: ")
+		for name := range hw.Profiles() {
+			fmt.Print(name, " ")
+		}
+		fmt.Println("\nengines: volcano vectorized fused;  join algos: npo radix auto")
+		return nil
+	case "machine":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: machine <name>")
+		}
+		return s.setMachine(fields[1])
+	case "gen":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: gen <rows>")
+		}
+		rows, err := strconv.Atoi(fields[1])
+		if err != nil || rows <= 0 {
+			return fmt.Errorf("bad row count %q", fields[1])
+		}
+		start := time.Now()
+		s.li = workload.LineItem(1, rows)
+		fmt.Printf("generated lineitem: %d rows, %s, in %.2fs\n",
+			rows, fmtBytes(s.li.Bytes()), time.Since(start).Seconds())
+		return nil
+	case "q1", "q6":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: %s <volcano|vectorized|fused>", fields[0])
+		}
+		if s.li == nil {
+			return fmt.Errorf("no table: run 'gen <rows>' first")
+		}
+		eng := queries.Engine(fields[1])
+		acct := hw.NewAccount(s.machine, hw.DefaultContext())
+		start := time.Now()
+		if fields[0] == "q6" {
+			sum, err := queries.Q6(eng, s.li, queries.DefaultQ6(), acct)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("q6(%s) = %.2f\n", eng, sum)
+		} else {
+			rows, err := queries.Q1(eng, s.li, queries.DefaultQ1(), acct)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				fmt.Printf("  %s %s  count=%-7d sum_qty=%.0f avg_price=%.2f\n",
+					r.ReturnFlag, r.LineStatus, r.Count, r.SumQty, r.AvgPrice)
+			}
+		}
+		fmt.Printf("  real: %.1fms   model: %.1f Mcycles (%.1f cyc/tuple on %s)\n",
+			float64(time.Since(start).Microseconds())/1000,
+			acct.TotalCycles()/1e6,
+			acct.TotalCycles()/float64(s.li.NumRows()),
+			s.machine.Name)
+		return nil
+	case "join":
+		if len(fields) != 4 {
+			return fmt.Errorf("usage: join <build> <probe> <npo|radix|auto>")
+		}
+		build, err1 := strconv.Atoi(fields[1])
+		probe, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || build <= 0 || probe < 0 {
+			return fmt.Errorf("bad sizes")
+		}
+		g := workload.GenerateJoin(workload.JoinConfig{Seed: 7, BuildRows: build, ProbeRows: probe})
+		start := time.Now()
+		res, err := s.engine.HashJoin(g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, hwstar.JoinAlgorithm(fields[3]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("join(%s): %d matches, real %.1fms, simulated makespan %.1f Mcycles on %d cores\n",
+			res.Algorithm, res.Matches,
+			float64(time.Since(start).Microseconds())/1000,
+			res.SimCycles/1e6, s.engine.Workers())
+		return nil
+	case "sort":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: sort <n>")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad size %q", fields[1])
+		}
+		keys := workload.UniformInts(11, n, 1<<60)
+		cmpKeys := append([]int64(nil), keys...)
+		start := time.Now()
+		hwsort.Comparison(cmpKeys)
+		cmpMs := float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
+		hwsort.Radix(keys, hwsort.RadixOptions{}, s.machine)
+		radixMs := float64(time.Since(start).Microseconds()) / 1000
+		fmt.Printf("sort %d keys: comparison %.1fms, radix %.1fms (%.1fx)\n", n, cmpMs, radixMs, cmpMs/radixMs)
+		return nil
+	case "compress":
+		if len(fields) != 3 {
+			return fmt.Errorf("usage: compress <n> <domain>")
+		}
+		n, err1 := strconv.Atoi(fields[1])
+		domain, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || n <= 0 || domain <= 0 {
+			return fmt.Errorf("bad arguments")
+		}
+		data := workload.UniformInts(12, n, domain)
+		c := compress.Encode(data)
+		busy := hw.ExecContext{ActiveCoresOnSocket: s.machine.CoresPerSocket, InterferenceFactor: 1}
+		raw := s.machine.Cycles(compress.ScanWorkRaw(int64(n)), busy)
+		comp := s.machine.Cycles(c.ScanWork(), busy)
+		fmt.Printf("compress %d values (domain %d): ratio %.1fx; busy-socket scan raw %.1f vs compressed %.1f Mcycles\n",
+			n, domain, c.Ratio(), raw/1e6, comp/1e6)
+		return nil
+	case "advise":
+		if len(fields) != 5 {
+			return fmt.Errorf("usage: advise <rows> <cols> <scans> <points>")
+		}
+		var nums [4]int
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(fields[i+1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad argument %q", fields[i+1])
+			}
+			nums[i] = v
+		}
+		rows, cols, scans, points := nums[0], nums[1], nums[2], nums[3]
+		prof := hwstar.AccessProfile{Scans: scans, Points: points}
+		if scans > 0 {
+			prof.ScanCols = []int{0}
+		}
+		if points > 0 {
+			for c := 0; c < cols; c++ {
+				prof.PointCols = append(prof.PointCols, c)
+			}
+		}
+		best, costs, err := s.engine.AdviseLayout(rows, cols, prof)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("advise %dx%d (%d scans, %d points): %s  (NSM %.1fM, DSM %.1fM, PAX %.1fM cycles)\n",
+			rows, cols, scans, points, best,
+			costs[hwstar.NSM]/1e6, costs[hwstar.DSM]/1e6, costs[hwstar.PAX]/1e6)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", fields[0])
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import "testing"
+
+func newSession(t *testing.T) *session {
+	t.Helper()
+	s := &session{}
+	if err := s.setMachine("laptop-1s4c"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSetMachine(t *testing.T) {
+	s := &session{}
+	if err := s.setMachine("nope"); err == nil {
+		t.Fatal("unknown machine should fail")
+	}
+	if err := s.setMachine("server-2s8c"); err != nil {
+		t.Fatal(err)
+	}
+	if s.machine.Name != "server-2s8c" || s.engine == nil {
+		t.Fatal("machine not applied")
+	}
+}
+
+func TestExecFlow(t *testing.T) {
+	s := newSession(t)
+	steps := []string{
+		"help",
+		"gen 5000",
+		"q6 fused",
+		"q6 vectorized",
+		"q1 volcano",
+		"join 1000 4000 auto",
+		"machine numa-4s16c",
+		"", // blank line is a no-op
+	}
+	for _, cmd := range steps {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("exec(%q): %v", cmd, err)
+		}
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	s := newSession(t)
+	bad := []string{
+		"frobnicate",
+		"machine",
+		"gen",
+		"gen notanumber",
+		"gen -5",
+		"q6",           // missing engine
+		"q6 fused",     // no table generated yet
+		"join 1 2",     // wrong arity
+		"join a b npo", // bad sizes
+	}
+	for _, cmd := range bad {
+		if err := s.exec(cmd); err == nil {
+			t.Errorf("exec(%q) should fail", cmd)
+		}
+	}
+	// Unknown engine fails after a table exists.
+	if err := s.exec("gen 100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.exec("q6 bogus"); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	if err := s.exec("join 100 400 bogus"); err == nil {
+		t.Error("unknown join algorithm should fail")
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	if got := fmtBytes(512); got != "0.5 KiB" {
+		t.Errorf("fmtBytes(512) = %q", got)
+	}
+	if got := fmtBytes(3 << 20); got != "3.0 MiB" {
+		t.Errorf("fmtBytes(3MiB) = %q", got)
+	}
+	if got := fmtBytes(2 << 30); got != "2.0 GiB" {
+		t.Errorf("fmtBytes(2GiB) = %q", got)
+	}
+}
+
+func TestNewCommands(t *testing.T) {
+	s := newSession(t)
+	good := []string{
+		"sort 10000",
+		"compress 20000 256",
+		"advise 100000 8 100 0",
+		"advise 100000 8 0 50000",
+		"advise 100000 8 10 50000",
+	}
+	for _, cmd := range good {
+		if err := s.exec(cmd); err != nil {
+			t.Fatalf("exec(%q): %v", cmd, err)
+		}
+	}
+	bad := []string{
+		"sort", "sort x", "sort -1",
+		"compress 10", "compress x 10", "compress 10 0",
+		"advise 1 2 3", "advise a 2 3 4", "advise 0 0 0 0",
+	}
+	for _, cmd := range bad {
+		if err := s.exec(cmd); err == nil {
+			t.Errorf("exec(%q) should fail", cmd)
+		}
+	}
+}

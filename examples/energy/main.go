@@ -1,0 +1,40 @@
+// Energy example: the same nightly batch job executed under three DVFS
+// policies on a server with a deep idle state. Where the job's cycles go
+// (compute vs memory stalls) decides which policy wins — the knob most
+// schedulers never look at.
+package main
+
+import (
+	"fmt"
+
+	"hwstar/internal/energy"
+	"hwstar/internal/hw"
+)
+
+func main() {
+	m := hw.Server2S()
+	model := energy.NewModel(m)
+	fmt.Printf("machine: %s\nidle power: %.0fW awake / %.0fW asleep, DVFS range %.0f%%..%.0f%%\n\n",
+		m, m.WattsIdle, model.SleepWatts, model.FMin*100, model.FMax*100)
+
+	period := 2.0 // a 2-second batch slot
+	jobs := []energy.Job{
+		{Name: "compile-like (compute-bound)", ComputeCycles: 1.2e9, MemCycles: 0.1e9, Cores: 4},
+		{Name: "scan-like (memory-bound)", ComputeCycles: 0.1e9, MemCycles: 1.2e9, Cores: 4},
+	}
+	for _, j := range jobs {
+		race, err := model.RaceToIdle(j, period)
+		if err != nil {
+			panic(err)
+		}
+		pace, _ := model.PaceToDeadline(j, period)
+		opt, _ := model.OptimalFrequency(j, period)
+		fmt.Printf("%s (%.0f%% memory-bound):\n", j.Name, 100*j.MemoryBoundness())
+		fmt.Printf("  race-to-idle: %5.1f J at f=1.00 (runs %.2fs, sleeps %.2fs)\n",
+			race.Joules, race.RuntimeSeconds, period-race.RuntimeSeconds)
+		fmt.Printf("  pace:         %5.1f J at f=%.2f\n", pace.Joules, pace.Frequency)
+		fmt.Printf("  optimal:      %5.1f J at f=%.2f  (%.0f%% saved vs race)\n\n",
+			opt.Joules, opt.Frequency, 100*(1-opt.Joules/race.Joules))
+	}
+	fmt.Println("memory stalls don't speed up with the clock — so memory-bound work should run slow")
+}

@@ -1,0 +1,63 @@
+// Offload example: the dark-silicon consequence the keynote predicts. A
+// filter-aggregate operator can run on the CPU or be shipped to a
+// specialized streaming engine; the planner prices both against the machine
+// profile and picks per invocation. Small requests stay on the CPU (setup
+// dominates), long streams go to the device.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwstar/internal/accel"
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func main() {
+	m := hw.Server2S()
+	// A consolidated socket: all 8 cores busy — the realistic context in
+	// which offload decisions are made.
+	ctx := hw.ExecContext{ActiveCoresOnSocket: 8, InterferenceFactor: 1}
+	fpga := accel.FPGA2013()
+	smart := accel.SmartStorage()
+
+	fmt.Printf("machine: %s\ndevices: %s (discrete), %s (in data path)\n\n", m, fpga.Name, smart.Name)
+
+	fmt.Println("stream size   cpu ms   fpga ms   smart ms   planner(fpga)   planner(smart)")
+	for _, bytes := range []int64{1 << 20, 1 << 24, 1 << 28, 1 << 32} {
+		tuples := bytes / 8
+		w := hw.Work{Tuples: tuples, ComputePerTuple: 3, SeqReadBytes: bytes, BranchMisses: tuples / 4}
+		pf, cpu, fdev := accel.Plan(fpga, m, ctx, w)
+		ps, _, sdev := accel.Plan(smart, m, ctx, w)
+		toMs := func(c float64) float64 { return m.CyclesToSeconds(c) * 1e3 }
+		fmt.Printf("%-13s %-8.1f %-9.1f %-10.1f %-15s %s\n",
+			fmtBytes(bytes), toMs(cpu), toMs(fdev), toMs(sdev), pf, ps)
+	}
+
+	if cross := accel.Crossover(fpga, m, ctx, 1<<36); cross > 0 {
+		fmt.Printf("\nFPGA pays off from %s; the in-data-path engine from %s\n",
+			fmtBytes(cross), fmtBytes(accel.Crossover(smart, m, ctx, 1<<36)))
+	}
+
+	// The operator is real: run it once and check the planner's pick.
+	data := workload.UniformInts(1, 1<<21, 1<<30)
+	fs := accel.FilterSum{Device: fpga, Machine: m, Ctx: ctx}
+	res, err := fs.Run(data, 1<<28, 1<<29)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlive run over %d tuples: %d matched, placed on %s (%.1f vs %.1f Mcycles)\n",
+		len(data), res.Count, res.Placement, res.CPUCycles/1e6, res.AccelCycles/1e6)
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGiB", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMiB", b>>20)
+	default:
+		return fmt.Sprintf("%dKiB", b>>10)
+	}
+}

@@ -1,0 +1,32 @@
+// Planning example: the keynote's bottom line. The same logical join is
+// cheapest with a different physical operator depending on the machine and
+// the data statistics — so the engine asks the machine model at plan time
+// instead of hard-coding a choice.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwstar"
+)
+
+func main() {
+	for _, m := range []*hwstar.Machine{hwstar.Laptop(), hwstar.Server2S(), hwstar.Manycore()} {
+		engine, err := hwstar.New(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", m)
+		fmt.Println("  build rows   miss   chosen variant")
+		for _, build := range []int64{1 << 12, 1 << 18, 1 << 23} {
+			for _, miss := range []float64{0, 0.9} {
+				variant, _ := engine.PlanJoin(build, 4*build, miss)
+				fmt.Printf("  %-12d %-6.0f %s\n", build, miss*100, variant)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("same query, three machines, different best plans — the planner reads the")
+	fmt.Println("hardware profile, which is the keynote's entire point in one function call.")
+}

@@ -1,0 +1,68 @@
+// Quickstart: create an engine on a machine profile, generate data, and run
+// the three headline operations — an analytic query under three execution
+// models, a parallel join, and a grouped aggregation — reading back both the
+// real results and the modeled hardware cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hwstar"
+)
+
+func main() {
+	// An Engine binds operators to a machine profile. The profile decides
+	// simulated costs; real execution runs on your host either way.
+	engine, err := hwstar.New(hwstar.Server2S())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("machine:", engine.Machine())
+
+	// 1. The same query under three execution models. The fused pipeline
+	// is what JiT compilation produces; Volcano is the classic interpreter.
+	lineitem := hwstar.GenLineItem(1, 200_000)
+	fmt.Printf("\nQ6 over %d rows (%d columns):\n", lineitem.NumRows(), lineitem.Schema().NumColumns())
+	for _, eng := range []hwstar.QueryEngine{hwstar.Volcano, hwstar.Vectorized, hwstar.Fused} {
+		start := time.Now()
+		revenue, cycles, err := engine.RunQ6(eng, lineitem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s revenue=%.2f   model %5.1f cyc/tuple   real %6.2fms\n",
+			eng, revenue, cycles/float64(lineitem.NumRows()),
+			float64(time.Since(start).Microseconds())/1000)
+	}
+
+	// 2. A parallel hash join. JoinAuto picks the no-partitioning join for
+	// cache-resident build sides and the radix-partitioned join beyond.
+	data := hwstar.GenJoin(2, 100_000, 400_000, 0)
+	res, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinAuto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njoin 100k x 400k: %d matches via %s, simulated makespan %.1f Mcycles on %d cores\n",
+		res.Matches, res.Algorithm, res.SimCycles/1e6, engine.Workers())
+
+	// 3. Grouped aggregation with a contention-free strategy.
+	keys := hwstar.GenZipf(3, 500_000, 1000, 1.2)
+	vals := hwstar.GenUniform(4, 500_000, 100)
+	agg, err := engine.GroupSum(keys, vals, hwstar.AggRadix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("group-sum of 500k rows: %d groups, simulated makespan %.1f Mcycles\n",
+		len(agg.Groups), agg.SimCycles/1e6)
+
+	// 4. Ask the layout advisor where the data should live.
+	best, costs, err := engine.AdviseLayout(1_000_000, 16, hwstar.AccessProfile{
+		Scans: 500, ScanCols: []int{0, 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlayout advisor for a scan-heavy workload: %s (NSM %.0fM / DSM %.0fM / PAX %.0fM cycles)\n",
+		best, costs[hwstar.NSM]/1e6, costs[hwstar.DSM]/1e6, costs[hwstar.PAX]/1e6)
+}

@@ -1,0 +1,66 @@
+// Radix join example: the keynote's headline case. A fact-to-dimension join
+// is executed with the hardware-oblivious no-partitioning hash join and the
+// hardware-conscious radix-partitioned join over growing dimension tables,
+// showing the crossover as the hash table falls out of the cache hierarchy —
+// and how probe-side skew changes the verdict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwstar"
+)
+
+func main() {
+	engine, err := hwstar.New(hwstar.Server2S())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := engine.Machine()
+	fmt.Printf("machine: %s\n\n", m)
+
+	fmt.Println("size sweep (uniform probes, probe = 4x build):")
+	fmt.Println("build rows   npo Mcyc   radix Mcyc   winner")
+	for _, build := range []int{1 << 14, 1 << 17, 1 << 20} {
+		data := hwstar.GenJoin(1, build, 4*build, 0)
+		npo, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinNPO)
+		if err != nil {
+			log.Fatal(err)
+		}
+		radix, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinRadix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if npo.Matches != radix.Matches || npo.Checksum != radix.Checksum {
+			log.Fatalf("algorithms disagree: %d vs %d", npo.Matches, radix.Matches)
+		}
+		winner := "radix"
+		if npo.SimCycles < radix.SimCycles {
+			winner = "npo"
+		}
+		fmt.Printf("%-12d %-10.1f %-12.1f %s\n", build, npo.SimCycles/1e6, radix.SimCycles/1e6, winner)
+	}
+
+	fmt.Println("\nskew sweep (build fixed at 2M rows — hash table far beyond the LLC):")
+	fmt.Println("zipf s   npo Mcyc   radix Mcyc   winner")
+	for _, s := range []float64{0, 1.1, 1.5} {
+		data := hwstar.GenJoin(2, 1<<21, 1<<23, s)
+		npo, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinNPO)
+		if err != nil {
+			log.Fatal(err)
+		}
+		radix, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinRadix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		winner := "radix"
+		if npo.SimCycles < radix.SimCycles {
+			winner = "npo"
+		}
+		fmt.Printf("%-8.1f %-10.1f %-12.1f %s\n", s, npo.SimCycles/1e6, radix.SimCycles/1e6, winner)
+	}
+
+	fmt.Println("\nhardware still matters: the right join depends on cache sizes AND data distribution,")
+	fmt.Println("which is why the engine's JoinAuto consults the machine profile instead of a constant.")
+}

@@ -1,0 +1,48 @@
+// Shared scan example: a dashboard backend where hundreds of widgets each
+// ask a range-filtered aggregate of the same fact table, concurrently. A
+// query-at-a-time engine re-reads the table per widget; the clock scan
+// answers the whole batch in one pass over the data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hwstar"
+)
+
+func main() {
+	engine, err := hwstar.New(hwstar.Server2S())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fact table: one million events with a timestamp-like dimension and a
+	// metric column.
+	const rows = 1_000_000
+	cols := [][]int64{
+		hwstar.GenUniform(1, rows, 86_400), // seconds-of-day
+		hwstar.GenUniform(2, rows, 500),    // metric
+	}
+
+	// Each dashboard widget sums the metric over its own time window.
+	for _, widgets := range []int{16, 128, 1024} {
+		qs := make([]hwstar.ScanQuery, widgets)
+		starts := hwstar.GenUniform(3, widgets, 80_000)
+		for i := range qs {
+			qs[i] = hwstar.ScanQuery{FilterCol: 0, Lo: starts[i], Hi: starts[i] + 3600, AggCol: 1}
+		}
+		res, err := engine.SharedScan(cols, qs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A query-at-a-time engine would stream 2 columns per widget.
+		qatCycles := float64(widgets) * engine.Cost(hwstar.Work{
+			Tuples: rows, ComputePerTuple: 3, SeqReadBytes: 2 * rows * 8,
+		})
+		fmt.Printf("%4d widgets: clock scan %7.1f Mcycles vs query-at-a-time %9.1f Mcycles  (%.0fx saved)\n",
+			widgets, res.SimCycles/1e6, qatCycles/1e6, qatCycles/res.SimCycles)
+	}
+
+	fmt.Println("\nthe clock scan reads the fact table once per batch — memory traffic no longer scales with widgets")
+}

@@ -1,0 +1,3 @@
+module hwstar
+
+go 1.22

@@ -1,0 +1,395 @@
+// Package hwstar is a hardware-conscious main-memory data processing engine
+// built as an executable reproduction of Gustavo Alonso's ICDE 2013 keynote
+// "Hardware killed the software star". The keynote argues that data
+// processing software can no longer ignore the machine it runs on; this
+// library makes each of the keynote's claims operational:
+//
+//   - joins and aggregations engineered for caches, TLBs, and NUMA, next to
+//     their hardware-oblivious baselines (internal/join, internal/agg);
+//   - vectorized and fused execution next to a Volcano interpreter
+//     (internal/vecexec, internal/volcano, internal/queries);
+//   - shared clock scans for concurrent analytics (internal/scan);
+//   - NSM/DSM/PAX storage layouts with a cost-based advisor (internal/layout);
+//   - a morsel-driven NUMA-aware scheduler (internal/sched);
+//   - models for accelerator offload, virtualization interference, and
+//     DVFS energy policies (internal/accel, internal/vmsim, internal/energy);
+//   - and the substrates that make hardware effects measurable anywhere: a
+//     parameterized machine cost model (internal/hw) and a trace-driven
+//     cache/TLB simulator (internal/cache).
+//
+// This package is the public façade: an Engine bound to a machine profile,
+// with high-level operations that return both real results and modeled
+// hardware costs. The E1–E18 experiment suite (internal/experiments,
+// cmd/hwbench) reproduces the behaviour the hardware-conscious database
+// literature reports, on any host, deterministically.
+package hwstar
+
+import (
+	"fmt"
+
+	"hwstar/internal/agg"
+	"hwstar/internal/bench"
+	"hwstar/internal/experiments"
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+	"hwstar/internal/layout"
+	"hwstar/internal/planner"
+	"hwstar/internal/queries"
+	"hwstar/internal/scan"
+	"hwstar/internal/sched"
+	"hwstar/internal/table"
+	"hwstar/internal/vecexec"
+	"hwstar/internal/workload"
+)
+
+// Re-exported core types. The aliases are identical to the internal types,
+// so values flow freely between the façade and the sub-packages.
+type (
+	// Machine is a hardware profile: topology, caches, memory system.
+	Machine = hw.Machine
+	// Work describes code behaviour in hardware terms for the cost model.
+	Work = hw.Work
+	// ExecContext states the conditions work executes under.
+	ExecContext = hw.ExecContext
+	// Table is an immutable columnar relation.
+	Table = table.Table
+	// Schema describes a table's columns.
+	Schema = table.Schema
+	// ScanQuery is a range-filter aggregation for shared scans.
+	ScanQuery = scan.Query
+	// LayoutKind identifies a storage layout (NSM/DSM/PAX).
+	LayoutKind = layout.Kind
+	// AccessProfile characterizes a workload for the layout advisor.
+	AccessProfile = layout.AccessProfile
+	// AggStrategy names a parallel aggregation design.
+	AggStrategy = agg.Strategy
+	// ResultTable is a rendered experiment result.
+	ResultTable = bench.Table
+)
+
+// Machine profiles (see internal/hw for parameters).
+var (
+	// Laptop is a 1-socket 4-core client profile.
+	Laptop = hw.Laptop
+	// Server2S is a 2-socket 8-core NUMA server profile.
+	Server2S = hw.Server2S
+	// NUMA4S is a 4-socket 16-core NUMA machine profile.
+	NUMA4S = hw.NUMA4S
+	// Manycore is a 1-socket 64-core bandwidth-limited profile.
+	Manycore = hw.Manycore
+)
+
+// Layout kinds.
+const (
+	NSM = layout.NSM
+	DSM = layout.DSM
+	PAX = layout.PAX
+)
+
+// Aggregation strategies.
+const (
+	AggGlobalAtomic AggStrategy = agg.StrategyGlobal
+	AggLocalMerge   AggStrategy = agg.StrategyLocalMerge
+	AggRadix        AggStrategy = agg.StrategyRadix
+)
+
+// Engine binds the hwstar operators to one machine profile and a worker
+// configuration. An Engine is cheap to create and safe to use from one
+// goroutine; create one per concurrent client.
+type Engine struct {
+	machine  *Machine
+	workers  int
+	stealing bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the number of simulated cores parallel operations use
+// (default: all cores of the machine).
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithoutStealing disables cross-socket work stealing (default: enabled).
+func WithoutStealing() Option { return func(e *Engine) { e.stealing = false } }
+
+// New creates an Engine on the given machine profile.
+func New(m *Machine, opts ...Option) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("hwstar: machine must not be nil")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{machine: m, workers: m.TotalCores(), stealing: true}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers <= 0 || e.workers > m.TotalCores() {
+		return nil, fmt.Errorf("hwstar: worker count %d out of range 1..%d", e.workers, m.TotalCores())
+	}
+	return e, nil
+}
+
+// Machine returns the engine's hardware profile.
+func (e *Engine) Machine() *Machine { return e.machine }
+
+// Workers returns the engine's simulated core count.
+func (e *Engine) Workers() int { return e.workers }
+
+// scheduler builds a fresh scheduler for one parallel operation.
+func (e *Engine) scheduler() (*sched.Scheduler, error) {
+	return sched.New(e.machine, sched.Options{Workers: e.workers, Stealing: e.stealing})
+}
+
+// JoinAlgorithm selects a join implementation.
+type JoinAlgorithm string
+
+// Join algorithms.
+const (
+	JoinAuto  JoinAlgorithm = "auto"  // radix when the build side exceeds the LLC, else NPO
+	JoinNPO   JoinAlgorithm = "npo"   // no-partitioning hash join
+	JoinRadix JoinAlgorithm = "radix" // parallel radix-partitioned hash join
+)
+
+// JoinResult reports an equi-join outcome.
+type JoinResult struct {
+	// Matches and Checksum aggregate the join output.
+	Matches  int64
+	Checksum uint64
+	// Algorithm is the implementation that ran (resolved for JoinAuto).
+	Algorithm JoinAlgorithm
+	// SimCycles is the simulated parallel makespan on the engine's machine.
+	SimCycles float64
+}
+
+// HashJoin joins build (unique or duplicate keys, with payloads) against
+// probe, in parallel on the engine's simulated cores.
+func (e *Engine) HashJoin(buildKeys, buildVals, probeKeys, probeVals []int64, algo JoinAlgorithm) (JoinResult, error) {
+	in := join.Input{BuildKeys: buildKeys, BuildVals: buildVals, ProbeKeys: probeKeys, ProbeVals: probeVals}
+	if err := in.Validate(); err != nil {
+		return JoinResult{}, err
+	}
+	if algo == JoinAuto || algo == "" {
+		htBytes := int64(len(buildKeys)) * 34
+		if htBytes > e.machine.LLC().SizeBytes {
+			algo = JoinRadix
+		} else {
+			algo = JoinNPO
+		}
+	}
+	s, err := e.scheduler()
+	if err != nil {
+		return JoinResult{}, err
+	}
+	var res join.ParallelResult
+	switch algo {
+	case JoinNPO:
+		res, err = join.ParallelNPO(in, s, 0)
+	case JoinRadix:
+		res, err = join.ParallelRadix(in, join.RadixOptions{}, s, e.machine, 0)
+	default:
+		return JoinResult{}, fmt.Errorf("hwstar: unknown join algorithm %q", algo)
+	}
+	if err != nil {
+		return JoinResult{}, err
+	}
+	return JoinResult{Matches: res.Matches, Checksum: res.Checksum, Algorithm: algo, SimCycles: res.MakespanCycles}, nil
+}
+
+// GroupSumResult reports a parallel aggregation outcome.
+type GroupSumResult struct {
+	Groups    map[int64]int64
+	SimCycles float64
+}
+
+// GroupSum computes SUM(vals) GROUP BY keys with the given strategy on the
+// engine's simulated cores.
+func (e *Engine) GroupSum(keys, vals []int64, strategy AggStrategy) (GroupSumResult, error) {
+	s, err := e.scheduler()
+	if err != nil {
+		return GroupSumResult{}, err
+	}
+	res, err := agg.Parallel(keys, vals, strategy, s, e.machine, 0)
+	if err != nil {
+		return GroupSumResult{}, err
+	}
+	return GroupSumResult{Groups: res.Groups, SimCycles: res.MakespanCycles}, nil
+}
+
+// SharedScanResult reports a shared-scan batch execution.
+type SharedScanResult struct {
+	// Sums holds one aggregate per query, in input order.
+	Sums []int64
+	// SimCycles is the parallel makespan of the clock scan.
+	SimCycles float64
+}
+
+// SharedScan answers a batch of range-filter SUM queries with one
+// cooperative clock scan over the columns.
+func (e *Engine) SharedScan(cols [][]int64, qs []ScanQuery) (SharedScanResult, error) {
+	rel, err := scan.NewRelation(cols)
+	if err != nil {
+		return SharedScanResult{}, err
+	}
+	s, err := e.scheduler()
+	if err != nil {
+		return SharedScanResult{}, err
+	}
+	sums, schedRes, err := scan.ParallelShared(rel, qs, scan.SharedOptions{UseQueryIndex: true}, s, 0)
+	if err != nil {
+		return SharedScanResult{}, err
+	}
+	return SharedScanResult{Sums: sums, SimCycles: schedRes.MakespanCycles}, nil
+}
+
+// TopGroup is one entry of a TopGroups result.
+type TopGroup = vecexec.GroupResult
+
+// TopGroups computes SUM(vals) GROUP BY keys and returns the k groups with
+// the largest sums, descending — the vectorized engine's ORDER BY ... LIMIT
+// k, built on a cache-sized open-addressing table and a size-k heap instead
+// of a full sort.
+func (e *Engine) TopGroups(keys []int64, vals []float64, k int) ([]TopGroup, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("hwstar: keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+	}
+	g := vecexec.NewHashGroupSum(1024)
+	vecexec.Chunks(len(keys), func(start, end int) {
+		g.AddBatch(keys[start:end], vals[start:end], nil)
+	})
+	return g.TopK(k), nil
+}
+
+// AdviseLayout recommends a storage layout for a rows×cols relation under
+// the given access profile, with the modeled cost of every candidate.
+func (e *Engine) AdviseLayout(rows, cols int, p AccessProfile) (LayoutKind, map[LayoutKind]float64, error) {
+	adv, err := layout.Advise(rows, cols, p, e.machine)
+	if err != nil {
+		return 0, nil, err
+	}
+	return adv.Best, adv.Costs, nil
+}
+
+// Cost prices a hardware-work description on the engine's machine under a
+// single-core context — the entry point for users modelling their own
+// operators.
+func (e *Engine) Cost(w Work) float64 {
+	return e.machine.Cycles(w, hw.DefaultContext())
+}
+
+// Schema construction and CSV I/O, re-exported so users can bring their own
+// data: build a Schema, LoadCSV into a Table, and feed it to the engine
+// (Table.WriteCSV round-trips results back out).
+type ColumnDef = table.ColumnDef
+
+// Column types for schema construction.
+const (
+	TypeInt64   = table.Int64
+	TypeFloat64 = table.Float64
+	TypeString  = table.String
+)
+
+// NewSchema builds a schema from column definitions.
+var NewSchema = table.NewSchema
+
+// MustSchema is NewSchema that panics on error, for statically known schemas.
+var MustSchema = table.MustSchema
+
+// LoadCSV reads a header-carrying CSV stream into a Table using the given
+// schema (header names must match the schema).
+var LoadCSV = table.ReadCSV
+
+// JoinVariant names one of the planner's executable join implementations.
+type JoinVariant = planner.JoinVariant
+
+// PlanJoin consults the machine model to pick the cheapest join variant
+// (naive, group-prefetched, Bloom-filtered, or radix-partitioned) for the
+// given statistics, returning the choice and every variant's predicted
+// cycles.
+func (e *Engine) PlanJoin(buildRows, probeRows int64, missFrac float64) (JoinVariant, map[JoinVariant]float64) {
+	p := planner.ChooseJoin(e.machine, join.Stats{
+		BuildRows: buildRows, ProbeRows: probeRows, MissFrac: missFrac,
+	}, hw.DefaultContext())
+	return p.Variant, p.All
+}
+
+// QueryEngine selects an execution model for the built-in analytic queries:
+// "volcano" (tuple-at-a-time), "vectorized", or "fused".
+type QueryEngine = queries.Engine
+
+// Query engines.
+const (
+	Volcano    = queries.EngineVolcano
+	Vectorized = queries.EngineVectorized
+	Fused      = queries.EngineFused
+)
+
+// Q1Row is one group of the Q1-shaped aggregation query.
+type Q1Row = queries.Q1Row
+
+// RunQ6 executes the TPC-H-Q6-shaped query on a lineitem table with the
+// given execution model, returning the revenue sum and the modeled cycles on
+// the engine's machine.
+func (e *Engine) RunQ6(eng QueryEngine, lineitem *Table) (float64, float64, error) {
+	acct := hw.NewAccount(e.machine, hw.DefaultContext())
+	sum, err := queries.Q6(eng, lineitem, queries.DefaultQ6(), acct)
+	if err != nil {
+		return 0, 0, err
+	}
+	return sum, acct.TotalCycles(), nil
+}
+
+// RunQ1 executes the TPC-H-Q1-shaped query on a lineitem table with the
+// given execution model, returning the groups and the modeled cycles.
+func (e *Engine) RunQ1(eng QueryEngine, lineitem *Table) ([]Q1Row, float64, error) {
+	acct := hw.NewAccount(e.machine, hw.DefaultContext())
+	rows, err := queries.Q1(eng, lineitem, queries.DefaultQ1(), acct)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rows, acct.TotalCycles(), nil
+}
+
+// Data generators re-exported from internal/workload so examples and users
+// can produce the same deterministic datasets the experiments use.
+var (
+	// GenUniform returns n keys uniform in [0, max).
+	GenUniform = workload.UniformInts
+	// GenZipf returns n keys in [0, max) with Zipf skew s.
+	GenZipf = workload.ZipfInts
+	// GenShuffled returns a permutation of 0..n-1.
+	GenShuffled = workload.ShuffledInts
+	// GenLineItem generates a TPC-H-flavoured lineitem table.
+	GenLineItem = workload.LineItem
+)
+
+// JoinData holds generated foreign-key join inputs.
+type JoinData = workload.JoinInput
+
+// GenJoin generates a foreign-key join input: build rows with unique keys
+// and probe rows drawn from the build domain with optional Zipf skew.
+func GenJoin(seed int64, buildRows, probeRows int, zipfS float64) JoinData {
+	return workload.GenerateJoin(workload.JoinConfig{
+		Seed: seed, BuildRows: buildRows, ProbeRows: probeRows, ZipfS: zipfS,
+	})
+}
+
+// RunExperiment executes one experiment of the E1–E18 suite at the given
+// scale (1 = full size) and returns its result tables.
+func RunExperiment(id string, scale float64) ([]*ResultTable, error) {
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(experiments.Config{Scale: scale})
+}
+
+// ExperimentIDs lists the available experiment identifiers in order.
+func ExperimentIDs() []string {
+	all := experiments.All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package hwstar
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"hwstar/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil machine should fail")
+	}
+	m := Laptop()
+	m.MLP = 0
+	if _, err := New(m); err == nil {
+		t.Fatal("invalid machine should fail")
+	}
+	if _, err := New(Laptop(), WithWorkers(99)); err == nil {
+		t.Fatal("too many workers should fail")
+	}
+	e, err := New(Server2S(), WithWorkers(4), WithoutStealing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Workers() != 4 || e.Machine().Name != "server-2s8c" {
+		t.Fatalf("engine misconfigured: %d workers on %s", e.Workers(), e.Machine().Name)
+	}
+}
+
+func TestHashJoinAlgorithms(t *testing.T) {
+	e, _ := New(Server2S())
+	g := workload.GenerateJoin(workload.JoinConfig{Seed: 1, BuildRows: 5000, ProbeRows: 20000})
+	var results []JoinResult
+	for _, algo := range []JoinAlgorithm{JoinNPO, JoinRadix, JoinAuto} {
+		r, err := e.HashJoin(g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if r.SimCycles <= 0 {
+			t.Fatalf("%s: no cycles", algo)
+		}
+		results = append(results, r)
+	}
+	if results[0].Matches != results[1].Matches || results[0].Checksum != results[1].Checksum {
+		t.Fatal("algorithms disagree")
+	}
+	if results[0].Matches != 20000 {
+		t.Fatalf("matches = %d, want 20000 (unique FK join)", results[0].Matches)
+	}
+	// Auto on a small build side resolves to NPO.
+	if results[2].Algorithm != JoinNPO {
+		t.Fatalf("auto picked %s for a cache-resident build side", results[2].Algorithm)
+	}
+}
+
+func TestHashJoinAutoPicksRadixWhenLarge(t *testing.T) {
+	e, _ := New(Server2S())
+	g := workload.GenerateJoin(workload.JoinConfig{Seed: 2, BuildRows: 1 << 20, ProbeRows: 1 << 20})
+	r, err := e.HashJoin(g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, JoinAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != JoinRadix {
+		t.Fatalf("auto picked %s for an LLC-exceeding build side", r.Algorithm)
+	}
+}
+
+func TestHashJoinErrors(t *testing.T) {
+	e, _ := New(Laptop())
+	if _, err := e.HashJoin([]int64{1}, nil, nil, nil, JoinNPO); err == nil {
+		t.Fatal("ragged input should fail")
+	}
+	if _, err := e.HashJoin(nil, nil, nil, nil, JoinAlgorithm("bogus")); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+}
+
+func TestGroupSum(t *testing.T) {
+	e, _ := New(Laptop())
+	keys := []int64{1, 2, 1, 3}
+	vals := []int64{10, 20, 30, 40}
+	want := map[int64]int64{1: 40, 2: 20, 3: 40}
+	for _, strat := range []AggStrategy{AggGlobalAtomic, AggLocalMerge, AggRadix} {
+		r, err := e.GroupSum(keys, vals, strat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if !reflect.DeepEqual(r.Groups, want) {
+			t.Fatalf("%s: groups = %v", strat, r.Groups)
+		}
+	}
+	if _, err := e.GroupSum(keys, vals[:1], AggRadix); err == nil {
+		t.Fatal("ragged input should fail")
+	}
+}
+
+func TestSharedScan(t *testing.T) {
+	e, _ := New(Server2S())
+	cols := [][]int64{
+		workload.UniformInts(3, 10000, 1000),
+		workload.UniformInts(4, 10000, 50),
+	}
+	qs := []ScanQuery{
+		{FilterCol: 0, Lo: 0, Hi: 999, AggCol: 1},
+		{FilterCol: 0, Lo: 100, Hi: 200, AggCol: 1},
+	}
+	r, err := e.SharedScan(cols, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, v := range cols[1] {
+		total += v
+	}
+	if r.Sums[0] != total {
+		t.Fatalf("full-range query sum = %d, want %d", r.Sums[0], total)
+	}
+	if r.Sums[1] >= r.Sums[0] {
+		t.Fatal("narrow query should sum less than full range")
+	}
+	if _, err := e.SharedScan(nil, qs); err == nil {
+		t.Fatal("empty relation should fail")
+	}
+}
+
+func TestAdviseLayout(t *testing.T) {
+	e, _ := New(Server2S())
+	best, costs, err := e.AdviseLayout(1_000_000, 16, AccessProfile{Scans: 100, ScanCols: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == NSM {
+		t.Fatal("OLAP profile should not pick NSM")
+	}
+	if len(costs) != 3 {
+		t.Fatalf("costs = %v", costs)
+	}
+	if _, _, err := e.AdviseLayout(0, 0, AccessProfile{}); err == nil {
+		t.Fatal("invalid profile should fail")
+	}
+}
+
+func TestCost(t *testing.T) {
+	e, _ := New(Laptop())
+	if c := e.Cost(Work{Tuples: 1000, ComputePerTuple: 2}); c != 2000 {
+		t.Fatalf("cost = %f", c)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 13 || ids[0] != "E1" {
+		t.Fatalf("experiment ids = %v", ids)
+	}
+	tables, err := RunExperiment("E4", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("E4 produced no output")
+	}
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestPlanJoinFacade(t *testing.T) {
+	e, _ := New(Server2S())
+	variant, costs := e.PlanJoin(4096, 16384, 0)
+	if variant != "npo" {
+		t.Fatalf("small join planned as %s (%v)", variant, costs)
+	}
+	if len(costs) != 4 {
+		t.Fatalf("costs = %v", costs)
+	}
+	variant, _ = e.PlanJoin(1<<22, 1<<24, 0.9)
+	if variant == "npo" {
+		t.Fatal("large miss-heavy join should not stay naive")
+	}
+}
+
+func TestCSVFacade(t *testing.T) {
+	schema := MustSchema(
+		ColumnDef{Name: "id", Type: TypeInt64},
+		ColumnDef{Name: "price", Type: TypeFloat64},
+		ColumnDef{Name: "city", Type: TypeString},
+	)
+	tbl, err := LoadCSV("orders", schema, strings.NewReader("id,price,city\n1,2.5,zurich\n2,3.5,basel\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "zurich") {
+		t.Fatalf("csv round trip missing data: %q", sb.String())
+	}
+	if _, err := LoadCSV("bad", schema, strings.NewReader("nope\n")); err == nil {
+		t.Fatal("bad CSV should fail")
+	}
+}
+
+func TestTopGroupsFacade(t *testing.T) {
+	e, _ := New(Laptop())
+	keys := []int64{1, 2, 1, 3, 2, 1}
+	vals := []float64{10, 20, 30, 40, 50, 60}
+	top, err := e.TopGroups(keys, vals, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Key != 1 || top[0].Sum != 100 || top[1].Key != 2 || top[1].Sum != 70 {
+		t.Fatalf("top groups = %v", top)
+	}
+	if _, err := e.TopGroups(keys, vals[:2], 2); err == nil {
+		t.Fatal("ragged input should fail")
+	}
+}
+
+func TestQueryFacade(t *testing.T) {
+	e, _ := New(Server2S())
+	li := GenLineItem(99, 10000)
+	rev, cycles, err := e.RunQ6(Fused, li)
+	if err != nil || rev <= 0 || cycles <= 0 {
+		t.Fatalf("RunQ6: %f, %f, %v", rev, cycles, err)
+	}
+	rows, cycles, err := e.RunQ1(Vectorized, li)
+	if err != nil || len(rows) == 0 || cycles <= 0 {
+		t.Fatalf("RunQ1: %v, %f, %v", rows, cycles, err)
+	}
+	if _, _, err := e.RunQ6(QueryEngine("bogus"), li); err == nil {
+		t.Fatal("unknown engine should fail Q6")
+	}
+	if _, _, err := e.RunQ1(QueryEngine("bogus"), li); err == nil {
+		t.Fatal("unknown engine should fail Q1")
+	}
+}
+
+func TestGenJoinFacade(t *testing.T) {
+	d := GenJoin(5, 100, 400, 1.2)
+	if len(d.BuildKeys) != 100 || len(d.ProbeKeys) != 400 {
+		t.Fatalf("GenJoin sizes: %d/%d", len(d.BuildKeys), len(d.ProbeKeys))
+	}
+}

@@ -1,0 +1,163 @@
+// Package accel models the specialized accelerators the keynote's
+// dark-silicon discussion predicts (FPGA dataflow engines in the style of
+// the author's group's Ibex/IBM Netezza line): a streaming device that
+// executes filter/aggregate operators at line rate but pays a fixed setup
+// latency and must receive its input over a transfer link. The offload
+// planner decides per operator whether the CPU or the accelerator is
+// cheaper — the crossover experiment E7 sweeps data size to locate where
+// offloading starts to win.
+//
+// Operators run for real on the host (the model prices, never fakes,
+// results); only the cost is the device's.
+package accel
+
+import (
+	"fmt"
+
+	"hwstar/internal/hw"
+)
+
+// Device describes a streaming accelerator. Cycles are host-clock cycles so
+// costs compare directly with CPU work priced by the machine model.
+type Device struct {
+	// Name labels the device in experiment output.
+	Name string
+	// SetupCycles is the fixed cost of launching one offloaded operator
+	// (command submission, pipeline fill, result collection).
+	SetupCycles float64
+	// BytesPerCycle is the device's streaming throughput once running.
+	BytesPerCycle float64
+	// TransferBytesPerCycle is the host→device link bandwidth; data must
+	// cross it unless the device sits in the data path.
+	TransferBytesPerCycle float64
+	// InDataPath marks devices that see the data anyway (e.g. on the
+	// storage or network path), eliminating the transfer term.
+	InDataPath bool
+}
+
+// Validate reports an error for non-positive parameters.
+func (d Device) Validate() error {
+	if d.SetupCycles < 0 || d.BytesPerCycle <= 0 || (!d.InDataPath && d.TransferBytesPerCycle <= 0) {
+		return fmt.Errorf("accel: device %q has invalid parameters", d.Name)
+	}
+	return nil
+}
+
+// FPGA2013 returns a device modelled on early-2010s FPGA query accelerators:
+// high setup cost, line-rate streaming, PCIe-class transfer link.
+func FPGA2013() Device {
+	return Device{
+		Name:                  "fpga-pcie",
+		SetupCycles:           2_000_000, // ~0.8ms at 2.4GHz
+		BytesPerCycle:         16,        // processes a full line burst per cycle
+		TransferBytesPerCycle: 3,         // ~PCIe gen2 x8 effective
+	}
+}
+
+// SmartStorage returns an in-data-path device (Ibex-style "intelligent
+// storage engine"): modest throughput but no transfer cost and low setup.
+func SmartStorage() Device {
+	return Device{
+		Name:          "smart-storage",
+		SetupCycles:   200_000,
+		BytesPerCycle: 6,
+		InDataPath:    true,
+	}
+}
+
+// OffloadCycles prices streaming `bytes` through the device.
+func (d Device) OffloadCycles(bytes int64) float64 {
+	c := d.SetupCycles + float64(bytes)/d.BytesPerCycle
+	if !d.InDataPath {
+		c += float64(bytes) / d.TransferBytesPerCycle
+	}
+	return c
+}
+
+// Placement says where the planner decided to run an operator.
+type Placement string
+
+// Placements.
+const (
+	PlaceCPU   Placement = "cpu"
+	PlaceAccel Placement = "accel"
+)
+
+// Plan compares the CPU cost of a streaming operator (priced on machine m
+// under ctx) with the device cost and returns the cheaper placement along
+// with both costs.
+func Plan(d Device, m *hw.Machine, ctx hw.ExecContext, w hw.Work) (Placement, float64, float64) {
+	cpu := m.Cycles(w, ctx)
+	bytes := w.SeqReadBytes + w.SeqWriteBytes + w.RemoteSeqBytes
+	dev := d.OffloadCycles(bytes)
+	if dev < cpu {
+		return PlaceAccel, cpu, dev
+	}
+	return PlaceCPU, cpu, dev
+}
+
+// FilterSum is the operator used by the offload experiments: count and sum
+// of values within [lo, hi]. Run executes it on the host and returns the
+// result plus the cycles of the chosen placement.
+type FilterSum struct {
+	Device  Device
+	Machine *hw.Machine
+	Ctx     hw.ExecContext
+}
+
+// Result of a FilterSum execution.
+type Result struct {
+	Count     int64
+	Sum       int64
+	Placement Placement
+	// CPUCycles and AccelCycles are both reported so experiments can plot
+	// the crossover; Cycles is the chosen one.
+	CPUCycles, AccelCycles, Cycles float64
+}
+
+// Run filters data to [lo, hi], returning count/sum and modeled costs.
+func (f FilterSum) Run(data []int64, lo, hi int64) (Result, error) {
+	if err := f.Device.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, v := range data {
+		if v >= lo && v <= hi {
+			res.Count++
+			res.Sum += v
+		}
+	}
+	w := hw.Work{
+		Name:            "filter-sum",
+		Tuples:          int64(len(data)),
+		ComputePerTuple: 3,
+		SeqReadBytes:    int64(len(data)) * 8,
+		BranchMisses:    int64(len(data)) / 4,
+	}
+	res.Placement, res.CPUCycles, res.AccelCycles = Plan(f.Device, f.Machine, f.Ctx, w)
+	if res.Placement == PlaceAccel {
+		res.Cycles = res.AccelCycles
+	} else {
+		res.Cycles = res.CPUCycles
+	}
+	return res, nil
+}
+
+// Crossover returns the smallest data size (in bytes, probed at powers of
+// two between 1 KiB and maxBytes) at which offloading the canonical
+// filter-sum beats the CPU, or -1 when it never does.
+func Crossover(d Device, m *hw.Machine, ctx hw.ExecContext, maxBytes int64) int64 {
+	for bytes := int64(1 << 10); bytes <= maxBytes; bytes <<= 1 {
+		tuples := bytes / 8
+		w := hw.Work{
+			Tuples:          tuples,
+			ComputePerTuple: 3,
+			SeqReadBytes:    bytes,
+			BranchMisses:    tuples / 4,
+		}
+		if p, _, _ := Plan(d, m, ctx, w); p == PlaceAccel {
+			return bytes
+		}
+	}
+	return -1
+}

@@ -1,0 +1,149 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func TestDeviceValidate(t *testing.T) {
+	if err := FPGA2013().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := SmartStorage().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Device{Name: "bad", BytesPerCycle: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero throughput should be invalid")
+	}
+	noLink := Device{Name: "nolink", SetupCycles: 1, BytesPerCycle: 1}
+	if err := noLink.Validate(); err == nil {
+		t.Fatal("discrete device without link bandwidth should be invalid")
+	}
+}
+
+func TestOffloadCyclesComponents(t *testing.T) {
+	d := Device{Name: "d", SetupCycles: 100, BytesPerCycle: 10, TransferBytesPerCycle: 5}
+	// 1000 bytes: 100 setup + 100 stream + 200 transfer.
+	if got := d.OffloadCycles(1000); got != 400 {
+		t.Fatalf("offload = %f, want 400", got)
+	}
+	d.InDataPath = true
+	if got := d.OffloadCycles(1000); got != 200 {
+		t.Fatalf("in-path offload = %f, want 200", got)
+	}
+}
+
+func TestPlanPrefersCPUForSmallData(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+	d := FPGA2013()
+	small := hw.Work{Tuples: 100, ComputePerTuple: 3, SeqReadBytes: 800}
+	p, cpu, dev := Plan(d, m, ctx, small)
+	if p != PlaceCPU {
+		t.Fatalf("small data should stay on CPU (cpu=%f dev=%f)", cpu, dev)
+	}
+	if dev < d.SetupCycles {
+		t.Fatal("device cost must include setup")
+	}
+}
+
+func TestPlanPrefersAccelForLargeStreams(t *testing.T) {
+	m := hw.Server2S()
+	// A busy socket makes CPU streaming expensive — consolidation pressure
+	// is exactly when offload pays.
+	ctx := hw.ExecContext{ActiveCoresOnSocket: 8, InterferenceFactor: 1}
+	d := FPGA2013()
+	big := hw.Work{Tuples: 1 << 26, ComputePerTuple: 3, SeqReadBytes: 1 << 29} // 512 MiB
+	p, cpu, dev := Plan(d, m, ctx, big)
+	if p != PlaceAccel {
+		t.Fatalf("large stream should offload (cpu=%f dev=%f)", cpu, dev)
+	}
+}
+
+func TestCrossoverMonotone(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.ExecContext{ActiveCoresOnSocket: 8, InterferenceFactor: 1}
+	d := FPGA2013()
+	cross := Crossover(d, m, ctx, 1<<34)
+	if cross <= 0 {
+		t.Fatal("FPGA should win somewhere below 16 GiB on a busy socket")
+	}
+	// Everything at or above the crossover must also prefer the device.
+	for bytes := cross; bytes <= cross<<3; bytes <<= 1 {
+		tuples := bytes / 8
+		w := hw.Work{Tuples: tuples, ComputePerTuple: 3, SeqReadBytes: bytes, BranchMisses: tuples / 4}
+		if p, _, _ := Plan(d, m, ctx, w); p != PlaceAccel {
+			t.Fatalf("placement flipped back to CPU at %d bytes", bytes)
+		}
+	}
+	// The in-data-path device crosses over earlier.
+	crossSmart := Crossover(SmartStorage(), m, ctx, 1<<34)
+	if crossSmart <= 0 || crossSmart > cross {
+		t.Fatalf("in-path device crossover %d should not exceed discrete %d", crossSmart, cross)
+	}
+}
+
+func TestCrossoverNeverForTinyLimit(t *testing.T) {
+	m := hw.Server2S()
+	if c := Crossover(FPGA2013(), m, hw.DefaultContext(), 1<<12); c != -1 {
+		t.Fatalf("crossover within 4 KiB should be impossible, got %d", c)
+	}
+}
+
+func TestFilterSumCorrectness(t *testing.T) {
+	m := hw.Server2S()
+	data := workload.UniformInts(1, 10000, 1000)
+	var wantCount, wantSum int64
+	for _, v := range data {
+		if v >= 100 && v <= 499 {
+			wantCount++
+			wantSum += v
+		}
+	}
+	f := FilterSum{Device: FPGA2013(), Machine: m, Ctx: hw.DefaultContext()}
+	res, err := f.Run(data, 100, 499)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != wantCount || res.Sum != wantSum {
+		t.Fatalf("filter-sum = %d/%d, want %d/%d", res.Count, res.Sum, wantCount, wantSum)
+	}
+	if res.Cycles <= 0 || res.CPUCycles <= 0 || res.AccelCycles <= 0 {
+		t.Fatalf("cycles not reported: %+v", res)
+	}
+	if res.Placement == PlaceAccel && res.Cycles != res.AccelCycles {
+		t.Fatal("chosen cycles inconsistent")
+	}
+}
+
+func TestFilterSumInvalidDevice(t *testing.T) {
+	m := hw.Laptop()
+	f := FilterSum{Device: Device{Name: "bad"}, Machine: m, Ctx: hw.DefaultContext()}
+	if _, err := f.Run([]int64{1}, 0, 1); err == nil {
+		t.Fatal("invalid device should fail")
+	}
+}
+
+// Property: the planner is consistent — it picks the strictly cheaper side
+// (ties go to the CPU).
+func TestPlanConsistencyProperty(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+	d := FPGA2013()
+	f := func(kb uint16) bool {
+		bytes := int64(kb)*1024 + 8
+		w := hw.Work{Tuples: bytes / 8, ComputePerTuple: 3, SeqReadBytes: bytes}
+		p, cpu, dev := Plan(d, m, ctx, w)
+		if p == PlaceAccel {
+			return dev < cpu
+		}
+		return cpu <= dev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

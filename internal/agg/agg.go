@@ -1,0 +1,299 @@
+// Package agg implements parallel GROUP-BY aggregation in three designs that
+// span the hardware-consciousness spectrum the keynote describes:
+//
+//   - StrategyGlobal: all workers update one shared hash table behind atomic
+//     operations — the straightforward "software star" design whose cache-line
+//     ping-pong gets worse with every added core.
+//   - StrategyLocalMerge: each worker aggregates morsels into a private table,
+//     merged at the end — contention-free, but the merge grows with
+//     (workers × groups) and private tables overflow the cache when the group
+//     count is large.
+//   - StrategyRadix: inputs are hash-partitioned by group key so each group
+//     belongs to exactly one worker — no contention and cache-resident state,
+//     at the price of a partitioning pass.
+//
+// All strategies execute real Go code producing identical results; the
+// hardware cost of each design is charged to the simulated scheduler.
+package agg
+
+import (
+	"fmt"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/sched"
+)
+
+// Strategy names an aggregation design.
+type Strategy string
+
+// Available strategies.
+const (
+	StrategyGlobal     Strategy = "global-atomic"
+	StrategyLocalMerge Strategy = "local-merge"
+	StrategyRadix      Strategy = "radix-partitioned"
+)
+
+// groupEntryBytes is the hash-table footprint per group (key + sum + flag,
+// at 50% fill).
+const groupEntryBytes = 2 * (8 + 8 + 1)
+
+// tupleBytes is the input width per tuple (key + value).
+const tupleBytes = 16
+
+// Serial computes the reference aggregation: SUM(vals) GROUP BY keys.
+func Serial(keys, vals []int64) map[int64]int64 {
+	out := make(map[int64]int64)
+	for i, k := range keys {
+		out[k] += vals[i]
+	}
+	return out
+}
+
+// Result is a parallel aggregation outcome.
+type Result struct {
+	// Groups maps each key to its aggregated sum.
+	Groups map[int64]int64
+	// Phases holds the schedule of each phase; MakespanCycles their sum.
+	Phases         []sched.Result
+	MakespanCycles float64
+}
+
+func (r *Result) addPhase(s sched.Result) {
+	r.Phases = append(r.Phases, s)
+	r.MakespanCycles += s.MakespanCycles
+}
+
+// Parallel aggregates keys/vals with the given strategy on scheduler s.
+// numGroups is the (approximate) group cardinality used for cost modelling;
+// pass 0 to have it estimated from the data (exact, via a counting pass that
+// is not charged — a real system would use a sketch).
+func Parallel(keys, vals []int64, strat Strategy, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+	if len(keys) != len(vals) {
+		return Result{}, fmt.Errorf("agg: keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+	}
+	switch strat {
+	case StrategyGlobal:
+		return globalAtomic(keys, vals, s, m, morsel)
+	case StrategyLocalMerge:
+		return localMerge(keys, vals, s, m, morsel)
+	case StrategyRadix:
+		return radixPartitioned(keys, vals, s, m, morsel)
+	default:
+		return Result{}, fmt.Errorf("agg: unknown strategy %q", strat)
+	}
+}
+
+func morselOrDefault(m int) int {
+	if m <= 0 {
+		return 1 << 14
+	}
+	return m
+}
+
+// distinct counts group cardinality (modelling aid, not charged).
+func distinct(keys []int64) int64 {
+	seen := make(map[int64]struct{}, 1024)
+	for _, k := range keys {
+		seen[k] = struct{}{}
+	}
+	return int64(len(seen))
+}
+
+// globalAtomic: one shared table, every update an atomic read-modify-write.
+// The contention model charges each update an extra penalty that grows with
+// the number of cores hammering the same lines: with G groups and P active
+// cores, the probability of a concurrent update to the same entry scales
+// with P/G, and each conflict costs a cache-line transfer.
+func globalAtomic(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+	var res Result
+	groups := make(map[int64]int64)
+	g := distinct(keys)
+	if g == 0 {
+		g = 1
+	}
+	tableBytes := g * groupEntryBytes
+	// A conflicting atomic update pays a cross-core line transfer plus
+	// serialization on the hot line.
+	const lineTransferCycles = 120
+	tasks := sched.Morsels(len(keys), morsel, "agg-global", func(start, end int, w *sched.Worker) {
+		for i := start; i < end; i++ {
+			groups[keys[i]] += vals[i]
+		}
+		n := int64(end - start)
+		p := float64(w.TotalWorkers())
+		conflictProb := (p - 1) / float64(g)
+		if conflictProb > 1 {
+			conflictProb = 1
+		}
+		if conflictProb < 0 {
+			conflictProb = 0
+		}
+		w.Charge(hw.Work{
+			Name:            "agg-global",
+			Tuples:          n,
+			ComputePerTuple: 8 + conflictProb*lineTransferCycles,
+			SeqReadBytes:    n * tupleBytes,
+			RandomReads:     n,
+			RandomWS:        tableBytes,
+		})
+	})
+	res.addPhase(s.Run(tasks))
+	res.Groups = groups
+	return res, nil
+}
+
+// localMerge: per-morsel private tables, then a serial-per-partition merge.
+func localMerge(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+	var res Result
+	msz := morselOrDefault(morsel)
+	nChunks := (len(keys) + msz - 1) / msz
+	locals := make([]map[int64]int64, nChunks)
+	g := distinct(keys)
+	if g == 0 {
+		g = 1
+	}
+	localBytes := g * groupEntryBytes // worst case: every group in every local table
+
+	tasks := sched.Morsels(len(keys), msz, "agg-local", func(start, end int, w *sched.Worker) {
+		local := make(map[int64]int64, 256)
+		for i := start; i < end; i++ {
+			local[keys[i]] += vals[i]
+		}
+		locals[start/msz] = local
+		n := int64(end - start)
+		w.Charge(hw.Work{
+			Name:            "agg-local",
+			Tuples:          n,
+			ComputePerTuple: 8,
+			SeqReadBytes:    n * tupleBytes,
+			RandomReads:     n,
+			RandomWS:        localBytes,
+		})
+	})
+	res.addPhase(s.Run(tasks))
+
+	// Merge phase: a single worker folds all local tables (the simple merge
+	// used by many engines; its cost ∝ chunks × groups is exactly the
+	// scalability trap this strategy carries).
+	groups := make(map[int64]int64, g)
+	var merged int64
+	for _, local := range locals {
+		for k, v := range local {
+			groups[k] += v
+			merged++
+		}
+	}
+	mergeTask := []sched.Task{{Name: "agg-merge", Socket: -1, Run: func(w *sched.Worker) {
+		w.Charge(hw.Work{
+			Name:            "agg-merge",
+			Tuples:          merged,
+			ComputePerTuple: 8,
+			RandomReads:     merged,
+			RandomWS:        g * groupEntryBytes,
+		})
+	}}}
+	res.addPhase(s.Run(mergeTask))
+	res.Groups = groups
+	return res, nil
+}
+
+// radixPartitioned: partition input by group-key hash so each partition's
+// groups are disjoint; one task aggregates each partition into a private,
+// cache-sized table; results concatenate without merging.
+func radixPartitioned(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+	var res Result
+	g := distinct(keys)
+	if g == 0 {
+		g = 1
+	}
+	// Fan-out chosen so a partition's group state fits in half the L2 AND
+	// phase 2 has enough tasks to occupy (and balance across) all workers.
+	target := int64(128 << 10)
+	if m != nil && len(m.Caches) >= 2 {
+		target = m.Caches[1].SizeBytes / 2
+	}
+	bits := 0
+	for g*groupEntryBytes>>uint(bits) > target && bits < 16 {
+		bits++
+	}
+	for 1<<bits < 4*s.Workers() && bits < 16 {
+		bits++
+	}
+	fanout := 1 << bits
+	mask := uint64(fanout - 1)
+
+	// Phase 1: partition (real scatter, charged per morsel).
+	type part struct{ keys, vals []int64 }
+	msz := morselOrDefault(morsel)
+	nChunks := (len(keys) + msz - 1) / msz
+	chunkParts := make([][]part, nChunks)
+	tasks := sched.Morsels(len(keys), msz, "agg-part", func(start, end int, w *sched.Worker) {
+		ps := make([]part, fanout)
+		for i := start; i < end; i++ {
+			h := hash64(keys[i]) & mask
+			ps[h].keys = append(ps[h].keys, keys[i])
+			ps[h].vals = append(ps[h].vals, vals[i])
+		}
+		chunkParts[start/msz] = ps
+		n := int64(end - start)
+		work := hw.Work{
+			Name:            "agg-part",
+			Tuples:          n,
+			ComputePerTuple: 4,
+			SeqReadBytes:    n * tupleBytes,
+			SeqWriteBytes:   n * tupleBytes,
+		}
+		if m != nil && fanout > m.TLBEntries {
+			work.SeqWriteBytes = 0
+			work.RandomReads = n
+			work.RandomWS = n * tupleBytes
+		}
+		w.Charge(work)
+	})
+	res.addPhase(s.Run(tasks))
+
+	// Phase 2: aggregate each partition.
+	partGroups := make([]map[int64]int64, fanout)
+	aggTasks := make([]sched.Task, fanout)
+	for p := 0; p < fanout; p++ {
+		p := p
+		aggTasks[p] = sched.Task{Name: fmt.Sprintf("agg-p%d", p), Socket: -1, Run: func(w *sched.Worker) {
+			local := make(map[int64]int64, 256)
+			var n int64
+			for _, cp := range chunkParts {
+				if p >= len(cp) {
+					continue
+				}
+				for i, k := range cp[p].keys {
+					local[k] += cp[p].vals[i]
+				}
+				n += int64(len(cp[p].keys))
+			}
+			partGroups[p] = local
+			w.Charge(hw.Work{
+				Name:            "agg-reduce",
+				Tuples:          n,
+				ComputePerTuple: 8,
+				SeqReadBytes:    n * tupleBytes,
+				RandomReads:     n,
+				RandomWS:        int64(len(local)) * groupEntryBytes,
+			})
+		}}
+	}
+	res.addPhase(s.Run(aggTasks))
+
+	groups := make(map[int64]int64, g)
+	for _, pg := range partGroups {
+		for k, v := range pg {
+			groups[k] = v
+		}
+	}
+	res.Groups = groups
+	return res, nil
+}
+
+func hash64(k int64) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}

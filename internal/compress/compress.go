@@ -1,0 +1,282 @@
+// Package compress implements the lightweight column codecs main-memory
+// engines use to trade (abundant) compute for (scarce) memory bandwidth —
+// the keynote's bandwidth-wall theme in executable form: frame-of-reference
+// bit-packing and run-length encoding, block-organized so scans decode
+// block-at-a-time in cache and never materialize the full column.
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+
+	"hwstar/internal/hw"
+)
+
+// BlockValues is the number of values per compression block. Blocks decode
+// into an 8 KiB stack-friendly buffer, well inside L1.
+const BlockValues = 1024
+
+// blockKind discriminates the per-block encoding.
+type blockKind uint8
+
+const (
+	kindFOR blockKind = iota // frame-of-reference + bit-packing
+	kindRLE                  // run-length encoding
+)
+
+// block is one encoded block of up to BlockValues values.
+type block struct {
+	kind blockKind
+	n    int // values in the block
+	// FOR: reference value, bit width, packed payload.
+	ref   int64
+	width uint8
+	words []uint64
+	// RLE: alternating value/run pairs.
+	runs []int64
+}
+
+// Compressed is an encoded int64 column.
+type Compressed struct {
+	blocks []block
+	n      int
+}
+
+// Encode compresses values, choosing FOR or RLE per block, whichever is
+// smaller.
+func Encode(values []int64) *Compressed {
+	c := &Compressed{n: len(values)}
+	for start := 0; start < len(values); start += BlockValues {
+		end := start + BlockValues
+		if end > len(values) {
+			end = len(values)
+		}
+		c.blocks = append(c.blocks, encodeBlock(values[start:end]))
+	}
+	return c
+}
+
+func encodeBlock(vals []int64) block {
+	forB := encodeFOR(vals)
+	rleB, ok := encodeRLE(vals)
+	if ok && blockBytes(rleB) < blockBytes(forB) {
+		return rleB
+	}
+	return forB
+}
+
+func encodeFOR(vals []int64) block {
+	minV := vals[0]
+	maxV := vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := uint64(maxV - minV)
+	width := uint8(bits.Len64(span))
+	b := block{kind: kindFOR, n: len(vals), ref: minV, width: width}
+	if width == 0 {
+		return b // constant block: no payload at all
+	}
+	words := (len(vals)*int(width) + 63) / 64
+	b.words = make([]uint64, words)
+	bitPos := 0
+	for _, v := range vals {
+		delta := uint64(v - minV)
+		word, off := bitPos/64, uint(bitPos%64)
+		b.words[word] |= delta << off
+		if off+uint(width) > 64 {
+			b.words[word+1] |= delta >> (64 - off)
+		}
+		bitPos += int(width)
+	}
+	return b
+}
+
+// encodeRLE returns an RLE block and whether it is well-formed (it always
+// is; the bool mirrors future codecs that can decline).
+func encodeRLE(vals []int64) (block, bool) {
+	b := block{kind: kindRLE, n: len(vals)}
+	i := 0
+	for i < len(vals) {
+		j := i
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		b.runs = append(b.runs, vals[i], int64(j-i))
+		i = j
+	}
+	return b, true
+}
+
+// blockBytes returns the encoded footprint of a block.
+func blockBytes(b block) int64 {
+	const header = 16 // kind, count, ref/width bookkeeping
+	switch b.kind {
+	case kindFOR:
+		return header + int64(len(b.words))*8
+	case kindRLE:
+		return header + int64(len(b.runs))*8
+	default:
+		panic(fmt.Sprintf("compress: unknown block kind %d", b.kind))
+	}
+}
+
+// Len returns the number of encoded values.
+func (c *Compressed) Len() int { return c.n }
+
+// Bytes returns the compressed footprint.
+func (c *Compressed) Bytes() int64 {
+	var t int64
+	for _, b := range c.blocks {
+		t += blockBytes(b)
+	}
+	return t
+}
+
+// RawBytes returns the uncompressed footprint.
+func (c *Compressed) RawBytes() int64 { return int64(c.n) * 8 }
+
+// Ratio returns raw/compressed size (higher is better), or 1 for an empty
+// column.
+func (c *Compressed) Ratio() float64 {
+	cb := c.Bytes()
+	if cb == 0 {
+		return 1
+	}
+	return float64(c.RawBytes()) / float64(cb)
+}
+
+// decodeBlock expands a block into buf (len >= b.n) and returns the values.
+func decodeBlock(b block, buf []int64) []int64 {
+	out := buf[:b.n]
+	switch b.kind {
+	case kindFOR:
+		if b.width == 0 {
+			for i := range out {
+				out[i] = b.ref
+			}
+			return out
+		}
+		width := uint(b.width)
+		mask := uint64(1)<<width - 1
+		if width == 64 {
+			mask = ^uint64(0)
+		}
+		bitPos := 0
+		for i := 0; i < b.n; i++ {
+			word, off := bitPos/64, uint(bitPos%64)
+			v := b.words[word] >> off
+			if off+width > 64 {
+				v |= b.words[word+1] << (64 - off)
+			}
+			out[i] = b.ref + int64(v&mask)
+			bitPos += int(width)
+		}
+	case kindRLE:
+		pos := 0
+		for r := 0; r < len(b.runs); r += 2 {
+			v, runLen := b.runs[r], int(b.runs[r+1])
+			for k := 0; k < runLen; k++ {
+				out[pos] = v
+				pos++
+			}
+		}
+	}
+	return out
+}
+
+// Decode materializes the full column.
+func (c *Compressed) Decode() []int64 {
+	out := make([]int64, 0, c.n)
+	var buf [BlockValues]int64
+	for _, b := range c.blocks {
+		out = append(out, decodeBlock(b, buf[:])...)
+	}
+	return out
+}
+
+// Sum scans the compressed column, decoding block-at-a-time in cache.
+func (c *Compressed) Sum() int64 {
+	var sum int64
+	var buf [BlockValues]int64
+	for _, b := range c.blocks {
+		if b.kind == kindRLE {
+			// RLE blocks aggregate without expansion: value × run length.
+			for r := 0; r < len(b.runs); r += 2 {
+				sum += b.runs[r] * b.runs[r+1]
+			}
+			continue
+		}
+		for _, v := range decodeBlock(b, buf[:]) {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// RangeCount counts values in [lo, hi] without materializing the column.
+func (c *Compressed) RangeCount(lo, hi int64) int64 {
+	var count int64
+	var buf [BlockValues]int64
+	for _, b := range c.blocks {
+		if b.kind == kindRLE {
+			for r := 0; r < len(b.runs); r += 2 {
+				if b.runs[r] >= lo && b.runs[r] <= hi {
+					count += b.runs[r+1]
+				}
+			}
+			continue
+		}
+		// FOR blocks can be skipped entirely when their value range misses
+		// the predicate — zone-map-style pruning for free. Wide blocks
+		// (width >= 63) span nearly the whole domain, so only the lower
+		// bound can prune without overflow.
+		if b.ref > hi {
+			continue
+		}
+		if b.width < 63 {
+			maxDelta := int64(0)
+			if b.width > 0 {
+				maxDelta = int64(1)<<b.width - 1
+			}
+			if b.ref+maxDelta < lo {
+				continue
+			}
+		}
+		for _, v := range decodeBlock(b, buf[:]) {
+			if v >= lo && v <= hi {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// ScanWorkRaw models scanning n uncompressed values: pure streaming with
+// trivial per-value compute.
+func ScanWorkRaw(n int64) hw.Work {
+	return hw.Work{
+		Name:            "scan-raw",
+		Tuples:          n,
+		ComputePerTuple: 1,
+		SeqReadBytes:    n * 8,
+	}
+}
+
+// ScanWork models scanning this compressed column: fewer bytes cross the
+// memory bus, paid for with per-value decode compute (shift/mask for FOR,
+// run expansion bookkeeping for RLE). The trade is exactly the keynote's:
+// spend the plentiful resource (ALU) to save the scarce one (bandwidth).
+func (c *Compressed) ScanWork() hw.Work {
+	return hw.Work{
+		Name:            "scan-compressed",
+		Tuples:          int64(c.n),
+		ComputePerTuple: 4,
+		SeqReadBytes:    c.Bytes(),
+	}
+}

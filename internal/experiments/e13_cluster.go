@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"hwstar/internal/bench"
+	"hwstar/internal/cluster"
+	"hwstar/internal/join"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Rack-scale joins: shuffle vs broadcast over the network tier",
+		Claim: "at rack scale the network is the next bandwidth wall; the winning plan depends on sizes and fabric",
+		Run:   runE13,
+	})
+}
+
+func runE13(cfg Config) ([]*Table, error) {
+	probeRows := cfg.scaled(1<<21, 1<<14)
+
+	// Table 1: build/probe ratio sweep on a fixed 8-node 10GbE rack.
+	rack := cluster.Rack10GbE(8)
+	t1 := bench.NewTable("E13: 8-node 10GbE rack, probe = "+bench.F("%d", probeRows)+" rows, sweep build size",
+		"build rows", "shuffle Mcyc", "broadcast Mcyc", "auto picks", "net frac (auto)")
+	for _, frac := range []int{256, 64, 16, 4, 1} {
+		buildRows := probeRows / frac
+		gen := workload.GenerateJoin(workload.JoinConfig{Seed: 1301, BuildRows: buildRows, ProbeRows: probeRows})
+		in := join.Input{BuildKeys: gen.BuildKeys, BuildVals: gen.BuildVals, ProbeKeys: gen.ProbeKeys, ProbeVals: gen.ProbeVals}
+
+		sh, err := rack.Join(in, cluster.StrategyShuffle)
+		if err != nil {
+			return nil, err
+		}
+		bc, err := rack.Join(in, cluster.StrategyBroadcast)
+		if err != nil {
+			return nil, err
+		}
+		if sh.Matches != bc.Matches || sh.Checksum != bc.Checksum {
+			return nil, bench.ErrMismatch("E13", sh.Matches, bc.Matches)
+		}
+		auto, err := rack.Join(in, cluster.StrategyAuto)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRow(bench.F("%d", buildRows),
+			bench.F("%.1f", sh.MakespanCycles/1e6),
+			bench.F("%.1f", bc.MakespanCycles/1e6),
+			string(auto.Strategy),
+			bench.F("%.2f", auto.NetworkCycles/auto.MakespanCycles))
+	}
+	t1.AddNote("broadcast wins while (nodes-1)·build < (nodes-1)/nodes·(build+probe); auto tracks the flip")
+
+	// Table 2: node scaling under two fabrics.
+	buildRows := probeRows / 4
+	gen := workload.GenerateJoin(workload.JoinConfig{Seed: 1302, BuildRows: buildRows, ProbeRows: probeRows})
+	in := join.Input{BuildKeys: gen.BuildKeys, BuildVals: gen.BuildVals, ProbeKeys: gen.ProbeKeys, ProbeVals: gen.ProbeVals}
+	t2 := bench.NewTable("E13: shuffle join scaling with nodes (build 1:4 probe)",
+		"nodes", "10GbE Mcyc", "10GbE net frac", "40GbE Mcyc", "40GbE net frac")
+	var base10 float64
+	for _, nodes := range []int{1, 2, 4, 8, 16} {
+		r10, err := cluster.Rack10GbE(nodes).Join(in, cluster.StrategyShuffle)
+		if err != nil {
+			return nil, err
+		}
+		r40, err := cluster.Rack40GbE(nodes).Join(in, cluster.StrategyShuffle)
+		if err != nil {
+			return nil, err
+		}
+		if nodes == 1 {
+			base10 = r10.MakespanCycles
+		}
+		_ = base10
+		netFrac := func(r cluster.Result) float64 {
+			if r.MakespanCycles == 0 {
+				return 0
+			}
+			return r.NetworkCycles / r.MakespanCycles
+		}
+		t2.AddRow(bench.F("%d", nodes),
+			bench.F("%.1f", r10.MakespanCycles/1e6),
+			bench.F("%.2f", netFrac(r10)),
+			bench.F("%.1f", r40.MakespanCycles/1e6),
+			bench.F("%.2f", netFrac(r40)))
+	}
+	t2.AddNote("adding nodes shrinks local work but the slow fabric's share grows — scale-out hits the network wall first")
+	return []*Table{t1, t2}, nil
+}

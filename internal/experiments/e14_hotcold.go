@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"hwstar/internal/bench"
+	"hwstar/internal/hotcold"
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "Hot/cold classification for DRAM/flash tiering",
+		Claim: "as the memory hierarchy grows a flash tier, placement must follow access frequency, not recency",
+		Run:   runE14,
+	})
+}
+
+func runE14(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	n := cfg.scaled(400_000, 20_000)
+	keyspace := int64(n / 4)
+
+	// OLTP-style trace: Zipf point accesses with periodic analytic sweeps
+	// that pollute recency-based caches.
+	zipf := workload.ZipfInts(1401, n, keyspace, 1.3)
+	trace := make([]int64, 0, n+n/4)
+	for i, v := range zipf {
+		trace = append(trace, v)
+		if i%4 == 0 {
+			trace = append(trace, int64(i)%keyspace)
+		}
+	}
+
+	est, err := hotcold.NewEstimator().Estimate(trace)
+	if err != nil {
+		return nil, err
+	}
+
+	dram := m.MemLatencyCycles
+	t := bench.NewTable("E14: fast-tier hit rate and avg access latency vs memory budget ("+m.Name+", flash tier)",
+		"budget %", "classifier hit", "LRU hit", "oracle hit", "class avg cyc", "LRU avg cyc", "all-flash cyc")
+	for _, pct := range []int{1, 2, 5, 10, 25} {
+		k := int(keyspace) * pct / 100
+		hot := hotcold.HotSet(est, k)
+		classHit := hotcold.HitRate(trace, hot)
+		lruHit := hotcold.LRUHitRate(trace, k)
+		oracleHit := hotcold.OracleHitRate(trace, k)
+
+		classLat := hotcold.TierLatency(trace, hot, dram, hotcold.FlashLatencyCycles)
+		lruLat := lruHit*dram + (1-lruHit)*hotcold.FlashLatencyCycles
+		t.AddRow(bench.F("%d%%", pct),
+			bench.F("%.3f", classHit),
+			bench.F("%.3f", lruHit),
+			bench.F("%.3f", oracleHit),
+			bench.F("%.0f", classLat),
+			bench.F("%.0f", lruLat),
+			bench.F("%.0f", float64(hotcold.FlashLatencyCycles)))
+	}
+	t.AddNote("the analytic sweeps flood LRU with cold records; exponential smoothing shrugs them off")
+	return []*Table{t}, nil
+}

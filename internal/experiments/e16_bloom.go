@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"hwstar/internal/bench"
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E16",
+		Title: "Semi-join reduction with a blocked Bloom filter",
+		Claim: "a cache-line filter turns non-matching probes from DRAM walks into LLC touches",
+		Run:   runE16,
+	})
+}
+
+func runE16(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	n := cfg.scaled(1<<21, 1<<12) // build side: hash table beyond the LLC at full scale
+	t := bench.NewTable("E16: group-prefetched NPO join ± blocked Bloom filter, build="+bench.F("%d", n)+", probe=4x ("+m.Name+")",
+		"miss frac", "npo+gp Mcyc", "npo+gp+bloom Mcyc", "bloom speedup")
+	for _, miss := range []float64{0, 0.25, 0.5, 0.75, 0.9} {
+		gen := workload.GenerateJoin(workload.JoinConfig{Seed: 1601, BuildRows: n, ProbeRows: 4 * n, Miss: miss})
+		in := join.Input{BuildKeys: gen.BuildKeys, BuildVals: gen.BuildVals, ProbeKeys: gen.ProbeKeys, ProbeVals: gen.ProbeVals}
+
+		plain := hw.NewAccount(m, hw.DefaultContext())
+		pr, err := join.NPOPrefetch(in, plain)
+		if err != nil {
+			return nil, err
+		}
+		bloomed := hw.NewAccount(m, hw.DefaultContext())
+		br, err := join.NPOBloom(in, bloomed)
+		if err != nil {
+			return nil, err
+		}
+		if pr.Matches != br.Matches || pr.Checksum != br.Checksum {
+			return nil, errMismatch("E16", pr.Matches, br.Matches)
+		}
+		t.AddRow(bench.F("%.2f", miss),
+			bench.F("%.1f", plain.TotalCycles()/1e6),
+			bench.F("%.1f", bloomed.TotalCycles()/1e6),
+			bench.Ratio(plain.TotalCycles()/bloomed.TotalCycles()))
+	}
+	t.AddNote("at 0%% misses the filter is pure overhead; the payoff grows with the reject rate")
+	t.AddNote("against a prefetched probe loop the break-even sits high: rejecting a probe only saves an overlapped miss")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"time"
+
+	"hwstar/internal/bench"
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+	"hwstar/internal/sched"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E1",
+		Title: "Hardware-conscious vs oblivious joins (size sweep)",
+		Claim: "join algorithms tailored to caches/TLB beat oblivious ones once state exceeds the LLC",
+		Run:   runE1,
+	})
+	register(Experiment{
+		ID:    "E1a",
+		Title: "Radix join ablation: software-managed buffers & pass structure",
+		Claim: "partitioning must respect TLB reach; SW buffers recover single-pass fan-out",
+		Run:   runE1a,
+	})
+	register(Experiment{
+		ID:    "E1c",
+		Title: "Software prefetching (group-structured probes) vs partitioning",
+		Claim: "restructuring for memory-level parallelism recovers the shared-table join without partitioning",
+		Run:   runE1c,
+	})
+	register(Experiment{
+		ID:    "E1b",
+		Title: "Join under probe-side skew (parallel, 16 workers)",
+		Claim: "skew turns the partitioned join's strength (partition ownership) into load imbalance",
+		Run:   runE1b,
+	})
+}
+
+func joinInput(cfg workload.JoinConfig) join.Input {
+	g := workload.GenerateJoin(cfg)
+	return join.Input{BuildKeys: g.BuildKeys, BuildVals: g.BuildVals, ProbeKeys: g.ProbeKeys, ProbeVals: g.ProbeVals}
+}
+
+func runE1(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	t := bench.NewTable("E1: serial equi-join, probe = 4x build ("+m.Name+")",
+		"build rows", "ht bytes", "npo Mcyc", "radix Mcyc", "sm Mcyc", "radix speedup", "real npo ms", "real radix ms")
+	sizes := []int{1 << 12, 1 << 14, 1 << 17, 1 << 20, 1 << 22}
+	for _, base := range sizes {
+		n := cfg.scaled(base, 1<<10)
+		in := joinInput(workload.JoinConfig{Seed: 101, BuildRows: n, ProbeRows: 4 * n})
+
+		start := time.Now()
+		npoAcct := hw.NewAccount(m, hw.DefaultContext())
+		npoRes, err := join.NPO(in, npoAcct)
+		if err != nil {
+			return nil, err
+		}
+		npoMs := float64(time.Since(start).Microseconds()) / 1000
+
+		start = time.Now()
+		radixAcct := hw.NewAccount(m, hw.DefaultContext())
+		radixRes, err := join.Radix(in, join.RadixOptions{}, m, radixAcct)
+		if err != nil {
+			return nil, err
+		}
+		radixMs := float64(time.Since(start).Microseconds()) / 1000
+
+		smAcct := hw.NewAccount(m, hw.DefaultContext())
+		smRes, err := join.SortMerge(in, smAcct)
+		if err != nil {
+			return nil, err
+		}
+		if npoRes.Matches != radixRes.Matches || npoRes.Matches != smRes.Matches {
+			return nil, errMismatch("E1", npoRes.Matches, radixRes.Matches)
+		}
+		htBytes := int64(2*n) * 17
+		t.AddRow(
+			bench.F("%d", n), bench.Bytes(htBytes),
+			bench.F("%.1f", npoAcct.TotalCycles()/1e6),
+			bench.F("%.1f", radixAcct.TotalCycles()/1e6),
+			bench.F("%.1f", smAcct.TotalCycles()/1e6),
+			bench.Ratio(npoAcct.TotalCycles()/radixAcct.TotalCycles()),
+			bench.F("%.1f", npoMs), bench.F("%.1f", radixMs),
+		)
+	}
+	t.AddNote("radix speedup crosses 1.0 once the hash table falls out of the upper cache levels (L2 %s, LLC %s)",
+		bench.Bytes(m.Caches[1].SizeBytes), bench.Bytes(m.LLC().SizeBytes))
+	return []*Table{t}, nil
+}
+
+func runE1a(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	n := cfg.scaled(1<<21, 1<<12)
+	in := joinInput(workload.JoinConfig{Seed: 102, BuildRows: n, ProbeRows: 2 * n})
+	t := bench.NewTable("E1a: radix partitioning strategies, build="+bench.F("%d", n)+" ("+m.Name+")",
+		"strategy", "bits", "passes", "Mcycles", "vs best")
+
+	type variant struct {
+		name   string
+		opts   join.RadixOptions
+		passes int
+	}
+	variants := []variant{
+		{"multi-pass (TLB-bounded)", join.RadixOptions{TotalBits: 12, MaxBitsPerPass: 6}, 2},
+		{"single-pass unbuffered", join.RadixOptions{TotalBits: 12, MaxBitsPerPass: 12}, 1},
+		{"single-pass SW buffers", join.RadixOptions{TotalBits: 12, MaxBitsPerPass: 12, SWBuffers: true}, 1},
+	}
+	costs := make([]float64, len(variants))
+	var first join.Result
+	for i, v := range variants {
+		acct := hw.NewAccount(m, hw.DefaultContext())
+		res, err := join.Radix(in, v.opts, m, acct)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first = res
+		} else if res.Matches != first.Matches {
+			return nil, errMismatch("E1a", first.Matches, res.Matches)
+		}
+		costs[i] = acct.TotalCycles()
+	}
+	best := costs[0]
+	for _, c := range costs {
+		if c < best {
+			best = c
+		}
+	}
+	for i, v := range variants {
+		t.AddRow(v.name, bench.F("%d", v.opts.TotalBits), bench.F("%d", v.passes),
+			bench.F("%.1f", costs[i]/1e6), bench.Ratio(costs[i]/best))
+	}
+	t.AddNote("fan-out 4096 vs %d TLB entries: the unbuffered single pass thrashes the TLB", m.TLBEntries)
+	return []*Table{t}, nil
+}
+
+func runE1b(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	// The build-side table must exceed the LLC so the verdict is decided by
+	// skew-induced imbalance, not by cache residency.
+	n := cfg.scaled(1<<21, 1<<12)
+	t := bench.NewTable("E1b: parallel join under probe skew, 16 workers ("+m.Name+")",
+		"zipf s", "npo makespan Mcyc", "radix makespan Mcyc", "radix imbalance", "winner")
+	for _, s := range []float64{0, 1.05, 1.25, 1.5} {
+		in := joinInput(workload.JoinConfig{Seed: 103, BuildRows: n, ProbeRows: 4 * n, ZipfS: s})
+		sn, err := sched.New(m, sched.Options{Workers: 16, Stealing: true})
+		if err != nil {
+			return nil, err
+		}
+		npo, err := join.ParallelNPO(in, sn, 1<<13)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := sched.New(m, sched.Options{Workers: 16, Stealing: true})
+		if err != nil {
+			return nil, err
+		}
+		radix, err := join.ParallelRadix(in, join.RadixOptions{}, sr, m, 1<<13)
+		if err != nil {
+			return nil, err
+		}
+		if npo.Matches != radix.Matches {
+			return nil, errMismatch("E1b", npo.Matches, radix.Matches)
+		}
+		winner := "radix"
+		if npo.MakespanCycles < radix.MakespanCycles {
+			winner = "npo"
+		}
+		joinPhase := radix.Phases[len(radix.Phases)-1]
+		t.AddRow(bench.F("%.2f", s),
+			bench.F("%.1f", npo.MakespanCycles/1e6),
+			bench.F("%.1f", radix.MakespanCycles/1e6),
+			bench.F("%.2f", joinPhase.Imbalance()),
+			winner)
+	}
+	t.AddNote("rising imbalance under skew erodes the radix join's advantage")
+	return []*Table{t}, nil
+}
+
+func runE1c(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	t := bench.NewTable("E1c: NPO vs group-prefetched NPO vs radix, probe = 2x build ("+m.Name+")",
+		"build rows", "npo Mcyc", "npo+gp Mcyc", "radix Mcyc", "gp vs npo", "gp vs radix")
+	for _, base := range []int{1 << 17, 1 << 20, 1 << 22} {
+		n := cfg.scaled(base, 1<<11)
+		in := joinInput(workload.JoinConfig{Seed: 104, BuildRows: n, ProbeRows: 2 * n})
+		npoA := hw.NewAccount(m, hw.DefaultContext())
+		npo, err := join.NPO(in, npoA)
+		if err != nil {
+			return nil, err
+		}
+		gpA := hw.NewAccount(m, hw.DefaultContext())
+		gp, err := join.NPOPrefetch(in, gpA)
+		if err != nil {
+			return nil, err
+		}
+		rxA := hw.NewAccount(m, hw.DefaultContext())
+		rx, err := join.Radix(in, join.RadixOptions{}, m, rxA)
+		if err != nil {
+			return nil, err
+		}
+		if npo.Matches != gp.Matches || npo.Matches != rx.Matches {
+			return nil, errMismatch("E1c", npo.Matches, gp.Matches)
+		}
+		t.AddRow(bench.F("%d", n),
+			bench.F("%.1f", npoA.TotalCycles()/1e6),
+			bench.F("%.1f", gpA.TotalCycles()/1e6),
+			bench.F("%.1f", rxA.TotalCycles()/1e6),
+			bench.Ratio(npoA.TotalCycles()/gpA.TotalCycles()),
+			bench.Ratio(rxA.TotalCycles()/gpA.TotalCycles()))
+	}
+	t.AddNote("group-structured probes overlap misses the naive loop serializes, reaching radix-class cost")
+	t.AddNote("without the partitioning passes — but without their cache residency under multi-query pressure")
+	return []*Table{t}, nil
+}
+
+func errMismatch(id string, a, b int64) error {
+	return bench.ErrMismatch(id, a, b)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"hwstar/internal/bench"
+	"hwstar/internal/hw"
+	"hwstar/internal/mem"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E4",
+		Title: "NUMA placement policies",
+		Claim: "where memory lives decides scan bandwidth and probe latency; oblivious placement forfeits both",
+		Run:   runE4,
+	})
+}
+
+func runE4(cfg Config) ([]*Table, error) {
+	m := hw.NUMA4S()
+	bytes := int64(cfg.scaled(1<<30, 1<<24))
+	probes := int64(cfg.scaled(1<<22, 1<<14))
+	readerNode := 0
+
+	type policyCase struct {
+		name   string
+		policy mem.Policy
+		// allocNode is where the allocating code runs; the classic
+		// first-touch trap allocates on one node and reads from another.
+		allocNode int
+	}
+	cases := []policyCase{
+		{"local (NUMA-aware)", mem.PolicyLocal, readerNode},
+		{"interleave (OS default)", mem.PolicyInterleave, readerNode},
+		{"first-touch by wrong thread", mem.PolicyFirstTouch, 2},
+		{"remote (worst case)", mem.PolicyRemote, readerNode},
+	}
+
+	t := bench.NewTable("E4: reading "+bench.Bytes(bytes)+" from socket 0 ("+m.Name+")",
+		"placement", "local frac", "scan Mcyc", "probe Mcyc", "scan slowdown", "probe slowdown")
+
+	var scanBase, probeBase float64
+	ctx := hw.DefaultContext()
+	for i, pc := range cases {
+		na := mem.NewNUMAAllocator(m, pc.policy)
+		placement := na.Place(bytes, pc.allocNode)
+		scanCycles := m.Cycles(mem.ReadWork("scan", placement, readerNode), ctx)
+		probeCycles := m.Cycles(mem.RandomReadWork("probe", placement, readerNode, probes), ctx)
+		if i == 0 {
+			scanBase, probeBase = scanCycles, probeCycles
+		}
+		t.AddRow(pc.name,
+			bench.F("%.2f", placement.LocalFraction(readerNode)),
+			bench.F("%.1f", scanCycles/1e6),
+			bench.F("%.1f", probeCycles/1e6),
+			bench.Ratio(scanCycles/scanBase),
+			bench.Ratio(probeCycles/probeBase))
+	}
+	t.AddNote("remote latency %.0f vs local %.0f cycles; interconnect %.1f vs socket %.1f B/cyc",
+		m.RemoteLatencyCycles, m.MemLatencyCycles, m.InterconnectBW, m.MemBWPerSocket)
+	return []*Table{t}, nil
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"hwstar/internal/bench"
+	"hwstar/internal/cache"
+	"hwstar/internal/hw"
+	"hwstar/internal/layout"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E5",
+		Title: "Storage layout vs access pattern (NSM/DSM/PAX)",
+		Claim: "cache-line utilization, not the logical schema, decides the right layout",
+		Run:   runE5,
+	})
+	register(Experiment{
+		ID:    "E5a",
+		Title: "Layout advisor (PDSM-style cost-based selection)",
+		Claim: "the layout decision can be made by a hardware cost model instead of folklore",
+		Run:   runE5a,
+	})
+}
+
+func runE5(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	const ncols = 16
+	rows := cfg.scaled(1<<20, 1<<12)
+
+	// Analytic scan sweep over projectivity.
+	scanT := bench.NewTable("E5: full scan of "+bench.F("%d", rows)+"x16 relation, modeled ("+m.Name+")",
+		"cols read", "NSM Mcyc", "DSM Mcyc", "PAX Mcyc", "DSM saving")
+	nsm := layout.MustBuild(layout.NSM, makeLayoutCols(rows, ncols))
+	dsm := layout.MustBuild(layout.DSM, makeLayoutCols(rows, ncols))
+	pax := layout.MustBuild(layout.PAX, makeLayoutCols(rows, ncols))
+	ctx := hw.DefaultContext()
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		cols := make([]int, k)
+		for i := range cols {
+			cols[i] = i
+		}
+		cn := m.Cycles(nsm.ScanWork(cols, m.LineBytes()), ctx)
+		cd := m.Cycles(dsm.ScanWork(cols, m.LineBytes()), ctx)
+		cp := m.Cycles(pax.ScanWork(cols, m.LineBytes()), ctx)
+		scanT.AddRow(bench.F("%d/16", k),
+			bench.F("%.1f", cn/1e6), bench.F("%.1f", cd/1e6), bench.F("%.1f", cp/1e6),
+			bench.Ratio(cn/cd))
+	}
+	scanT.AddNote("NSM streams all 128 row-bytes regardless of projectivity")
+
+	// Traced point-access comparison (cache-simulator ground truth).
+	tracedRows := cfg.scaled(1<<15, 1<<11)
+	nsmS := layout.MustBuild(layout.NSM, makeLayoutCols(tracedRows, 8))
+	dsmS := layout.MustBuild(layout.DSM, makeLayoutCols(tracedRows, 8))
+	paxS := layout.MustBuild(layout.PAX, makeLayoutCols(tracedRows, 8))
+	dsmS.SetBase(1 << 32)
+	paxS.SetBase(1 << 33)
+	probes := workload.UniformInts(501, 4000, int64(tracedRows))
+	all8 := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	pointT := bench.NewTable("E5: traced point reads (full row of 8 cols), cache simulator ("+m.Name+")",
+		"layout", "cycles/probe", "L1 miss/probe", "TLB miss/probe")
+	for _, rc := range []struct {
+		name string
+		rel  *layout.Relation
+	}{{"NSM", nsmS}, {"DSM", dsmS}, {"PAX", paxS}} {
+		h := cache.FromMachine(m)
+		var cycles float64
+		for _, p := range probes {
+			cycles += rc.rel.TracePoint(h, int(p), all8)
+		}
+		lv := h.Levels()
+		l1 := lv[0]
+		tlb := lv[len(lv)-1]
+		pointT.AddRow(rc.name,
+			bench.F("%.1f", cycles/float64(len(probes))),
+			bench.F("%.2f", float64(l1.Misses)/float64(len(probes))),
+			bench.F("%.2f", float64(tlb.Misses)/float64(len(probes))))
+	}
+	pointT.AddNote("a 64-byte NSM row is one line; DSM scatters it over 8 distant lines")
+	return []*Table{scanT, pointT}, nil
+}
+
+func makeLayoutCols(rows, cols int) [][]int64 {
+	out := make([][]int64, cols)
+	for c := range out {
+		out[c] = workload.UniformInts(int64(500+c), rows, 1<<30)
+	}
+	return out
+}
+
+func runE5a(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	rows := cfg.scaled(1<<20, 1<<12)
+	allCols := make([]int, 16)
+	for i := range allCols {
+		allCols[i] = i
+	}
+	profiles := []struct {
+		name string
+		p    layout.AccessProfile
+	}{
+		{"OLAP (1000 scans of 2 cols)", layout.AccessProfile{Scans: 1000, ScanCols: []int{0, 1}}},
+		{"OLTP (1M full-row points)", layout.AccessProfile{Points: 1_000_000, PointCols: allCols}},
+		{"mixed (100 scans + 200k points)", layout.AccessProfile{
+			Scans: 100, ScanCols: []int{0, 1},
+			Points: 200_000, PointCols: allCols,
+		}},
+	}
+	t := bench.NewTable("E5a: layout advisor on a "+bench.F("%d", rows)+"x16 relation ("+m.Name+")",
+		"workload", "NSM Mcyc", "DSM Mcyc", "PAX Mcyc", "advisor picks")
+	for _, pr := range profiles {
+		adv, err := layout.Advise(rows, 16, pr.p, m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(pr.name,
+			bench.F("%.1f", adv.Costs[layout.NSM]/1e6),
+			bench.F("%.1f", adv.Costs[layout.DSM]/1e6),
+			bench.F("%.1f", adv.Costs[layout.PAX]/1e6),
+			adv.Best.String())
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"hwstar/internal/bench"
+	"hwstar/internal/hw"
+	"hwstar/internal/queries"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E6",
+		Title: "Execution models: Volcano vs vectorized vs fused (Q1/Q6)",
+		Claim: "tuple-at-a-time interpretation wastes the CPU; batches and compiled pipelines reclaim it",
+		Run:   runE6,
+	})
+}
+
+func runE6(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	rows := cfg.scaled(1_000_000, 20_000)
+	li := workload.LineItem(601, rows)
+	orders := workload.Orders(602, rows/4)
+
+	t := bench.NewTable("E6: "+bench.F("%d", rows)+"-row lineitem ("+m.Name+")",
+		"query", "engine", "model cyc/tuple", "vs volcano", "real ms")
+
+	type queryCase struct {
+		name string
+		run  func(eng queries.Engine, acct *hw.Account) error
+	}
+	var q6check, q1check, q3check float64
+	cases := []queryCase{
+		{"Q6", func(eng queries.Engine, acct *hw.Account) error {
+			got, err := queries.Q6(eng, li, queries.DefaultQ6(), acct)
+			if err != nil {
+				return err
+			}
+			if q6check == 0 {
+				q6check = got
+			} else if math.Abs(got-q6check) > 1e-6*math.Abs(q6check) {
+				return bench.ErrMismatch("E6-Q6", int64(got), int64(q6check))
+			}
+			return nil
+		}},
+		{"Q1", func(eng queries.Engine, acct *hw.Account) error {
+			got, err := queries.Q1(eng, li, queries.DefaultQ1(), acct)
+			if err != nil {
+				return err
+			}
+			var count int64
+			for _, r := range got {
+				count += r.Count
+			}
+			if q1check == 0 {
+				q1check = float64(count)
+			} else if float64(count) != q1check {
+				return bench.ErrMismatch("E6-Q1", count, int64(q1check))
+			}
+			return nil
+		}},
+		{"Q3", func(eng queries.Engine, acct *hw.Account) error {
+			got, err := queries.Q3(eng, li, orders, queries.DefaultQ3(), acct)
+			if err != nil {
+				return err
+			}
+			var count int64
+			for _, r := range got {
+				count += r.Count
+			}
+			if q3check == 0 {
+				q3check = float64(count)
+			} else if float64(count) != q3check {
+				return bench.ErrMismatch("E6-Q3", count, int64(q3check))
+			}
+			return nil
+		}},
+	}
+
+	for _, qc := range cases {
+		var volcanoCycles float64
+		for _, eng := range queries.Engines() {
+			acct := hw.NewAccount(m, hw.DefaultContext())
+			start := time.Now()
+			if err := qc.run(eng, acct); err != nil {
+				return nil, err
+			}
+			realMs := float64(time.Since(start).Microseconds()) / 1000
+			perTuple := acct.TotalCycles() / float64(rows)
+			if eng == queries.EngineVolcano {
+				volcanoCycles = acct.TotalCycles()
+			}
+			t.AddRow(qc.name, string(eng),
+				bench.F("%.1f", perTuple),
+				bench.Ratio(volcanoCycles/acct.TotalCycles()),
+				bench.F("%.1f", realMs))
+		}
+	}
+	t.AddNote("'real ms' is the actual Go implementation on this host — the same ordering, live")
+	return []*Table{t}, nil
+}

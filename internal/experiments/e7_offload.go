@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"hwstar/internal/accel"
+	"hwstar/internal/bench"
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E7",
+		Title: "Accelerator offload crossover (dark silicon)",
+		Claim: "specialized engines win once streams are long enough to amortize setup and transfer",
+		Run:   runE7,
+	})
+}
+
+func runE7(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	// Consolidated socket: the realistic case for offload decisions.
+	ctx := hw.ExecContext{ActiveCoresOnSocket: 8, InterferenceFactor: 1}
+	fpga := accel.FPGA2013()
+	smart := accel.SmartStorage()
+
+	t := bench.NewTable("E7: filter-sum placement vs data size ("+m.Name+", busy socket)",
+		"data", "cpu Mcyc", "fpga Mcyc", "smart-storage Mcyc", "planner picks (fpga)", "planner picks (smart)")
+	for _, bytes := range []int64{1 << 20, 1 << 23, 1 << 26, 1 << 29, 1 << 32} {
+		tuples := bytes / 8
+		w := hw.Work{Tuples: tuples, ComputePerTuple: 3, SeqReadBytes: bytes, BranchMisses: tuples / 4}
+		pf, cpu, fdev := accel.Plan(fpga, m, ctx, w)
+		ps, _, sdev := accel.Plan(smart, m, ctx, w)
+		t.AddRow(bench.Bytes(bytes),
+			bench.F("%.1f", cpu/1e6),
+			bench.F("%.1f", fdev/1e6),
+			bench.F("%.1f", sdev/1e6),
+			string(pf), string(ps))
+	}
+	if cross := accel.Crossover(fpga, m, ctx, 1<<36); cross > 0 {
+		t.AddNote("FPGA crossover at %s; in-data-path device at %s",
+			bench.Bytes(cross), bench.Bytes(accel.Crossover(smart, m, ctx, 1<<36)))
+	}
+
+	// Validation: the operator itself runs for real at a modest size.
+	n := cfg.scaled(1<<22, 1<<12)
+	data := workload.UniformInts(701, n, 1<<20)
+	fs := accel.FilterSum{Device: fpga, Machine: m, Ctx: ctx}
+	res, err := fs.Run(data, 1<<18, 1<<19)
+	if err != nil {
+		return nil, err
+	}
+	t.AddNote("live validation: filter-sum over %d tuples matched %d rows (placement: %s)",
+		n, res.Count, res.Placement)
+	return []*Table{t}, nil
+}

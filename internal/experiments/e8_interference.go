@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"hwstar/internal/bench"
+	"hwstar/internal/hw"
+	"hwstar/internal/vmsim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E8",
+		Title: "Virtualization interference and performance predictability",
+		Claim: "consolidation destroys latency predictability; isolation restores it at a bandwidth tax",
+		Run:   runE8,
+	})
+}
+
+func runE8(cfg Config) ([]*Table, error) {
+	m := hw.Server2S()
+	n := cfg.scaled(20_000, 1_000)
+	spec := vmsim.QuerySpec{Work: hw.Work{
+		Name: "point-query-mix", Tuples: 50_000, ComputePerTuple: 5,
+		SeqReadBytes: 4 << 20,
+		RandomReads:  10_000, RandomWS: 1 << 30,
+	}}
+
+	levels := []struct {
+		name  string
+		inter vmsim.Interference
+	}{
+		{"dedicated", vmsim.None()},
+		{"light neighbours", vmsim.Light()},
+		{"heavy neighbours", vmsim.Heavy()},
+		{"heavy + isolation", vmsim.Isolated(vmsim.Heavy())},
+	}
+	t := bench.NewTable("E8: latency distribution of "+bench.F("%d", n)+" queries ("+m.Name+")",
+		"environment", "p50 Kcyc", "p95 Kcyc", "p99 Kcyc", "p999 Kcyc", "p99/p50")
+	for _, lv := range levels {
+		h, err := vmsim.RunDistribution(m, spec, lv.inter, n, 801)
+		if err != nil {
+			return nil, err
+		}
+		p := vmsim.Summarize(h)
+		t.AddRow(lv.name,
+			bench.F("%.0f", p.P50/1e3), bench.F("%.0f", p.P95/1e3),
+			bench.F("%.0f", p.P99/1e3), bench.F("%.0f", p.P999/1e3),
+			bench.F("%.2f", p.TailRatio()))
+	}
+	t.AddNote("isolation (pinned cores + cache partitioning) trades median latency for a flat tail")
+	return []*Table{t}, nil
+}

@@ -1,0 +1,102 @@
+// Package experiments implements the E1–E10 experiment suite defined in
+// DESIGN.md: each experiment operationalizes one claim of the keynote
+// "Hardware killed the software star" as a parameter sweep over the hwstar
+// engine and its hardware-oblivious baselines, and renders the results as
+// tables. cmd/hwbench runs them from the command line; bench_test.go wraps
+// each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hwstar/internal/bench"
+)
+
+// Table is the result-table type experiments produce (see internal/bench).
+type Table = bench.Table
+
+// Config scales experiment sizes. Scale 1 is the full (paper-style) size;
+// tests run at a small fraction to stay fast. Machine profiles are fixed per
+// experiment so results are comparable across runs.
+type Config struct {
+	Scale float64
+}
+
+// DefaultConfig runs experiments at full size.
+func DefaultConfig() Config { return Config{Scale: 1} }
+
+// TestConfig runs experiments at a fraction of full size, for unit tests and
+// smoke runs.
+func TestConfig() Config { return Config{Scale: 0.05} }
+
+// scaled returns n scaled by the config, floored at min.
+func (c Config) scaled(n int, min int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := int(float64(n) * s)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// Experiment is one entry of the suite.
+type Experiment struct {
+	// ID is the experiment identifier ("E1", "E2a", ...).
+	ID string
+	// Title is a one-line description; Claim the keynote claim it tests.
+	Title string
+	Claim string
+	// Run executes the experiment and returns its result tables.
+	Run func(cfg Config) ([]*Table, error)
+}
+
+// registry holds all experiments, populated by init functions in the
+// per-experiment files.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders E1 < E1a < E2 < ... < E10 (numeric then suffix).
+func idLess(a, b string) bool {
+	na, sa := splitID(a)
+	nb, sb := splitID(b)
+	if na != nb {
+		return na < nb
+	}
+	return sa < sb
+}
+
+func splitID(id string) (int, string) {
+	var n int
+	var suffix string
+	fmt.Sscanf(id, "E%d%s", &n, &suffix)
+	return n, suffix
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e, nil
+}

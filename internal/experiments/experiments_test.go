@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) < 24 {
+		t.Fatalf("expected at least 24 experiments, got %d", len(all))
+	}
+	want := []string{"E1", "E1a", "E1b", "E1c", "E2", "E2a", "E2b", "E3", "E4", "E5", "E5a",
+		"E6", "E7", "E8", "E9", "E10", "E10a", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("experiment %s missing: %v", id, err)
+		}
+	}
+	// Sorted by numeric ID.
+	for i := 1; i < len(all); i++ {
+		if !idLess(all[i-1].ID, all[i].ID) {
+			t.Fatalf("registry out of order: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestIDOrdering(t *testing.T) {
+	cases := [][2]string{{"E1", "E2"}, {"E2", "E10"}, {"E1", "E1a"}, {"E1a", "E1b"}, {"E9", "E10"}}
+	for _, c := range cases {
+		if !idLess(c[0], c[1]) {
+			t.Errorf("want %s < %s", c[0], c[1])
+		}
+		if idLess(c[1], c[0]) {
+			t.Errorf("ordering not antisymmetric for %v", c)
+		}
+	}
+}
+
+func TestConfigScaled(t *testing.T) {
+	c := Config{Scale: 0.5}
+	if got := c.scaled(100, 1); got != 50 {
+		t.Fatalf("scaled = %d", got)
+	}
+	if got := c.scaled(100, 80); got != 80 {
+		t.Fatalf("floor not applied: %d", got)
+	}
+	if got := (Config{}).scaled(100, 1); got != 100 {
+		t.Fatalf("zero scale should default to 1: %d", got)
+	}
+	if (Config{Scale: 2}).clampScale() != 1 {
+		t.Fatal("clampScale should cap at 1")
+	}
+}
+
+// TestAllExperimentsRunAtTestScale is the integration test of the whole
+// suite: every experiment must complete without error and produce at least
+// one table with at least one data row.
+func TestAllExperimentsRunAtTestScale(t *testing.T) {
+	cfg := TestConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: table %q has no rows", e.ID, tb.Title)
+				}
+				var sb strings.Builder
+				if err := tb.Render(&sb); err != nil {
+					t.Fatalf("%s: render failed: %v", e.ID, err)
+				}
+				if !strings.Contains(sb.String(), tb.Title) {
+					t.Fatalf("%s: rendered output missing title", e.ID)
+				}
+			}
+			if e.Claim == "" || e.Title == "" {
+				t.Fatalf("%s: missing title or claim", e.ID)
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministic re-runs a representative subset and compares
+// rendered output byte-for-byte (real-time columns excluded by choosing
+// experiments without them).
+func TestExperimentsDeterministic(t *testing.T) {
+	cfg := TestConfig()
+	for _, id := range []string{"E3", "E4", "E5a", "E7", "E8", "E9"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render := func() string {
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			var sb strings.Builder
+			for _, tb := range tables {
+				tb.Render(&sb)
+			}
+			return sb.String()
+		}
+		if render() != render() {
+			t.Fatalf("%s is not deterministic", id)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package hotcold
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hwstar/internal/workload"
+)
+
+func TestEstimatorValidate(t *testing.T) {
+	if err := NewEstimator().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Estimator{
+		{Decay: 0, SliceAccesses: 10},
+		{Decay: 1, SliceAccesses: 10},
+		{Decay: 1.5, SliceAccesses: 10},
+		{Decay: 0.5, SliceAccesses: 0},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("estimator %d should be invalid", i)
+		}
+	}
+	if _, err := (Estimator{}).Estimate([]int64{1}); err == nil {
+		t.Fatal("Estimate should reject invalid estimator")
+	}
+}
+
+func TestEstimateEmptyLog(t *testing.T) {
+	est, err := NewEstimator().Estimate(nil)
+	if err != nil || len(est) != 0 {
+		t.Fatalf("empty log: %v, %v", est, err)
+	}
+}
+
+func TestEstimateFrequencyOrdering(t *testing.T) {
+	// Record 1 accessed 3x as often as record 2 within one slice: estimate
+	// must preserve the ordering and ratio.
+	log := []int64{1, 2, 1, 1, 1, 2, 1, 1}
+	est, err := NewEstimator().Estimate(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[1] <= est[2] {
+		t.Fatalf("est[1]=%f should exceed est[2]=%f", est[1], est[2])
+	}
+	if math.Abs(est[1]/est[2]-3) > 1e-9 {
+		t.Fatalf("within one slice the ratio should be exact: %f", est[1]/est[2])
+	}
+}
+
+func TestEstimateRecencyBias(t *testing.T) {
+	// Same access counts, but record 9 is recent and record 8 is old:
+	// exponential smoothing must rank 9 above 8.
+	e := Estimator{Decay: 0.5, SliceAccesses: 4}
+	log := []int64{8, 8, 8, 8 /* old slice */, 1, 2, 3, 4 /* middle */, 9, 9, 9, 9 /* recent */}
+	est, err := e.Estimate(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[9] <= est[8] {
+		t.Fatalf("recent record 9 (%f) should outrank old record 8 (%f)", est[9], est[8])
+	}
+}
+
+func TestHotSetSelection(t *testing.T) {
+	est := map[int64]float64{1: 5, 2: 3, 3: 8, 4: 3}
+	hot := HotSet(est, 2)
+	if !hot[3] || !hot[1] || len(hot) != 2 {
+		t.Fatalf("hot set = %v", hot)
+	}
+	// Ties break by id: k=3 must pick id 2 over id 4.
+	hot = HotSet(est, 3)
+	if !hot[2] || hot[4] {
+		t.Fatalf("tie break wrong: %v", hot)
+	}
+	// k larger than population.
+	if got := HotSet(est, 99); len(got) != 4 {
+		t.Fatalf("oversized k: %v", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	hot := map[int64]bool{1: true}
+	if got := HitRate([]int64{1, 2, 1, 2}, hot); got != 0.5 {
+		t.Fatalf("hit rate = %f", got)
+	}
+	if HitRate(nil, hot) != 0 {
+		t.Fatal("empty trace should be 0")
+	}
+}
+
+func TestLRUHitRate(t *testing.T) {
+	// Cyclic sweep over k+1 items thrashes LRU completely.
+	trace := []int64{}
+	for round := 0; round < 10; round++ {
+		for v := int64(0); v < 4; v++ {
+			trace = append(trace, v)
+		}
+	}
+	if got := LRUHitRate(trace, 3); got != 0 {
+		t.Fatalf("cyclic sweep over cache+1 items: hit rate %f, want 0", got)
+	}
+	if got := LRUHitRate(trace, 4); got < 0.85 {
+		t.Fatalf("fitting cache should hit after warmup: %f", got)
+	}
+	if LRUHitRate(nil, 4) != 0 || LRUHitRate(trace, 0) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+}
+
+func TestClassifierBeatsLRUOnSkewedTrace(t *testing.T) {
+	// The headline result: on a Zipf trace with a scan mixed in (which
+	// pollutes LRU), frequency-based classification beats LRU caching.
+	const n, keyspace = 200_000, 50_000
+	zipf := workload.ZipfInts(1, n, keyspace, 1.3)
+	// Interleave a full sequential sweep (e.g. an analytic scan) that
+	// floods LRU with cold records.
+	trace := make([]int64, 0, n+keyspace)
+	for i, v := range zipf {
+		trace = append(trace, v)
+		if i%4 == 0 {
+			trace = append(trace, int64(i%keyspace))
+		}
+	}
+	k := keyspace / 20 // 5% memory budget
+
+	est, err := NewEstimator().Estimate(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classified := HitRate(trace, HotSet(est, k))
+	lru := LRUHitRate(trace, k)
+	oracle := OracleHitRate(trace, k)
+	if classified <= lru {
+		t.Fatalf("classifier %f should beat scan-polluted LRU %f", classified, lru)
+	}
+	if classified > oracle+1e-9 {
+		t.Fatalf("nothing beats the oracle: %f > %f", classified, oracle)
+	}
+	if oracle-classified > 0.05 {
+		t.Fatalf("classifier %f should be near-oracle %f on a stable distribution", classified, oracle)
+	}
+}
+
+func TestTierLatency(t *testing.T) {
+	hot := map[int64]bool{1: true}
+	trace := []int64{1, 2} // 50% hit
+	got := TierLatency(trace, hot, 100, 10000)
+	if got != 0.5*100+0.5*10000 {
+		t.Fatalf("tier latency = %f", got)
+	}
+	if TierLatency(nil, hot, 1, 2) != 0 {
+		t.Fatal("empty trace latency should be 0")
+	}
+}
+
+// Property: estimates are non-negative, cover exactly the logged records,
+// and HotSet(k) always yields a hit rate no worse than any random k-subset
+// would on the estimate's own ordering (monotone top-k property: hit rate
+// is non-decreasing in k).
+func TestHotSetMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		trace := make([]int64, len(raw))
+		for i, r := range raw {
+			trace[i] = int64(r % 32)
+		}
+		est, err := NewEstimator().Estimate(trace)
+		if err != nil {
+			return false
+		}
+		for id, f := range est {
+			if f < 0 {
+				return false
+			}
+			found := false
+			for _, v := range trace {
+				if v == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		prev := -1.0
+		for k := 0; k <= 32; k += 4 {
+			hr := HitRate(trace, HotSet(est, k))
+			if hr < prev-1e-12 {
+				return false
+			}
+			prev = hr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

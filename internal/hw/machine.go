@@ -1,0 +1,273 @@
+// Package hw models the hardware that the keynote "Hardware killed the
+// software star" (Alonso, ICDE 2013) argues data processing software must pay
+// attention to: multicore sockets, deep cache hierarchies, NUMA memory,
+// limited bandwidth, and TLBs.
+//
+// The model is deliberately analytic rather than cycle-accurate: operators
+// describe the Work they perform (tuples processed, bytes streamed, random
+// accesses against a working set) and a Machine converts that description
+// into simulated cycles, accounting for cache-level latencies, memory-level
+// parallelism, bandwidth sharing among active cores, and local/remote NUMA
+// asymmetry. This is the same style of model used throughout the
+// hardware-conscious database literature to explain measured behaviour, and
+// it makes every experiment in this repository deterministic and
+// reproducible on any host (the build host exposes a single physical core,
+// so real multicore measurements are impossible).
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// KiB, MiB and GiB are byte-size helpers used by machine profiles.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+)
+
+// CacheLevel describes one level of the cache hierarchy.
+type CacheLevel struct {
+	// Name is a human label such as "L1d" or "L3".
+	Name string
+	// SizeBytes is the capacity of the cache. For levels with
+	// SharedPerSocket set, this is the capacity shared by all cores of a
+	// socket; otherwise it is per core.
+	SizeBytes int64
+	// LineBytes is the cache line size.
+	LineBytes int64
+	// Assoc is the set associativity (used by the trace-driven simulator in
+	// internal/cache; the analytic model only uses size and latency).
+	Assoc int
+	// LatencyCycles is the load-to-use latency of a hit in this level.
+	LatencyCycles float64
+	// SharedPerSocket marks socket-shared levels (typically the LLC).
+	SharedPerSocket bool
+}
+
+// Machine is a parameterized description of a server. All latencies are in
+// core clock cycles; all bandwidths are in bytes per core clock cycle so that
+// cycle arithmetic needs no unit conversions.
+type Machine struct {
+	// Name identifies the profile in experiment output.
+	Name string
+	// Sockets and CoresPerSocket define the topology.
+	Sockets        int
+	CoresPerSocket int
+	// FreqGHz converts cycles to wall-clock seconds in reports.
+	FreqGHz float64
+	// Caches lists the hierarchy from closest (L1) to farthest (LLC).
+	Caches []CacheLevel
+
+	// TLBEntries is the number of data-TLB entries; PageBytes the page size.
+	TLBEntries    int
+	PageBytes     int64
+	TLBMissCycles float64
+	// HugeTLBEntries and HugePageBytes describe the large-page TLB (zero
+	// disables hugepage support). Allocating a structure on hugepages
+	// multiplies its TLB reach by HugePageBytes/PageBytes — the standard
+	// remedy for TLB-thrashed multi-megabyte working sets.
+	HugeTLBEntries int
+	HugePageBytes  int64
+
+	// MemLatencyCycles is the latency of a local DRAM access;
+	// RemoteLatencyCycles that of an access to another socket's memory.
+	MemLatencyCycles    float64
+	RemoteLatencyCycles float64
+
+	// MemBWPerSocket is the local DRAM streaming bandwidth available to one
+	// socket, in bytes per cycle. CoreStreamBW caps what a single core can
+	// stream even when the socket is otherwise idle.
+	MemBWPerSocket float64
+	CoreStreamBW   float64
+	// InterconnectBW is the cross-socket link bandwidth in bytes per cycle.
+	InterconnectBW float64
+
+	// MLP is the memory-level parallelism: how many independent random
+	// misses a core can keep in flight. Effective random-access latency is
+	// divided by min(MLP, available parallelism).
+	MLP float64
+
+	// BranchMissCycles is the pipeline refill penalty of a mispredicted
+	// branch.
+	BranchMissCycles float64
+
+	// WattsPerCoreActive and WattsIdle feed the energy model in
+	// internal/energy. Power here is at nominal frequency.
+	WattsPerCoreActive float64
+	WattsIdle          float64
+}
+
+// TotalCores returns Sockets × CoresPerSocket.
+func (m *Machine) TotalCores() int { return m.Sockets * m.CoresPerSocket }
+
+// LLC returns the last-level cache description.
+func (m *Machine) LLC() CacheLevel { return m.Caches[len(m.Caches)-1] }
+
+// LineBytes returns the cache line size of the first level (all profiles use
+// a uniform line size).
+func (m *Machine) LineBytes() int64 { return m.Caches[0].LineBytes }
+
+// TLBReach returns the number of bytes covered by the TLB.
+func (m *Machine) TLBReach() int64 { return int64(m.TLBEntries) * m.PageBytes }
+
+// HugeTLBReach returns the bytes covered by the large-page TLB (0 when the
+// machine has no hugepage support).
+func (m *Machine) HugeTLBReach() int64 { return int64(m.HugeTLBEntries) * m.HugePageBytes }
+
+// Validate reports an error when the profile is internally inconsistent.
+func (m *Machine) Validate() error {
+	if m.Sockets <= 0 || m.CoresPerSocket <= 0 {
+		return fmt.Errorf("hw: machine %q: topology must be positive, got %d sockets × %d cores",
+			m.Name, m.Sockets, m.CoresPerSocket)
+	}
+	if len(m.Caches) == 0 {
+		return fmt.Errorf("hw: machine %q: needs at least one cache level", m.Name)
+	}
+	var prevSize int64
+	var prevLat float64
+	for i, c := range m.Caches {
+		if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.LatencyCycles <= 0 {
+			return fmt.Errorf("hw: machine %q: cache %s has non-positive parameters", m.Name, c.Name)
+		}
+		if i > 0 && (c.SizeBytes < prevSize || c.LatencyCycles < prevLat) {
+			return fmt.Errorf("hw: machine %q: cache %s must be larger and slower than the previous level", m.Name, c.Name)
+		}
+		prevSize, prevLat = c.SizeBytes, c.LatencyCycles
+	}
+	if m.MemLatencyCycles < m.LLC().LatencyCycles {
+		return fmt.Errorf("hw: machine %q: DRAM latency below LLC latency", m.Name)
+	}
+	if m.Sockets > 1 && m.RemoteLatencyCycles < m.MemLatencyCycles {
+		return fmt.Errorf("hw: machine %q: remote latency below local latency", m.Name)
+	}
+	if m.MemBWPerSocket <= 0 || m.CoreStreamBW <= 0 {
+		return fmt.Errorf("hw: machine %q: bandwidths must be positive", m.Name)
+	}
+	if m.Sockets > 1 && m.InterconnectBW <= 0 {
+		return fmt.Errorf("hw: machine %q: multi-socket machine needs interconnect bandwidth", m.Name)
+	}
+	if m.MLP < 1 {
+		return fmt.Errorf("hw: machine %q: MLP must be >= 1", m.Name)
+	}
+	if m.PageBytes <= 0 || m.TLBEntries <= 0 {
+		return fmt.Errorf("hw: machine %q: TLB parameters must be positive", m.Name)
+	}
+	return nil
+}
+
+// RandomLatency returns the average latency in cycles of one dependent random
+// access into a working set of ws bytes, before memory-level parallelism is
+// applied. The access hits the smallest cache level that contains the working
+// set; beyond the TLB reach every access additionally pays an expected
+// TLB-miss cost, regardless of which cache level holds the data — the TLB
+// saturates long before the LLC does (this matches the trace-driven
+// simulator, see experiment E18).
+func (m *Machine) RandomLatency(ws int64) float64 {
+	lat := m.MemLatencyCycles
+	for _, c := range m.Caches {
+		if ws <= c.SizeBytes {
+			lat = c.LatencyCycles
+			break
+		}
+	}
+	return lat + m.expectedTLBMiss(ws, false)
+}
+
+// RandomLatencyHuge is RandomLatency for a structure allocated on hugepages:
+// the same cache behaviour, but TLB reach comes from the large-page TLB.
+func (m *Machine) RandomLatencyHuge(ws int64) float64 {
+	lat := m.MemLatencyCycles
+	for _, c := range m.Caches {
+		if ws <= c.SizeBytes {
+			lat = c.LatencyCycles
+			break
+		}
+	}
+	return lat + m.expectedTLBMiss(ws, true)
+}
+
+// expectedTLBMiss returns the expected per-access TLB-miss cost for a random
+// working set of ws bytes: the miss probability grows with how far the set
+// exceeds the (huge or base) TLB reach.
+func (m *Machine) expectedTLBMiss(ws int64, huge bool) float64 {
+	reach := m.TLBReach()
+	if huge && m.HugeTLBReach() > reach {
+		reach = m.HugeTLBReach()
+	}
+	if ws <= reach {
+		return 0
+	}
+	missProb := 1 - float64(reach)/float64(ws)
+	return missProb * m.TLBMissCycles
+}
+
+// RemoteRandomLatency is RandomLatency for an access that must cross the
+// socket interconnect (the caches do not help a truly remote access pattern,
+// so only working sets within the LLC are exempted).
+func (m *Machine) RemoteRandomLatency(ws int64) float64 {
+	if ws <= m.LLC().SizeBytes {
+		// Still cache-resident: remote placement is irrelevant once lines
+		// are loaded.
+		return m.RandomLatency(ws)
+	}
+	return m.RemoteLatencyCycles + m.expectedTLBMiss(ws, false)
+}
+
+// StreamBandwidth returns the per-core streaming bandwidth in bytes/cycle when
+// activeCores cores on the same socket stream from local memory concurrently.
+// A single core is limited by CoreStreamBW; as cores are added the socket
+// bandwidth is shared evenly.
+func (m *Machine) StreamBandwidth(activeCores int) float64 {
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	if activeCores > m.CoresPerSocket {
+		activeCores = m.CoresPerSocket
+	}
+	share := m.MemBWPerSocket / float64(activeCores)
+	return math.Min(m.CoreStreamBW, share)
+}
+
+// RemoteStreamBandwidth is StreamBandwidth for cross-socket streaming, which
+// is additionally capped by the interconnect shared by the streaming cores.
+func (m *Machine) RemoteStreamBandwidth(activeCores int) float64 {
+	if m.Sockets <= 1 {
+		return m.StreamBandwidth(activeCores)
+	}
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	local := m.StreamBandwidth(activeCores)
+	link := m.InterconnectBW / float64(activeCores)
+	return math.Min(local, link)
+}
+
+// ContentionFactor models DRAM latency inflation under load: when many cores
+// issue random misses concurrently, queueing at the memory controller raises
+// effective latency. The factor is 1 for a single active core and grows
+// linearly with utilization up to 2× at full socket occupancy — the shape
+// measured in the multicore join literature.
+func (m *Machine) ContentionFactor(activeCoresOnSocket int) float64 {
+	if activeCoresOnSocket <= 1 {
+		return 1
+	}
+	if activeCoresOnSocket > m.CoresPerSocket {
+		activeCoresOnSocket = m.CoresPerSocket
+	}
+	util := float64(activeCoresOnSocket-1) / float64(m.CoresPerSocket-1)
+	return 1 + util
+}
+
+// CyclesToSeconds converts simulated cycles to seconds on this machine.
+func (m *Machine) CyclesToSeconds(cycles float64) float64 {
+	return cycles / (m.FreqGHz * 1e9)
+}
+
+// String implements fmt.Stringer with a compact topology description.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d×%d cores @ %.1fGHz, LLC %dMiB, DRAM %.0f cyc (remote %.0f)",
+		m.Name, m.Sockets, m.CoresPerSocket, m.FreqGHz,
+		m.LLC().SizeBytes/MiB, m.MemLatencyCycles, m.RemoteLatencyCycles)
+}

@@ -1,0 +1,135 @@
+package hw
+
+// Predefined machine profiles. Parameters are representative of the hardware
+// generations discussed in the keynote (circa 2013 servers) plus a manycore
+// profile for the scaling experiments. All experiments name the profile they
+// run on so results are reproducible.
+
+// Laptop returns a single-socket 4-core client machine profile.
+func Laptop() *Machine {
+	return &Machine{
+		Name:           "laptop-1s4c",
+		Sockets:        1,
+		CoresPerSocket: 4,
+		FreqGHz:        2.6,
+		Caches: []CacheLevel{
+			{Name: "L1d", SizeBytes: 32 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 4},
+			{Name: "L2", SizeBytes: 256 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 12},
+			{Name: "L3", SizeBytes: 6 * MiB, LineBytes: 64, Assoc: 12, LatencyCycles: 36, SharedPerSocket: true},
+		},
+		TLBEntries:          64,
+		PageBytes:           4 * KiB,
+		TLBMissCycles:       30,
+		HugeTLBEntries:      32,
+		HugePageBytes:       2 * MiB,
+		MemLatencyCycles:    180,
+		RemoteLatencyCycles: 180,
+		MemBWPerSocket:      8, // ~20 GB/s at 2.6 GHz
+		CoreStreamBW:        4, // ~10 GB/s single core
+		InterconnectBW:      0, // single socket
+		MLP:                 4,
+		BranchMissCycles:    15,
+		WattsPerCoreActive:  8,
+		WattsIdle:           10,
+	}
+}
+
+// Server2S returns a two-socket, 8-cores-per-socket server profile — the
+// canonical NUMA machine of the early-2010s literature.
+func Server2S() *Machine {
+	return &Machine{
+		Name:           "server-2s8c",
+		Sockets:        2,
+		CoresPerSocket: 8,
+		FreqGHz:        2.4,
+		Caches: []CacheLevel{
+			{Name: "L1d", SizeBytes: 32 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 4},
+			{Name: "L2", SizeBytes: 256 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 12},
+			{Name: "L3", SizeBytes: 20 * MiB, LineBytes: 64, Assoc: 20, LatencyCycles: 40, SharedPerSocket: true},
+		},
+		TLBEntries:          64,
+		PageBytes:           4 * KiB,
+		TLBMissCycles:       35,
+		HugeTLBEntries:      32,
+		HugePageBytes:       2 * MiB,
+		MemLatencyCycles:    200,
+		RemoteLatencyCycles: 310,
+		MemBWPerSocket:      14, // ~34 GB/s per socket
+		CoreStreamBW:        5,
+		InterconnectBW:      5, // ~12 GB/s QPI-class link
+		MLP:                 4,
+		BranchMissCycles:    17,
+		WattsPerCoreActive:  10,
+		WattsIdle:           45,
+	}
+}
+
+// NUMA4S returns a four-socket, 16-cores-per-socket machine with a pronounced
+// local/remote asymmetry, used by the NUMA placement experiments.
+func NUMA4S() *Machine {
+	return &Machine{
+		Name:           "numa-4s16c",
+		Sockets:        4,
+		CoresPerSocket: 16,
+		FreqGHz:        2.2,
+		Caches: []CacheLevel{
+			{Name: "L1d", SizeBytes: 32 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 4},
+			{Name: "L2", SizeBytes: 256 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 12},
+			{Name: "L3", SizeBytes: 32 * MiB, LineBytes: 64, Assoc: 16, LatencyCycles: 45, SharedPerSocket: true},
+		},
+		TLBEntries:          96,
+		PageBytes:           4 * KiB,
+		TLBMissCycles:       40,
+		HugeTLBEntries:      32,
+		HugePageBytes:       2 * MiB,
+		MemLatencyCycles:    220,
+		RemoteLatencyCycles: 420,
+		MemBWPerSocket:      18,
+		CoreStreamBW:        5,
+		InterconnectBW:      4,
+		MLP:                 6,
+		BranchMissCycles:    18,
+		WattsPerCoreActive:  9,
+		WattsIdle:           120,
+	}
+}
+
+// Manycore returns a single-socket 64-core profile (the "sea of cores" the
+// keynote's dark-silicon discussion anticipates): many simple cores sharing
+// one memory system, so bandwidth saturates long before cores do.
+func Manycore() *Machine {
+	return &Machine{
+		Name:           "manycore-1s64c",
+		Sockets:        1,
+		CoresPerSocket: 64,
+		FreqGHz:        1.6,
+		Caches: []CacheLevel{
+			{Name: "L1d", SizeBytes: 32 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 3},
+			{Name: "L2", SizeBytes: 512 * KiB, LineBytes: 64, Assoc: 8, LatencyCycles: 14},
+			{Name: "L3", SizeBytes: 32 * MiB, LineBytes: 64, Assoc: 16, LatencyCycles: 50, SharedPerSocket: true},
+		},
+		TLBEntries:          64,
+		PageBytes:           4 * KiB,
+		TLBMissCycles:       45,
+		HugeTLBEntries:      32,
+		HugePageBytes:       2 * MiB,
+		MemLatencyCycles:    260,
+		RemoteLatencyCycles: 260,
+		MemBWPerSocket:      24,
+		CoreStreamBW:        3,
+		InterconnectBW:      0,
+		MLP:                 4,
+		BranchMissCycles:    12,
+		WattsPerCoreActive:  3,
+		WattsIdle:           40,
+	}
+}
+
+// Profiles returns all predefined machines, keyed by name.
+func Profiles() map[string]*Machine {
+	out := map[string]*Machine{}
+	for _, m := range []*Machine{Laptop(), Server2S(), NUMA4S(), Manycore()} {
+		out[m.Name] = m
+	}
+	return out
+}

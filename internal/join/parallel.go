@@ -1,0 +1,171 @@
+package join
+
+import (
+	"fmt"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/sched"
+)
+
+// ParallelResult is a parallel join outcome: the (identical) join result
+// plus the simulated schedule of each phase. MakespanCycles is the
+// end-to-end parallel runtime, including the barrier between phases.
+type ParallelResult struct {
+	Result
+	Phases         []sched.Result
+	MakespanCycles float64
+}
+
+// addPhase appends a phase schedule and extends the makespan (phases are
+// separated by barriers, as in the real algorithms).
+func (r *ParallelResult) addPhase(s sched.Result) {
+	r.Phases = append(r.Phases, s)
+	r.MakespanCycles += s.MakespanCycles
+}
+
+// ParallelNPO runs the no-partitioning hash join with all workers sharing
+// one global hash table: morsels of the build relation insert concurrently,
+// then morsels of the probe relation probe. Its scalability is limited by
+// every worker random-accessing the same DRAM-resident table.
+func ParallelNPO(in Input, s *sched.Scheduler, morsel int) (ParallelResult, error) {
+	if err := in.Validate(); err != nil {
+		return ParallelResult{}, err
+	}
+	var out ParallelResult
+	ht := newHashTable(len(in.BuildKeys))
+
+	buildTasks := sched.Morsels(len(in.BuildKeys), morsel, "npo-build", func(start, end int, w *sched.Worker) {
+		for i := start; i < end; i++ {
+			ht.Insert(in.BuildKeys[i], in.BuildVals[i])
+		}
+		n := int64(end - start)
+		w.Charge(hw.Work{
+			Name: "npo-build", Tuples: n, ComputePerTuple: 6,
+			SeqReadBytes: n * tupleBytes,
+			RandomReads:  n, RandomWS: ht.Bytes(),
+		})
+	})
+	out.addPhase(s.Run(buildTasks))
+
+	// Probe morsels accumulate into per-task partial results, merged after
+	// the phase (no shared mutable aggregation state).
+	msz := morselOrDefault(morsel)
+	partials := make([]Result, (len(in.ProbeKeys)+msz-1)/msz)
+	probeTasks := sched.Morsels(len(in.ProbeKeys), msz, "npo-probe", func(start, end int, w *sched.Worker) {
+		part := &Result{}
+		for i := start; i < end; i++ {
+			pv := in.ProbeVals[i]
+			ht.ProbeEach(in.ProbeKeys[i], func(bv int64) { part.add(bv, pv) })
+		}
+		partials[start/msz] = *part
+		n := int64(end - start)
+		w.Charge(hw.Work{
+			Name: "npo-probe", Tuples: n, ComputePerTuple: 6,
+			SeqReadBytes: n * tupleBytes,
+			RandomReads:  n, RandomWS: ht.Bytes(),
+		})
+	})
+	out.addPhase(s.Run(probeTasks))
+
+	for _, p := range partials {
+		out.Matches += p.Matches
+		out.Checksum += p.Checksum
+	}
+	out.SimCycles = out.MakespanCycles
+	return out, nil
+}
+
+func morselOrDefault(m int) int {
+	if m <= 0 {
+		return 1 << 14
+	}
+	return m
+}
+
+// ParallelRadix runs the parallel radix-partitioned hash join: workers
+// partition disjoint chunks of both relations into thread-local partitioned
+// buffers (phase 1), then each partition — assembled from all chunks — is
+// joined by one task with a cache-resident table (phase 2). Partition-level
+// tasks make skew visible as load imbalance rather than as contention.
+func ParallelRadix(in Input, opts RadixOptions, s *sched.Scheduler, m *hw.Machine, morsel int) (ParallelResult, error) {
+	if err := in.Validate(); err != nil {
+		return ParallelResult{}, err
+	}
+	var out ParallelResult
+	if len(in.BuildKeys) == 0 {
+		return out, nil
+	}
+	opts = opts.resolve(m, len(in.BuildKeys))
+	passes := planPasses(opts)
+	fanout := 1 << opts.TotalBits
+
+	// Phase 1: chunk-local partitioning. The physical scatter happens once
+	// per relation chunk; the modelled cost reflects the pass structure
+	// (multi-pass or software-buffered) the options describe.
+	partitionChunks := func(keys, vals []int64, label string) []partitioned {
+		msz := morselOrDefault(morsel)
+		nChunks := (len(keys) + msz - 1) / msz
+		chunks := make([]partitioned, max(nChunks, 0))
+		tasks := sched.Morsels(len(keys), msz, label, func(start, end int, w *sched.Worker) {
+			chunks[start/msz] = radixPartition(keys[start:end], vals[start:end], opts.TotalBits, 0)
+			n := int64(end - start)
+			for pi, bits := range passes {
+				w.Charge(partitionPassWork(fmt.Sprintf("%s-pass%d", label, pi+1), n, 1<<bits, m, opts.SWBuffers))
+			}
+		})
+		out.addPhase(s.Run(tasks))
+		return chunks
+	}
+	buildChunks := partitionChunks(in.BuildKeys, in.BuildVals, "radix-part-build")
+	probeChunks := partitionChunks(in.ProbeKeys, in.ProbeVals, "radix-part-probe")
+
+	// Phase 2: one task per partition.
+	partials := make([]Result, fanout)
+	tasks := make([]sched.Task, 0, fanout)
+	for p := 0; p < fanout; p++ {
+		p := p
+		tasks = append(tasks, sched.Task{
+			Name:   fmt.Sprintf("radix-join-p%d", p),
+			Socket: -1,
+			Run: func(w *sched.Worker) {
+				part := &partials[p]
+				var buildRows, probeRows int64
+				for _, c := range buildChunks {
+					bk, _ := c.partition(p)
+					buildRows += int64(len(bk))
+				}
+				if buildRows == 0 {
+					return
+				}
+				ht := newHashTable(int(buildRows))
+				for _, c := range buildChunks {
+					bk, bv := c.partition(p)
+					for i, k := range bk {
+						ht.Insert(k, bv[i])
+					}
+				}
+				for _, c := range probeChunks {
+					pk, pv := c.partition(p)
+					probeRows += int64(len(pk))
+					for i, k := range pk {
+						val := pv[i]
+						ht.ProbeEach(k, func(bv int64) { part.add(bv, val) })
+					}
+				}
+				w.Charge(hw.Work{
+					Name: "radix-join", Tuples: buildRows + probeRows, ComputePerTuple: 6,
+					SeqReadBytes: (buildRows + probeRows) * tupleBytes,
+					RandomReads:  buildRows + probeRows, RandomWS: ht.Bytes(),
+				})
+			},
+		})
+	}
+	out.addPhase(s.Run(tasks))
+
+	for _, p := range partials {
+		out.Matches += p.Matches
+		out.Checksum += p.Checksum
+	}
+	out.SimCycles = out.MakespanCycles
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package layout
+
+import (
+	"fmt"
+
+	"hwstar/internal/hw"
+)
+
+// AccessProfile characterizes a workload against one relation for the layout
+// advisor: how many full-relation scans (and how many columns they touch)
+// versus how many point lookups it performs per unit of work. This is the
+// information a PDSM-style optimizer extracts from a query log.
+type AccessProfile struct {
+	// Scans is the number of sequential scans; ScanCols the columns each
+	// touches (projectivity × column count).
+	Scans    int
+	ScanCols []int
+	// Points is the number of point lookups; PointCols the columns each
+	// fetches.
+	Points    int
+	PointCols []int
+}
+
+// Validate reports an error for nonsensical profiles.
+func (p AccessProfile) Validate(numCols int) error {
+	if p.Scans < 0 || p.Points < 0 {
+		return fmt.Errorf("layout: negative access counts in profile")
+	}
+	if p.Scans+p.Points == 0 {
+		return fmt.Errorf("layout: empty access profile")
+	}
+	for _, c := range p.ScanCols {
+		if c < 0 || c >= numCols {
+			return fmt.Errorf("layout: scan column %d out of range", c)
+		}
+	}
+	for _, c := range p.PointCols {
+		if c < 0 || c >= numCols {
+			return fmt.Errorf("layout: point column %d out of range", c)
+		}
+	}
+	if p.Scans > 0 && len(p.ScanCols) == 0 {
+		return fmt.Errorf("layout: scans declared but no scan columns")
+	}
+	if p.Points > 0 && len(p.PointCols) == 0 {
+		return fmt.Errorf("layout: points declared but no point columns")
+	}
+	return nil
+}
+
+// CostEstimate prices an AccessProfile against a relation shape (rows ×
+// cols) in a given layout on machine m, returning total simulated cycles.
+func CostEstimate(kind Kind, rows, cols int, p AccessProfile, m *hw.Machine) float64 {
+	// A throwaway relation carries the shape; values are irrelevant for the
+	// analytic model, so no data is materialized.
+	r := newRelation(kind, rows, cols)
+	ctx := hw.DefaultContext()
+	total := 0.0
+	if p.Scans > 0 {
+		w := r.ScanWork(p.ScanCols, m.LineBytes())
+		total += float64(p.Scans) * m.Cycles(w, ctx)
+	}
+	if p.Points > 0 {
+		var per float64
+		for _, w := range r.PointWork(p.PointCols, m.LineBytes()) {
+			per += m.Cycles(w, ctx)
+		}
+		total += float64(p.Points) * per
+	}
+	return total
+}
+
+// Advice is the advisor's output: the chosen layout and the modeled cost of
+// every candidate.
+type Advice struct {
+	Best  Kind
+	Costs map[Kind]float64
+}
+
+// Advise picks the cheapest layout for the given relation shape and access
+// profile on machine m — the cost-based storage-layout selection the PDSM
+// line of work (ICDE 2013 #4) automates.
+func Advise(rows, cols int, p AccessProfile, m *hw.Machine) (Advice, error) {
+	if err := p.Validate(cols); err != nil {
+		return Advice{}, err
+	}
+	if rows <= 0 || cols <= 0 {
+		return Advice{}, fmt.Errorf("layout: relation shape %d×%d invalid", rows, cols)
+	}
+	adv := Advice{Costs: make(map[Kind]float64, 3)}
+	best := Kind(-1)
+	for _, k := range []Kind{NSM, DSM, PAX} {
+		c := CostEstimate(k, rows, cols, p, m)
+		adv.Costs[k] = c
+		if best < 0 || c < adv.Costs[best] {
+			best = k
+		}
+	}
+	adv.Best = best
+	return adv, nil
+}

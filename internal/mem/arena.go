@@ -1,0 +1,127 @@
+// Package mem provides the memory substrate of hwstar: chunked arena
+// allocators that keep operator state out of the garbage collector's way, and
+// NUMA placement bookkeeping that tells the hardware model which socket's
+// memory a region lives on.
+//
+// Real NUMA placement is impossible from portable Go (and the build host has
+// a single socket anyway), so placement here is explicit metadata: allocators
+// decide a distribution of bytes over nodes according to a policy, and the
+// scheduler/cost model turns "reader on socket 2, region interleaved over 4
+// nodes" into local and remote traffic. The arithmetic is exactly what an OS
+// with the corresponding mbind/numactl policy would produce.
+package mem
+
+import "fmt"
+
+// defaultChunk is the arena chunk size when callers pass a non-positive one.
+const defaultChunk = 1 << 20
+
+// Arena is a bump allocator over large chunks. Allocations are never freed
+// individually; Release drops all chunks at once. Arena is not safe for
+// concurrent use — each worker owns its own arena, which is itself one of the
+// hardware-conscious disciplines the keynote advocates (no shared allocator
+// contention).
+type Arena struct {
+	chunkSize int
+	cur       []byte
+	off       int
+	chunks    [][]byte
+	allocated int64
+}
+
+// NewArena returns an arena with the given chunk size in bytes.
+func NewArena(chunkSize int) *Arena {
+	if chunkSize <= 0 {
+		chunkSize = defaultChunk
+	}
+	return &Arena{chunkSize: chunkSize}
+}
+
+// Alloc returns a zeroed byte slice of length n carved from the arena.
+// Requests larger than the chunk size get a dedicated chunk.
+func (a *Arena) Alloc(n int) []byte {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: Alloc(%d): negative size", n))
+	}
+	a.allocated += int64(n)
+	if n > a.chunkSize {
+		big := make([]byte, n)
+		a.chunks = append(a.chunks, big)
+		return big
+	}
+	if a.cur == nil || a.off+n > len(a.cur) {
+		a.cur = make([]byte, a.chunkSize)
+		a.chunks = append(a.chunks, a.cur)
+		a.off = 0
+	}
+	s := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// AllocatedBytes returns the total bytes handed out (not chunk capacity).
+func (a *Arena) AllocatedBytes() int64 { return a.allocated }
+
+// FootprintBytes returns the total capacity of all chunks held by the arena.
+func (a *Arena) FootprintBytes() int64 {
+	var t int64
+	for _, c := range a.chunks {
+		t += int64(len(c))
+	}
+	return t
+}
+
+// Release drops every chunk, returning the memory to the Go runtime.
+func (a *Arena) Release() {
+	a.cur = nil
+	a.chunks = nil
+	a.off = 0
+	a.allocated = 0
+}
+
+// TypedArena is a bump allocator for slices of a fixed element type. It is
+// the building block for operator-owned buffers (hash table parts, partition
+// outputs) whose lifetime is one query.
+type TypedArena[T any] struct {
+	chunkElems int
+	cur        []T
+	off        int
+	allocated  int64
+}
+
+// NewTypedArena returns an arena that allocates in chunks of chunkElems
+// elements.
+func NewTypedArena[T any](chunkElems int) *TypedArena[T] {
+	if chunkElems <= 0 {
+		chunkElems = 64 << 10
+	}
+	return &TypedArena[T]{chunkElems: chunkElems}
+}
+
+// Alloc returns a zeroed slice of n elements.
+func (a *TypedArena[T]) Alloc(n int) []T {
+	if n < 0 {
+		panic(fmt.Sprintf("mem: TypedArena.Alloc(%d): negative size", n))
+	}
+	a.allocated += int64(n)
+	if n > a.chunkElems {
+		return make([]T, n)
+	}
+	if a.cur == nil || a.off+n > len(a.cur) {
+		a.cur = make([]T, a.chunkElems)
+		a.off = 0
+	}
+	s := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return s
+}
+
+// AllocatedElems returns the total number of elements handed out.
+func (a *TypedArena[T]) AllocatedElems() int64 { return a.allocated }
+
+// Release drops the current chunk reference.
+func (a *TypedArena[T]) Release() {
+	a.cur = nil
+	a.off = 0
+	a.allocated = 0
+}

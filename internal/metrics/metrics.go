@@ -1,0 +1,262 @@
+// Package metrics provides lightweight counters, timers, and histograms used
+// throughout hwstar to record both real (wall-clock) and simulated
+// (model-cycle) measurements.
+//
+// The package is deliberately dependency-free and allocation-conscious:
+// experiment harnesses create thousands of histograms and counters during a
+// parameter sweep, and the cost of recording a sample must be negligible
+// compared to the work being measured.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Negative deltas are permitted so that
+// callers can implement gauges on top of Counter, but the common use is
+// monotonic counting.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is a settable 64-bit value safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records float64 samples and reports order statistics. It keeps
+// every sample, which is appropriate for experiment-scale data (up to a few
+// million samples); Record is O(1) amortized and quantile queries sort lazily.
+type Histogram struct {
+	mu     sync.Mutex
+	vals   []float64
+	sorted bool
+	sum    float64
+}
+
+// NewHistogram returns an empty histogram with capacity hint n.
+func NewHistogram(n int) *Histogram {
+	return &Histogram{vals: make([]float64, 0, n)}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v float64) {
+	h.mu.Lock()
+	h.vals = append(h.vals, v)
+	h.sorted = false
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.vals))
+}
+
+// Min returns the smallest sample, or 0 for an empty histogram.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ensureSortedLocked()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.vals[0]
+}
+
+// Max returns the largest sample, or 0 for an empty histogram.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ensureSortedLocked()
+	if len(h.vals) == 0 {
+		return 0
+	}
+	return h.vals[len(h.vals)-1]
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank
+// interpolation. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ensureSortedLocked()
+	n := len(h.vals)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.vals[0]
+	}
+	if q >= 1 {
+		return h.vals[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return h.vals[lo]
+	}
+	frac := pos - float64(lo)
+	return h.vals[lo]*(1-frac) + h.vals[hi]*frac
+}
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.vals)
+	if n == 0 {
+		return 0
+	}
+	mean := h.sum / float64(n)
+	var ss float64
+	for _, v := range h.vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.vals = h.vals[:0]
+	h.sum = 0
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Summary returns a compact single-line description with count, mean, and
+// common tail percentiles, suitable for experiment logs.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+		h.Count(), h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+}
+
+func (h *Histogram) ensureSortedLocked() {
+	if !h.sorted {
+		sort.Float64s(h.vals)
+		h.sorted = true
+	}
+}
+
+// Registry is a named collection of counters and histograms. Operators and
+// substrates register their metrics here so that experiments can snapshot
+// everything that happened during a run.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram with the given name, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(64)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters returns a snapshot of all counter values keyed by name.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.ctrs))
+	for k, c := range r.ctrs {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered counters and histograms.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ctrs)+len(r.hists))
+	for k := range r.ctrs {
+		names = append(names, k)
+	}
+	for k := range r.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset resets every counter and histogram in the registry.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}

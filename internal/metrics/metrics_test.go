@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasic(t *testing.T) {
+	var c Counter
+	if got := c.Value(); got != 0 {
+		t.Fatalf("new counter = %d, want 0", got)
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("after reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.Set(-3)
+	if got := g.Value(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram(8)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Record(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 15 {
+		t.Fatalf("sum = %f, want 15", h.Sum())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("mean = %f, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min/max = %f/%f, want 1/5", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("median = %f, want 3", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %f, want 1", got)
+	}
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("q1 = %f, want 5", got)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if got := h.Stddev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %f, want %f", got, want)
+	}
+}
+
+func TestHistogramInterpolation(t *testing.T) {
+	h := NewHistogram(2)
+	h.Record(0)
+	h.Record(10)
+	if got := h.Quantile(0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("q0.25 = %f, want 2.5", got)
+	}
+}
+
+func TestHistogramRecordAfterQuantile(t *testing.T) {
+	// Recording after a quantile query must invalidate the sorted cache.
+	h := NewHistogram(4)
+	h.Record(5)
+	_ = h.Quantile(0.5)
+	h.Record(1)
+	if got := h.Min(); got != 1 {
+		t.Fatalf("min after late record = %f, want 1", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(4)
+	h.Record(9)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("reset did not clear histogram")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			h.Record(v)
+		}
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := h.Quantile(qa), h.Quantile(qb)
+		return va <= vb+1e-9 && va >= h.Min()-1e-9 && vb <= h.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the median of a shuffled known multiset equals the true median.
+func TestHistogramMedianMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]float64, n)
+		h := NewHistogram(n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+			h.Record(vals[i])
+		}
+		sort.Float64s(vals)
+		pos := 0.5 * float64(n-1)
+		lo, hi := int(math.Floor(pos)), int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		want := vals[lo]*(1-frac) + vals[hi]*frac
+		if got := h.Quantile(0.5); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: median = %f, want %f", trial, got, want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Add(4)
+	r.Counter("b").Inc()
+	r.Histogram("h").Record(1)
+
+	if got := r.Counter("a").Value(); got != 7 {
+		t.Fatalf("counter a = %d, want 7", got)
+	}
+	snap := r.Counters()
+	if snap["a"] != 7 || snap["b"] != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "h" {
+		t.Fatalf("names = %v", names)
+	}
+	r.Reset()
+	if r.Counter("a").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatalf("registry reset failed")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Record(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 4000 {
+		t.Fatalf("shared = %d, want 4000", got)
+	}
+	if got := r.Histogram("lat").Count(); got != 4000 {
+		t.Fatalf("lat count = %d, want 4000", got)
+	}
+}
+
+func TestHistogramSummaryNonEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	h.Record(2)
+	if s := h.Summary(); s == "" {
+		t.Fatal("summary should not be empty")
+	}
+}

@@ -1,0 +1,108 @@
+// Package planner is the keynote's conclusion made executable: "from now
+// on, software must be developed paying close attention to the underlying
+// hardware" means, operationally, that an engine consults a machine model
+// at plan time instead of hard-coding one algorithm. The planner enumerates
+// the join variants the engine implements — naive shared-table, group-
+// prefetched, Bloom-filtered, radix-partitioned — prices each against the
+// machine profile and workload statistics, and executes the winner.
+package planner
+
+import (
+	"fmt"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+)
+
+// JoinVariant names an executable join implementation.
+type JoinVariant string
+
+// Variants the planner chooses among.
+const (
+	VariantNPO      JoinVariant = "npo"
+	VariantPrefetch JoinVariant = "npo-gp"
+	VariantBloom    JoinVariant = "npo-bloom"
+	VariantRadix    JoinVariant = "radix"
+)
+
+// Plan is a costed decision.
+type Plan struct {
+	Variant JoinVariant
+	// Predicted is the winning estimate; All holds every variant's cost.
+	Predicted float64
+	All       map[JoinVariant]float64
+}
+
+// ChooseJoin prices every variant for the given statistics on machine m and
+// returns the cheapest.
+func ChooseJoin(m *hw.Machine, s join.Stats, ctx hw.ExecContext) Plan {
+	all := map[JoinVariant]float64{
+		VariantNPO:      join.EstimateNPO(m, s, ctx),
+		VariantPrefetch: join.EstimateNPOPrefetch(m, s, ctx),
+		VariantBloom:    join.EstimateNPOBloom(m, s, ctx),
+		VariantRadix:    join.EstimateRadix(m, s, ctx),
+	}
+	best := VariantNPO
+	for v, c := range all {
+		if c < all[best] || (c == all[best] && v < best) {
+			best = v
+		}
+	}
+	return Plan{Variant: best, Predicted: all[best], All: all}
+}
+
+// Execute runs the planned variant on real input, returning the join result
+// and the actually-charged cycles for plan-quality evaluation.
+func Execute(p Plan, in join.Input, m *hw.Machine, ctx hw.ExecContext) (join.Result, float64, error) {
+	acct := hw.NewAccount(m, ctx)
+	var res join.Result
+	var err error
+	switch p.Variant {
+	case VariantNPO:
+		res, err = join.NPO(in, acct)
+	case VariantPrefetch:
+		res, err = join.NPOPrefetch(in, acct)
+	case VariantBloom:
+		res, err = join.NPOBloom(in, acct)
+	case VariantRadix:
+		res, err = join.Radix(in, join.RadixOptions{}, m, acct)
+	default:
+		return join.Result{}, 0, fmt.Errorf("planner: unknown variant %q", p.Variant)
+	}
+	if err != nil {
+		return join.Result{}, 0, err
+	}
+	return res, acct.TotalCycles(), nil
+}
+
+// StatsOf derives planning statistics from an input plus an (estimated or
+// known) probe miss fraction.
+func StatsOf(in join.Input, missFrac float64) join.Stats {
+	return join.Stats{
+		BuildRows: int64(len(in.BuildKeys)),
+		ProbeRows: int64(len(in.ProbeKeys)),
+		MissFrac:  missFrac,
+	}
+}
+
+// Regret evaluates a plan against the true best variant by executing all of
+// them on real input: it returns the chosen-over-best cycle ratio (1.0 =
+// the planner picked the actual winner).
+func Regret(in join.Input, m *hw.Machine, ctx hw.ExecContext, missFrac float64) (Plan, float64, error) {
+	p := ChooseJoin(m, StatsOf(in, missFrac), ctx)
+	_, chosenCycles, err := Execute(p, in, m, ctx)
+	if err != nil {
+		return Plan{}, 0, err
+	}
+	best := chosenCycles
+	for _, v := range []JoinVariant{VariantNPO, VariantPrefetch, VariantBloom, VariantRadix} {
+		_, c, err := Execute(Plan{Variant: v}, in, m, ctx)
+		if err != nil {
+			return Plan{}, 0, err
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return p, chosenCycles / best, nil
+}

@@ -1,0 +1,118 @@
+package planner
+
+import (
+	"testing"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+	"hwstar/internal/workload"
+)
+
+func input(build, probe int, miss float64) join.Input {
+	g := workload.GenerateJoin(workload.JoinConfig{Seed: 61, BuildRows: build, ProbeRows: probe, Miss: miss})
+	return join.Input{BuildKeys: g.BuildKeys, BuildVals: g.BuildVals, ProbeKeys: g.ProbeKeys, ProbeVals: g.ProbeVals}
+}
+
+func TestChooseJoinRegimes(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+
+	// Cache-resident build side, all probes match: nothing beats plain NPO.
+	small := ChooseJoin(m, join.Stats{BuildRows: 4096, ProbeRows: 16384}, ctx)
+	if small.Variant != VariantNPO {
+		t.Fatalf("small all-match join: planner picked %s (%v)", small.Variant, small.All)
+	}
+
+	// Large build side: the MLP-recovering or partitioned variants must
+	// displace naive NPO.
+	large := ChooseJoin(m, join.Stats{BuildRows: 1 << 22, ProbeRows: 1 << 23}, ctx)
+	if large.Variant == VariantNPO {
+		t.Fatalf("large join: planner kept naive NPO (%v)", large.All)
+	}
+
+	// Large build + 90% misses: the Bloom variant must win.
+	missy := ChooseJoin(m, join.Stats{BuildRows: 1 << 22, ProbeRows: 1 << 23, MissFrac: 0.9}, ctx)
+	if missy.Variant != VariantBloom {
+		t.Fatalf("miss-heavy join: planner picked %s (%v)", missy.Variant, missy.All)
+	}
+
+	if len(large.All) != 4 || large.Predicted != large.All[large.Variant] {
+		t.Fatalf("plan bookkeeping wrong: %+v", large)
+	}
+}
+
+func TestEstimatesMatchExecutedAccounts(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+	in := input(1<<16, 1<<18, 0.3)
+	s := StatsOf(in, 0.3)
+
+	cases := []struct {
+		variant  JoinVariant
+		estimate float64
+	}{
+		{VariantNPO, join.EstimateNPO(m, s, ctx)},
+		{VariantPrefetch, join.EstimateNPOPrefetch(m, s, ctx)},
+		{VariantBloom, join.EstimateNPOBloom(m, s, ctx)},
+		{VariantRadix, join.EstimateRadix(m, s, ctx)},
+	}
+	for _, c := range cases {
+		_, actual, err := Execute(Plan{Variant: c.variant}, in, m, ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", c.variant, err)
+		}
+		ratio := c.estimate / actual
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("%s: estimate %.0f vs executed %.0f (ratio %.3f)", c.variant, c.estimate, actual, ratio)
+		}
+	}
+}
+
+func TestExecuteVariantsAgree(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+	in := input(3000, 12000, 0.5)
+	var first join.Result
+	for i, v := range []JoinVariant{VariantNPO, VariantPrefetch, VariantBloom, VariantRadix} {
+		res, cycles, err := Execute(Plan{Variant: v}, in, m, ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if cycles <= 0 {
+			t.Fatalf("%s: no cycles charged", v)
+		}
+		if i == 0 {
+			first = res
+		} else if res.Matches != first.Matches || res.Checksum != first.Checksum {
+			t.Fatalf("%s disagrees with %s", v, VariantNPO)
+		}
+	}
+	if _, _, err := Execute(Plan{Variant: "bogus"}, in, m, ctx); err == nil {
+		t.Fatal("unknown variant should fail")
+	}
+}
+
+func TestRegretNearOne(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+	grid := []struct {
+		build, probe int
+		miss         float64
+	}{
+		{1 << 12, 1 << 14, 0},
+		{1 << 16, 1 << 18, 0},
+		{1 << 16, 1 << 18, 0.8},
+		{1 << 19, 1 << 20, 0.5},
+	}
+	for _, g := range grid {
+		in := input(g.build, g.probe, g.miss)
+		plan, regret, err := Regret(in, m, ctx, g.miss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regret > 1.1 {
+			t.Fatalf("build=%d miss=%.1f: planner picked %s with regret %.3f (%v)",
+				g.build, g.miss, plan.Variant, regret, plan.All)
+		}
+	}
+}

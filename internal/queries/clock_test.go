@@ -1,0 +1,6 @@
+package queries
+
+import "time"
+
+// timeNow is indirected for clarity in timing tests.
+var timeNow = time.Now

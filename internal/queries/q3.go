@@ -1,0 +1,205 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/table"
+	"hwstar/internal/vecexec"
+	"hwstar/internal/volcano"
+)
+
+// Q3Row is one output group of the Q3-shaped join query:
+//
+//	SELECT o.orderpriority, SUM(l.extendedprice * (1 - l.discount))
+//	FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey
+//	WHERE l.shipdate <= :date
+//	GROUP BY o.orderpriority
+type Q3Row struct {
+	OrderPriority string
+	Revenue       float64
+	Count         int64
+}
+
+// Q3Params parameterize the query.
+type Q3Params struct {
+	DateHi int64
+}
+
+// DefaultQ3 uses a cutoff selecting roughly half the lineitems.
+func DefaultQ3() Q3Params { return Q3Params{DateHi: 1278} }
+
+// Q3 runs the join query on the given engine. The orders table must cover
+// every orderkey occurring in lineitem.
+func Q3(eng Engine, lineitem, orders *table.Table, p Q3Params, acct *hw.Account) ([]Q3Row, error) {
+	switch eng {
+	case EngineVolcano:
+		return q3Volcano(lineitem, orders, p, acct)
+	case EngineVectorized, EngineFused:
+		return q3Columnar(eng, lineitem, orders, p, acct)
+	default:
+		return nil, fmt.Errorf("queries: unknown engine %q", eng)
+	}
+}
+
+func q3Volcano(lineitem, orders *table.Table, p Q3Params, acct *hw.Account) ([]Q3Row, error) {
+	ls := lineitem.Schema()
+	shipIdx := ls.ColumnIndex("shipdate")
+	lOrderIdx := ls.ColumnIndex("orderkey")
+	priceIdx := ls.ColumnIndex("extendedprice")
+	discIdx := ls.ColumnIndex("discount")
+	os := orders.Schema()
+	oOrderIdx := os.ColumnIndex("orderkey")
+	prioIdx := os.ColumnIndex("orderpriority")
+
+	filtered := volcano.NewFilter(volcano.NewTableScan(lineitem), func(r volcano.Row) bool {
+		return r[shipIdx].I <= p.DateHi
+	})
+	joined := volcano.NewHashJoin(volcano.NewTableScan(orders), filtered, oOrderIdx, lOrderIdx)
+	// Joined rows: lineitem columns then orders columns.
+	nL := ls.NumColumns()
+	project := volcano.NewProject(joined, []func(volcano.Row) table.Value{
+		func(r volcano.Row) table.Value { return r[nL+prioIdx] },
+		func(r volcano.Row) table.Value {
+			return table.FloatValue(r[priceIdx].F * (1 - r[discIdx].F))
+		},
+	})
+	agg := volcano.NewHashAggregate(project, []int{0}, []volcano.AggSpec{
+		{Kind: volcano.AggSum, Col: 1},
+		{Kind: volcano.AggCount},
+	})
+	rows, err := volcano.Run(agg)
+	if err != nil {
+		return nil, err
+	}
+	if acct != nil {
+		// Scan+filter+join+project+agg over lineitem, plus the build scan.
+		volcano.ChargeCost(acct, int64(lineitem.NumRows()), 5, ls.RowBytes())
+		volcano.ChargeCost(acct, int64(orders.NumRows()), 1, os.RowBytes())
+		// The oblivious join probes a boxed-key map the size of orders.
+		acct.Charge(hw.Work{
+			Name:            "q3-volcano-probe",
+			Tuples:          int64(lineitem.NumRows()),
+			ComputePerTuple: 30, // string key materialization + map lookup
+			RandomReads:     int64(lineitem.NumRows()),
+			RandomWS:        int64(orders.NumRows()) * 64, // map + boxed rows
+		})
+	}
+	out := make([]Q3Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Q3Row{OrderPriority: r[0].S, Revenue: r[1].F, Count: r[2].I})
+	}
+	sortQ3(out)
+	return out, nil
+}
+
+func q3Columnar(eng Engine, lineitem, orders *table.Table, p Q3Params, acct *hw.Account) ([]Q3Row, error) {
+	ship, err := lineitem.Int64Column("shipdate")
+	if err != nil {
+		return nil, err
+	}
+	lOrder, err := lineitem.Int64Column("orderkey")
+	if err != nil {
+		return nil, err
+	}
+	price, err := lineitem.Float64Column("extendedprice")
+	if err != nil {
+		return nil, err
+	}
+	disc, err := lineitem.Float64Column("discount")
+	if err != nil {
+		return nil, err
+	}
+	oOrder, err := orders.Int64Column("orderkey")
+	if err != nil {
+		return nil, err
+	}
+	prio, err := orders.StringColumn("orderpriority")
+	if err != nil {
+		return nil, err
+	}
+
+	// Build a dense orderkey → priority-code vector (orderkeys are a
+	// contiguous domain in this schema; a real system would hash).
+	var maxKey int64 = -1
+	for _, k := range oOrder {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	prioOf := make([]int32, maxKey+1)
+	for i := range prioOf {
+		prioOf[i] = -1
+	}
+	for i, k := range oOrder {
+		prioOf[k] = prio.Codes[i]
+	}
+
+	card := prio.CardinalityOfDict()
+	if card == 0 {
+		return nil, nil
+	}
+	g := vecexec.NewGroupAgg(card, 1, 1)
+
+	if eng == EngineFused {
+		for i := range ship {
+			if ship[i] > p.DateHi {
+				continue
+			}
+			code := prioOf[lOrder[i]]
+			if code < 0 {
+				continue
+			}
+			g.Add(0, code, 0, price[i]*(1-disc[i]))
+			g.Bump(code, 0)
+		}
+	} else {
+		sel := make(vecexec.Sel, 0, vecexec.ChunkSize)
+		vecexec.Chunks(lineitem.NumRows(), func(start, end int) {
+			sel = vecexec.RangeFilterI64(ship[start:end], 0, p.DateHi, nil, sel[:0])
+			for _, ci := range sel {
+				i := start + int(ci)
+				code := prioOf[lOrder[i]]
+				if code < 0 {
+					continue
+				}
+				g.Add(0, code, 0, price[i]*(1-disc[i]))
+				g.Bump(code, 0)
+			}
+		})
+	}
+
+	if acct != nil {
+		n := int64(lineitem.NumRows())
+		tuples := n * 3 // filter + gather + accumulate primitives
+		comp := float64(vecexec.VecTupleCycles)
+		if eng == EngineFused {
+			tuples = n
+			comp = float64(vecexec.FusedTupleCycles)
+		}
+		acct.Charge(hw.Work{
+			Name:            string(eng) + "-q3",
+			Tuples:          tuples,
+			ComputePerTuple: comp,
+			SeqReadBytes:    n * (8 + 8 + 8 + 8), // ship, orderkey, price, disc
+			RandomReads:     n,                   // the join gather
+			RandomWS:        int64(len(prioOf)) * 4,
+		})
+	}
+
+	var out []Q3Row
+	for c := 0; c < card; c++ {
+		gi := g.GroupIndex(int32(c), 0)
+		if g.Count[gi] == 0 {
+			continue
+		}
+		out = append(out, Q3Row{OrderPriority: prio.Dict[c], Revenue: g.Sums[0][gi], Count: g.Count[gi]})
+	}
+	sortQ3(out)
+	return out, nil
+}
+
+func sortQ3(rows []Q3Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].OrderPriority < rows[j].OrderPriority })
+}

@@ -1,0 +1,88 @@
+package queries
+
+import (
+	"testing"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func TestQ3EnginesAgree(t *testing.T) {
+	li := workload.LineItem(71, 40000)
+	orders := workload.Orders(72, 10000) // lineitem orderkey = i/4 ∈ [0, 10000)
+	p := DefaultQ3()
+	base, err := Q3(EngineVolcano, li, orders, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 || len(base) > 5 {
+		t.Fatalf("Q3 groups = %d", len(base))
+	}
+	var totalCount int64
+	for _, r := range base {
+		totalCount += r.Count
+		if r.Revenue <= 0 {
+			t.Fatalf("group %s has revenue %f", r.OrderPriority, r.Revenue)
+		}
+	}
+	// The cutoff selects roughly half the lineitems.
+	if totalCount < 15000 || totalCount > 25000 {
+		t.Fatalf("total joined rows = %d, expected ~20000", totalCount)
+	}
+	for _, eng := range []Engine{EngineVectorized, EngineFused} {
+		got, err := Q3(eng, li, orders, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d groups, want %d", eng, len(got), len(base))
+		}
+		for i := range base {
+			if got[i].OrderPriority != base[i].OrderPriority || got[i].Count != base[i].Count {
+				t.Fatalf("%s group %d: %+v vs %+v", eng, i, got[i], base[i])
+			}
+			if !relClose(got[i].Revenue, base[i].Revenue) {
+				t.Fatalf("%s group %d revenue: %f vs %f", eng, i, got[i].Revenue, base[i].Revenue)
+			}
+		}
+	}
+}
+
+func TestQ3UnknownEngine(t *testing.T) {
+	li := workload.LineItem(73, 40)
+	orders := workload.Orders(74, 10)
+	if _, err := Q3(Engine("bogus"), li, orders, DefaultQ3(), nil); err == nil {
+		t.Fatal("unknown engine should fail")
+	}
+}
+
+func TestQ3CostOrdering(t *testing.T) {
+	li := workload.LineItem(75, 80000)
+	orders := workload.Orders(76, 20000)
+	m := hw.Server2S()
+	costs := map[Engine]float64{}
+	for _, eng := range Engines() {
+		acct := hw.NewAccount(m, hw.DefaultContext())
+		if _, err := Q3(eng, li, orders, DefaultQ3(), acct); err != nil {
+			t.Fatal(err)
+		}
+		costs[eng] = acct.TotalCycles()
+	}
+	if !(costs[EngineVolcano] > costs[EngineVectorized] && costs[EngineVectorized] > costs[EngineFused]) {
+		t.Fatalf("cost ordering violated: %v", costs)
+	}
+}
+
+func TestQ3EmptyFilter(t *testing.T) {
+	li := workload.LineItem(77, 1000)
+	orders := workload.Orders(78, 250)
+	for _, eng := range Engines() {
+		got, err := Q3(eng, li, orders, Q3Params{DateHi: -1}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%s: empty filter returned %v", eng, got)
+		}
+	}
+}

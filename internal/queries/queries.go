@@ -1,0 +1,316 @@
+// Package queries implements two decision-support queries in the shape of
+// TPC-H Q1 and Q6 on three execution engines — tuple-at-a-time (Volcano),
+// vectorized, and fused (JiT stand-in) — over the same generated lineitem
+// table. It is the workload of experiment E6: identical answers, radically
+// different instruction footprints per tuple.
+package queries
+
+import (
+	"fmt"
+	"sort"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/table"
+	"hwstar/internal/vecexec"
+	"hwstar/internal/volcano"
+)
+
+// Engine names an execution model.
+type Engine string
+
+// Engines.
+const (
+	EngineVolcano    Engine = "volcano"
+	EngineVectorized Engine = "vectorized"
+	EngineFused      Engine = "fused"
+)
+
+// Engines lists all execution models in comparison order.
+func Engines() []Engine { return []Engine{EngineVolcano, EngineVectorized, EngineFused} }
+
+// Q6Params parameterize the Q6-shaped query:
+//
+//	SELECT SUM(extendedprice*discount) FROM lineitem
+//	WHERE shipdate in [DateLo, DateHi] AND discount in [DiscLo, DiscHi]
+//	  AND quantity < QtyBelow
+type Q6Params struct {
+	DateLo, DateHi int64
+	DiscLo, DiscHi float64
+	QtyBelow       float64
+}
+
+// DefaultQ6 returns the canonical parameter set (one year, 6%±1% discount,
+// quantity < 24).
+func DefaultQ6() Q6Params {
+	return Q6Params{DateLo: 365, DateHi: 729, DiscLo: 0.05, DiscHi: 0.07, QtyBelow: 24}
+}
+
+// Q6 runs the query on the given engine. acct may be nil.
+func Q6(eng Engine, li *table.Table, p Q6Params, acct *hw.Account) (float64, error) {
+	switch eng {
+	case EngineVolcano:
+		return q6Volcano(li, p, acct)
+	case EngineVectorized:
+		return q6Vectorized(li, p, acct)
+	case EngineFused:
+		return q6Fused(li, p, acct)
+	default:
+		return 0, fmt.Errorf("queries: unknown engine %q", eng)
+	}
+}
+
+func lineitemCols(li *table.Table) (ship []int64, qty, price, disc, tax []float64, rf, ls *table.StringData, err error) {
+	if ship, err = li.Int64Column("shipdate"); err != nil {
+		return
+	}
+	if qty, err = li.Float64Column("quantity"); err != nil {
+		return
+	}
+	if price, err = li.Float64Column("extendedprice"); err != nil {
+		return
+	}
+	if disc, err = li.Float64Column("discount"); err != nil {
+		return
+	}
+	if tax, err = li.Float64Column("tax"); err != nil {
+		return
+	}
+	if rf, err = li.StringColumn("returnflag"); err != nil {
+		return
+	}
+	ls, err = li.StringColumn("linestatus")
+	return
+}
+
+func q6Volcano(li *table.Table, p Q6Params, acct *hw.Account) (float64, error) {
+	shipIdx := li.Schema().ColumnIndex("shipdate")
+	qtyIdx := li.Schema().ColumnIndex("quantity")
+	priceIdx := li.Schema().ColumnIndex("extendedprice")
+	discIdx := li.Schema().ColumnIndex("discount")
+
+	scan := volcano.NewTableScan(li)
+	filter := volcano.NewFilter(scan, func(r volcano.Row) bool {
+		return r[shipIdx].I >= p.DateLo && r[shipIdx].I <= p.DateHi &&
+			r[discIdx].F >= p.DiscLo && r[discIdx].F <= p.DiscHi &&
+			r[qtyIdx].F < p.QtyBelow
+	})
+	project := volcano.NewProject(filter, []func(volcano.Row) table.Value{
+		func(r volcano.Row) table.Value { return table.FloatValue(r[priceIdx].F * r[discIdx].F) },
+	})
+	agg := volcano.NewHashAggregate(project, nil, []volcano.AggSpec{{Kind: volcano.AggSum, Col: 0}})
+	rows, err := volcano.Run(agg)
+	if err != nil {
+		return 0, err
+	}
+	if acct != nil {
+		volcano.ChargeCost(acct, int64(li.NumRows()), 4, li.Schema().RowBytes())
+	}
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	return rows[0][0].F, nil
+}
+
+func q6Vectorized(li *table.Table, p Q6Params, acct *hw.Account) (float64, error) {
+	ship, qty, price, disc, _, _, _, err := lineitemCols(li)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	sel := make(vecexec.Sel, 0, vecexec.ChunkSize)
+	sel2 := make(vecexec.Sel, 0, vecexec.ChunkSize)
+	vecexec.Chunks(li.NumRows(), func(start, end int) {
+		sel = vecexec.RangeFilterI64(ship[start:end], p.DateLo, p.DateHi, nil, sel[:0])
+		sel2 = vecexec.RangeFilterF64(disc[start:end], p.DiscLo, p.DiscHi, sel, sel2[:0])
+		sel = vecexec.RangeFilterF64(qty[start:end], 0, p.QtyBelow-1e-12, sel2, sel[:0])
+		sum += vecexec.SumProductF64(price[start:end], disc[start:end], sel)
+	})
+	if acct != nil {
+		vecexec.ChargeQ6Vectorized(acct, int64(li.NumRows()))
+	}
+	return sum, nil
+}
+
+func q6Fused(li *table.Table, p Q6Params, acct *hw.Account) (float64, error) {
+	ship, qty, price, disc, _, _, _, err := lineitemCols(li)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range ship {
+		if ship[i] >= p.DateLo && ship[i] <= p.DateHi &&
+			disc[i] >= p.DiscLo && disc[i] <= p.DiscHi && qty[i] < p.QtyBelow {
+			sum += price[i] * disc[i]
+		}
+	}
+	if acct != nil {
+		vecexec.ChargeQ6Fused(acct, int64(li.NumRows()))
+	}
+	return sum, nil
+}
+
+// Q1Row is one output group of the Q1-shaped query.
+type Q1Row struct {
+	ReturnFlag, LineStatus                    string
+	SumQty, SumPrice, SumDiscPrice, SumCharge float64
+	AvgQty, AvgPrice, AvgDisc                 float64
+	Count                                     int64
+}
+
+// Q1Params parameterize the Q1-shaped query: aggregate all lineitems with
+// shipdate <= DateHi, grouped by (returnflag, linestatus).
+type Q1Params struct {
+	DateHi int64
+}
+
+// DefaultQ1 uses the conventional shipdate cutoff near the end of the date
+// domain.
+func DefaultQ1() Q1Params { return Q1Params{DateHi: 2400} }
+
+// Q1 runs the query on the given engine, returning groups sorted by
+// (returnflag, linestatus).
+func Q1(eng Engine, li *table.Table, p Q1Params, acct *hw.Account) ([]Q1Row, error) {
+	switch eng {
+	case EngineVolcano:
+		return q1Volcano(li, p, acct)
+	case EngineVectorized, EngineFused:
+		return q1Columnar(eng, li, p, acct)
+	default:
+		return nil, fmt.Errorf("queries: unknown engine %q", eng)
+	}
+}
+
+func q1Volcano(li *table.Table, p Q1Params, acct *hw.Account) ([]Q1Row, error) {
+	s := li.Schema()
+	shipIdx := s.ColumnIndex("shipdate")
+	qtyIdx := s.ColumnIndex("quantity")
+	priceIdx := s.ColumnIndex("extendedprice")
+	discIdx := s.ColumnIndex("discount")
+	taxIdx := s.ColumnIndex("tax")
+	rfIdx := s.ColumnIndex("returnflag")
+	lsIdx := s.ColumnIndex("linestatus")
+
+	scan := volcano.NewTableScan(li)
+	filter := volcano.NewFilter(scan, func(r volcano.Row) bool { return r[shipIdx].I <= p.DateHi })
+	project := volcano.NewProject(filter, []func(volcano.Row) table.Value{
+		func(r volcano.Row) table.Value { return r[rfIdx] },
+		func(r volcano.Row) table.Value { return r[lsIdx] },
+		func(r volcano.Row) table.Value { return r[qtyIdx] },
+		func(r volcano.Row) table.Value { return r[priceIdx] },
+		func(r volcano.Row) table.Value { return r[discIdx] },
+		func(r volcano.Row) table.Value { return table.FloatValue(r[priceIdx].F * (1 - r[discIdx].F)) },
+		func(r volcano.Row) table.Value {
+			return table.FloatValue(r[priceIdx].F * (1 - r[discIdx].F) * (1 + r[taxIdx].F))
+		},
+	})
+	agg := volcano.NewHashAggregate(project, []int{0, 1}, []volcano.AggSpec{
+		{Kind: volcano.AggSum, Col: 2},
+		{Kind: volcano.AggSum, Col: 3},
+		{Kind: volcano.AggSum, Col: 5},
+		{Kind: volcano.AggSum, Col: 6},
+		{Kind: volcano.AggAvg, Col: 2},
+		{Kind: volcano.AggAvg, Col: 3},
+		{Kind: volcano.AggAvg, Col: 4},
+		{Kind: volcano.AggCount},
+	})
+	rows, err := volcano.Run(agg)
+	if err != nil {
+		return nil, err
+	}
+	if acct != nil {
+		volcano.ChargeCost(acct, int64(li.NumRows()), 4, li.Schema().RowBytes())
+	}
+	out := make([]Q1Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Q1Row{
+			ReturnFlag: r[0].S, LineStatus: r[1].S,
+			SumQty: r[2].F, SumPrice: r[3].F, SumDiscPrice: r[4].F, SumCharge: r[5].F,
+			AvgQty: r[6].F, AvgPrice: r[7].F, AvgDisc: r[8].F, Count: r[9].I,
+		})
+	}
+	sortQ1(out)
+	return out, nil
+}
+
+// q1Columnar runs Q1 vectorized or fused over dictionary codes with a dense
+// group array (both engines share the group layout; the fused variant does
+// everything in one loop, the vectorized one in per-chunk primitives).
+func q1Columnar(eng Engine, li *table.Table, p Q1Params, acct *hw.Account) ([]Q1Row, error) {
+	ship, qty, price, disc, tax, rf, ls, err := lineitemCols(li)
+	if err != nil {
+		return nil, err
+	}
+	card1, card2 := rf.CardinalityOfDict(), ls.CardinalityOfDict()
+	if card1 == 0 || card2 == 0 {
+		return nil, nil
+	}
+	// Aggregates: sumQty, sumPrice, sumDiscPrice, sumCharge, sumDisc.
+	g := vecexec.NewGroupAgg(card1, card2, 5)
+
+	if eng == EngineFused {
+		for i := range ship {
+			if ship[i] > p.DateHi {
+				continue
+			}
+			g1, g2 := rf.Codes[i], ls.Codes[i]
+			dp := price[i] * (1 - disc[i])
+			g.Add(0, g1, g2, qty[i])
+			g.Add(1, g1, g2, price[i])
+			g.Add(2, g1, g2, dp)
+			g.Add(3, g1, g2, dp*(1+tax[i]))
+			g.Add(4, g1, g2, disc[i])
+			g.Bump(g1, g2)
+		}
+		if acct != nil {
+			vecexec.ChargeQ1Fused(acct, int64(li.NumRows()))
+		}
+	} else {
+		sel := make(vecexec.Sel, 0, vecexec.ChunkSize)
+		vecexec.Chunks(li.NumRows(), func(start, end int) {
+			sel = vecexec.RangeFilterI64(ship[start:end], 0, p.DateHi, nil, sel[:0])
+			for _, ci := range sel {
+				i := start + int(ci)
+				g1, g2 := rf.Codes[i], ls.Codes[i]
+				dp := price[i] * (1 - disc[i])
+				g.Add(0, g1, g2, qty[i])
+				g.Add(1, g1, g2, price[i])
+				g.Add(2, g1, g2, dp)
+				g.Add(3, g1, g2, dp*(1+tax[i]))
+				g.Add(4, g1, g2, disc[i])
+				g.Bump(g1, g2)
+			}
+		})
+		if acct != nil {
+			vecexec.ChargeQ1Vectorized(acct, int64(li.NumRows()))
+		}
+	}
+
+	var out []Q1Row
+	for g1 := 0; g1 < card1; g1++ {
+		for g2 := 0; g2 < card2; g2++ {
+			gi := g.GroupIndex(int32(g1), int32(g2))
+			n := g.Count[gi]
+			if n == 0 {
+				continue
+			}
+			out = append(out, Q1Row{
+				ReturnFlag: rf.Dict[g1], LineStatus: ls.Dict[g2],
+				SumQty: g.Sums[0][gi], SumPrice: g.Sums[1][gi],
+				SumDiscPrice: g.Sums[2][gi], SumCharge: g.Sums[3][gi],
+				AvgQty: g.Sums[0][gi] / float64(n), AvgPrice: g.Sums[1][gi] / float64(n),
+				AvgDisc: g.Sums[4][gi] / float64(n), Count: n,
+			})
+		}
+	}
+	sortQ1(out)
+	return out, nil
+}
+
+func sortQ1(rows []Q1Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ReturnFlag != rows[j].ReturnFlag {
+			return rows[i].ReturnFlag < rows[j].ReturnFlag
+		}
+		return rows[i].LineStatus < rows[j].LineStatus
+	})
+}

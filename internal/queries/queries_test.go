@@ -1,0 +1,191 @@
+package queries
+
+import (
+	"math"
+	"testing"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/denom < 1e-9
+}
+
+func TestQ6EnginesAgree(t *testing.T) {
+	li := workload.LineItem(42, 50000)
+	p := DefaultQ6()
+	var results []float64
+	for _, eng := range Engines() {
+		got, err := Q6(eng, li, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		results = append(results, got)
+	}
+	if results[0] == 0 {
+		t.Fatal("Q6 selected nothing; fixture broken")
+	}
+	for i := 1; i < len(results); i++ {
+		if !relClose(results[0], results[i]) {
+			t.Fatalf("engines disagree: %v", results)
+		}
+	}
+}
+
+func TestQ6SelectivityExtremes(t *testing.T) {
+	li := workload.LineItem(7, 10000)
+	// Empty range.
+	none := Q6Params{DateLo: 9999, DateHi: 10000, DiscLo: 0, DiscHi: 1, QtyBelow: 100}
+	for _, eng := range Engines() {
+		got, err := Q6(eng, li, none, nil)
+		if err != nil || got != 0 {
+			t.Fatalf("%s empty range: %f, %v", eng, got, err)
+		}
+	}
+	// Select-all range: all engines agree on total.
+	all := Q6Params{DateLo: 0, DateHi: 1 << 40, DiscLo: 0, DiscHi: 1, QtyBelow: 1e18}
+	want, _ := Q6(EngineFused, li, all, nil)
+	for _, eng := range Engines() {
+		got, err := Q6(eng, li, all, nil)
+		if err != nil || !relClose(got, want) {
+			t.Fatalf("%s select-all: %f vs %f (%v)", eng, got, want, err)
+		}
+	}
+}
+
+func TestQ1EnginesAgree(t *testing.T) {
+	li := workload.LineItem(43, 30000)
+	p := DefaultQ1()
+	base, err := Q1(EngineVolcano, li, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) == 0 || len(base) > 6 {
+		t.Fatalf("Q1 groups = %d", len(base))
+	}
+	for _, eng := range []Engine{EngineVectorized, EngineFused} {
+		got, err := Q1(eng, li, p, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("%s: %d groups, want %d", eng, len(got), len(base))
+		}
+		for i := range base {
+			b, g := base[i], got[i]
+			if b.ReturnFlag != g.ReturnFlag || b.LineStatus != g.LineStatus || b.Count != g.Count {
+				t.Fatalf("%s group %d: %+v vs %+v", eng, i, g, b)
+			}
+			for _, pair := range [][2]float64{
+				{b.SumQty, g.SumQty}, {b.SumPrice, g.SumPrice},
+				{b.SumDiscPrice, g.SumDiscPrice}, {b.SumCharge, g.SumCharge},
+				{b.AvgQty, g.AvgQty}, {b.AvgPrice, g.AvgPrice}, {b.AvgDisc, g.AvgDisc},
+			} {
+				if !relClose(pair[0], pair[1]) {
+					t.Fatalf("%s group %d numeric mismatch: %v", eng, i, pair)
+				}
+			}
+		}
+	}
+}
+
+func TestQ1CountsSumToFilteredRows(t *testing.T) {
+	li := workload.LineItem(44, 20000)
+	p := Q1Params{DateHi: 1200}
+	ship, _ := li.Int64Column("shipdate")
+	var want int64
+	for _, s := range ship {
+		if s <= p.DateHi {
+			want++
+		}
+	}
+	rows, err := Q1(EngineFused, li, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for _, r := range rows {
+		got += r.Count
+	}
+	if got != want {
+		t.Fatalf("counts sum to %d, want %d", got, want)
+	}
+}
+
+func TestUnknownEngine(t *testing.T) {
+	li := workload.LineItem(1, 10)
+	if _, err := Q6(Engine("bogus"), li, DefaultQ6(), nil); err == nil {
+		t.Fatal("unknown engine should fail Q6")
+	}
+	if _, err := Q1(Engine("bogus"), li, DefaultQ1(), nil); err == nil {
+		t.Fatal("unknown engine should fail Q1")
+	}
+}
+
+func TestCostOrderingAcrossEngines(t *testing.T) {
+	// The modeled cost must reproduce the literature's ordering:
+	// volcano ≫ vectorized > fused.
+	li := workload.LineItem(45, 100000)
+	m := hw.Server2S()
+	costs := map[Engine]float64{}
+	for _, eng := range Engines() {
+		acct := hw.NewAccount(m, hw.DefaultContext())
+		if _, err := Q6(eng, li, DefaultQ6(), acct); err != nil {
+			t.Fatal(err)
+		}
+		costs[eng] = acct.TotalCycles()
+	}
+	if costs[EngineVolcano] <= costs[EngineVectorized] {
+		t.Fatalf("volcano %.0f should exceed vectorized %.0f", costs[EngineVolcano], costs[EngineVectorized])
+	}
+	if costs[EngineVectorized] <= costs[EngineFused] {
+		t.Fatalf("vectorized %.0f should exceed fused %.0f", costs[EngineVectorized], costs[EngineFused])
+	}
+	// Volcano interpretation overhead should be roughly an order of
+	// magnitude, as the vectorization papers report.
+	if ratio := costs[EngineVolcano] / costs[EngineFused]; ratio < 5 {
+		t.Fatalf("volcano/fused ratio = %.1f, expected >5×", ratio)
+	}
+}
+
+func TestQ6RealTimeOrdering(t *testing.T) {
+	// The real Go implementations should also show volcano slower than
+	// fused in wall-clock terms (interfaces + boxed values vs a tight
+	// loop). Measured coarsely to stay robust on a loaded CI machine.
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	li := workload.LineItem(46, 200000)
+	p := DefaultQ6()
+	time := func(eng Engine) float64 {
+		// Warm once, then measure three runs.
+		if _, err := Q6(eng, li, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		best := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			start := nowNanos()
+			if _, err := Q6(eng, li, p, nil); err != nil {
+				t.Fatal(err)
+			}
+			if d := float64(nowNanos() - start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	volcano, fused := time(EngineVolcano), time(EngineFused)
+	if volcano < 2*fused {
+		t.Logf("warning: volcano %.0fns vs fused %.0fns — expected ≥2× gap", volcano, fused)
+	}
+	if volcano <= fused {
+		t.Fatalf("volcano (%.0fns) should be slower than fused (%.0fns) in real time", volcano, fused)
+	}
+}
+
+func nowNanos() int64 { return timeNow().UnixNano() }

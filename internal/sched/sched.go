@@ -1,0 +1,314 @@
+// Package sched implements a morsel-driven, NUMA-aware task scheduler over
+// the simulated machine topology. It is the piece that turns "we have P
+// cores" into measured parallel behaviour: operators split their input into
+// morsels (small tasks), each task executes real Go code and charges its
+// hardware work to the simulated core it runs on, and the scheduler's
+// list-scheduling simulation produces a deterministic makespan — including
+// the load-imbalance and remote-access effects the keynote warns about.
+//
+// The simulation executes tasks sequentially in virtual-time order (always
+// advancing the core with the lowest clock), which makes runs exactly
+// reproducible regardless of host parallelism while still modelling a
+// parallel machine faithfully: the makespan is that of the same greedy
+// schedule on real hardware with the modelled per-task costs.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hwstar/internal/hw"
+)
+
+// Worker is a simulated core executing tasks. Tasks receive their worker and
+// may charge hardware work against it; the worker's virtual clock advances by
+// the priced cycles.
+type Worker struct {
+	// ID is the global core index; Socket its NUMA node.
+	ID     int
+	Socket int
+
+	clock        float64
+	acct         *hw.Account
+	tasks        int
+	machine      *hw.Machine
+	totalWorkers int
+}
+
+// TotalWorkers returns the number of workers participating in the current
+// run — the "P" that contention formulas need.
+func (w *Worker) TotalWorkers() int { return w.totalWorkers }
+
+// Charge prices w on the worker's machine under the worker's execution
+// context and advances the virtual clock. It returns the cycles charged.
+func (w *Worker) Charge(work hw.Work) float64 {
+	cycles := w.acct.Charge(work)
+	w.clock += cycles
+	return cycles
+}
+
+// AdvanceCycles adds raw cycles to the worker's clock (for costs computed
+// outside the Work vocabulary, e.g. traced cache simulations).
+func (w *Worker) AdvanceCycles(c float64) { w.clock += c }
+
+// Clock returns the worker's current virtual time in cycles.
+func (w *Worker) Clock() float64 { return w.clock }
+
+// Machine returns the machine the worker runs on.
+func (w *Worker) Machine() *hw.Machine { return w.machine }
+
+// Context returns the worker's execution context.
+func (w *Worker) Context() hw.ExecContext { return w.acct.Context() }
+
+// Task is one unit of schedulable work. Run executes real code; any hardware
+// cost it wants modelled must be charged to the worker.
+type Task struct {
+	// Name labels the task in diagnostics.
+	Name string
+	// Socket is the preferred NUMA node (-1 for no preference); the
+	// scheduler queues the task there and only another socket's worker
+	// takes it by stealing.
+	Socket int
+	// Run executes the task on the given worker.
+	Run func(w *Worker)
+}
+
+// Options configures a scheduler run.
+type Options struct {
+	// Workers is the number of simulated cores to use; 0 means all cores of
+	// the machine. Workers are assigned to sockets round-robin in blocks
+	// (fill socket 0 first), matching how affinity-aware engines place
+	// threads.
+	Workers int
+	// Stealing enables cross-socket work stealing when a worker's own
+	// socket queue drains.
+	Stealing bool
+	// Interference is the external slowdown factor applied to all memory
+	// work (see hw.ExecContext); values < 1 are treated as 1.
+	Interference float64
+}
+
+// Result summarizes a scheduler run.
+type Result struct {
+	// MakespanCycles is the virtual time at which the last worker finished
+	// — the parallel runtime of the task set.
+	MakespanCycles float64
+	// TotalCycles is the sum of all per-worker busy cycles (the serial
+	// work).
+	TotalCycles float64
+	// PerWorker holds each worker's busy cycles.
+	PerWorker []float64
+	// TasksRun is the number of executed tasks; Steals counts tasks
+	// executed on a non-preferred socket.
+	TasksRun int
+	Steals   int
+	// Workers is the number of simulated cores used.
+	Workers int
+}
+
+// Speedup returns TotalCycles / MakespanCycles — the effective parallelism
+// achieved.
+func (r Result) Speedup() float64 {
+	if r.MakespanCycles == 0 {
+		return 0
+	}
+	return r.TotalCycles / r.MakespanCycles
+}
+
+// Imbalance returns (max-mean)/mean of per-worker busy cycles, 0 for a
+// perfectly balanced run.
+func (r Result) Imbalance() float64 {
+	if len(r.PerWorker) == 0 {
+		return 0
+	}
+	var sum, maxC float64
+	for _, c := range r.PerWorker {
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := sum / float64(len(r.PerWorker))
+	if mean == 0 {
+		return 0
+	}
+	return (maxC - mean) / mean
+}
+
+// Scheduler runs task sets on a simulated machine.
+type Scheduler struct {
+	machine *hw.Machine
+	opts    Options
+}
+
+// Workers returns the number of simulated cores the scheduler uses.
+func (s *Scheduler) Workers() int { return s.opts.Workers }
+
+// Machine returns the machine the scheduler simulates.
+func (s *Scheduler) Machine() *hw.Machine { return s.machine }
+
+// New returns a scheduler for machine m with the given options.
+func New(m *hw.Machine, opts Options) (*Scheduler, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("sched: negative worker count %d", opts.Workers)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = m.TotalCores()
+	}
+	if opts.Workers > m.TotalCores() {
+		return nil, fmt.Errorf("sched: %d workers exceed machine's %d cores", opts.Workers, m.TotalCores())
+	}
+	if opts.Interference < 1 {
+		opts.Interference = 1
+	}
+	return &Scheduler{machine: m, opts: opts}, nil
+}
+
+// workerHeap orders workers by virtual clock (ties by ID for determinism).
+type workerHeap []*Worker
+
+func (h workerHeap) Len() int { return len(h) }
+func (h workerHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].ID < h[j].ID
+}
+func (h workerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *workerHeap) Push(x any)   { *h = append(*h, x.(*Worker)) }
+func (h *workerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}
+
+// Run executes all tasks and returns the schedule's result. Tasks with a
+// preferred socket go to that socket's queue; unpinned tasks are spread
+// round-robin. Execution order is deterministic.
+func (s *Scheduler) Run(tasks []Task) Result {
+	m := s.machine
+	nw := s.opts.Workers
+
+	// Place workers on sockets: fill sockets in order, as a pinned engine
+	// would.
+	workers := make([]*Worker, nw)
+	perSocket := make([]int, m.Sockets)
+	for i := 0; i < nw; i++ {
+		socket := i / m.CoresPerSocket
+		if socket >= m.Sockets {
+			socket = m.Sockets - 1
+		}
+		perSocket[socket]++
+		workers[i] = &Worker{ID: i, Socket: socket, machine: m, totalWorkers: nw}
+	}
+	for _, w := range workers {
+		ctx := hw.ExecContext{
+			ActiveCoresOnSocket: perSocket[w.Socket],
+			InterferenceFactor:  s.opts.Interference,
+		}
+		w.acct = hw.NewAccount(m, ctx)
+	}
+
+	// Socket-local FIFO queues.
+	queues := make([][]Task, m.Sockets)
+	rr := 0
+	for _, t := range tasks {
+		sock := t.Socket
+		if sock < 0 || sock >= m.Sockets {
+			sock = rr % m.Sockets
+			rr++
+		}
+		queues[sock] = append(queues[sock], t)
+	}
+	heads := make([]int, m.Sockets)
+	remaining := func(sock int) int { return len(queues[sock]) - heads[sock] }
+	totalRemaining := len(tasks)
+
+	h := make(workerHeap, len(workers))
+	copy(h, workers)
+	heap.Init(&h)
+
+	res := Result{Workers: nw}
+	for totalRemaining > 0 && h.Len() > 0 {
+		w := heap.Pop(&h).(*Worker)
+		// Prefer the local queue; otherwise steal from the fullest queue.
+		sock := w.Socket
+		if remaining(sock) == 0 {
+			if !s.opts.Stealing {
+				// This worker is done: do not re-queue it.
+				continue
+			}
+			best, bestLeft := -1, 0
+			for qs := range queues {
+				if left := remaining(qs); left > bestLeft {
+					best, bestLeft = qs, left
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			sock = best
+			res.Steals++
+		}
+		t := queues[sock][heads[sock]]
+		heads[sock]++
+		totalRemaining--
+
+		before := w.clock
+		t.Run(w)
+		if w.clock < before {
+			// Defensive: tasks must not rewind time.
+			w.clock = before
+		}
+		w.tasks++
+		res.TasksRun++
+		heap.Push(&h, w)
+	}
+
+	res.PerWorker = make([]float64, nw)
+	for i, w := range workers {
+		res.PerWorker[i] = w.clock
+		res.TotalCycles += w.clock
+		if w.clock > res.MakespanCycles {
+			res.MakespanCycles = w.clock
+		}
+	}
+	return res
+}
+
+// Morsels splits n items into tasks of at most morselSize items each,
+// calling fn(start, end, worker) for each morsel. Morsels are unpinned;
+// pass them through PinRoundRobin to spread them over sockets explicitly.
+func Morsels(n, morselSize int, name string, fn func(start, end int, w *Worker)) []Task {
+	if morselSize <= 0 {
+		morselSize = 1 << 14
+	}
+	var tasks []Task
+	for start := 0; start < n; start += morselSize {
+		end := start + morselSize
+		if end > n {
+			end = n
+		}
+		s, e := start, end
+		tasks = append(tasks, Task{
+			Name:   fmt.Sprintf("%s[%d:%d]", name, s, e),
+			Socket: -1,
+			Run:    func(w *Worker) { fn(s, e, w) },
+		})
+	}
+	return tasks
+}
+
+// PinRoundRobin assigns preferred sockets to tasks round-robin over the
+// machine's sockets, modelling NUMA-partitioned input.
+func PinRoundRobin(tasks []Task, m *hw.Machine) []Task {
+	for i := range tasks {
+		tasks[i].Socket = i % m.Sockets
+	}
+	return tasks
+}

@@ -1,0 +1,161 @@
+// Package sort contrasts hardware-conscious and comparison-based sorting of
+// int64 keys — another front of the keynote's argument. The comparison sort
+// executes O(n log n) unpredictable branches and pointer-ish accesses; LSB
+// radix sort replaces them with O(passes · n) sequential streams whose only
+// irregularity is a bounded scatter, which software-managed counting keeps
+// TLB-friendly. Both sorts are real implementations; both describe their
+// behaviour to the machine model.
+package sort
+
+import (
+	"math"
+	stdsort "sort"
+
+	"hwstar/internal/hw"
+)
+
+// keyBytes is the width of one element.
+const keyBytes = 8
+
+// Comparison sorts keys in place using the standard library's introsort —
+// the hardware-oblivious baseline (fine algorithmics, hostile branch and
+// access behaviour).
+func Comparison(keys []int64) {
+	stdsort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// RadixOptions tunes the LSB radix sort.
+type RadixOptions struct {
+	// BitsPerPass is the digit width; 0 derives it from the machine's TLB
+	// (fan-out ≤ TLB entries) like the radix join does.
+	BitsPerPass int
+}
+
+func (o RadixOptions) resolve(m *hw.Machine) RadixOptions {
+	if o.BitsPerPass <= 0 {
+		entries := 64
+		if m != nil {
+			entries = m.TLBEntries
+		}
+		o.BitsPerPass = log2floor(entries)
+		if o.BitsPerPass < 1 {
+			o.BitsPerPass = 1
+		}
+		if o.BitsPerPass > 16 {
+			o.BitsPerPass = 16
+		}
+	}
+	return o
+}
+
+func log2floor(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Radix sorts keys ascending using LSB radix passes over a biased (order-
+// preserving) unsigned representation, so negative keys sort correctly.
+// It returns the number of passes executed (for cost reporting).
+func Radix(keys []int64, opts RadixOptions, m *hw.Machine) int {
+	opts = opts.resolve(m)
+	n := len(keys)
+	if n <= 1 {
+		return 0
+	}
+	bits := opts.BitsPerPass
+	fanout := 1 << bits
+	mask := uint64(fanout - 1)
+
+	// Bias to unsigned so the natural unsigned digit order matches signed
+	// order.
+	src := make([]uint64, n)
+	for i, k := range keys {
+		src[i] = uint64(k) ^ (1 << 63)
+	}
+	dst := make([]uint64, n)
+
+	passes := (64 + bits - 1) / bits
+	count := make([]int, fanout)
+	for p := 0; p < passes; p++ {
+		shift := uint(p * bits)
+		for i := range count {
+			count[i] = 0
+		}
+		skip := true
+		first := (src[0] >> shift) & mask
+		for _, v := range src {
+			d := (v >> shift) & mask
+			count[d]++
+			if d != first {
+				skip = false
+			}
+		}
+		if skip {
+			// All digits equal in this pass: nothing to move.
+			continue
+		}
+		sum := 0
+		for i := 0; i < fanout; i++ {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for _, v := range src {
+			d := (v >> shift) & mask
+			dst[count[d]] = v
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	for i, v := range src {
+		keys[i] = int64(v ^ (1 << 63))
+	}
+	return passes
+}
+
+// ComparisonWork models the introsort: n·log2(n) comparisons, each a
+// hard-to-predict branch plus a swap touching scattered lines of the array.
+func ComparisonWork(n int64, m *hw.Machine) hw.Work {
+	if n <= 1 {
+		return hw.Work{Name: "sort-comparison"}
+	}
+	levels := math.Log2(float64(n))
+	cmp := float64(n) * levels
+	return hw.Work{
+		Name:            "sort-comparison",
+		Tuples:          int64(cmp),
+		ComputePerTuple: 4,
+		BranchMisses:    int64(cmp / 2),
+		// Partitioning touches the array once per level; the working set of
+		// each partition shrinks geometrically, so roughly half the levels'
+		// traffic is cache-resident. Charge the DRAM-visible share.
+		SeqReadBytes:  int64(float64(n) * keyBytes * levels / 2),
+		SeqWriteBytes: int64(float64(n) * keyBytes * levels / 2),
+	}
+}
+
+// RadixWork models the LSB radix sort: per pass, one counting read sweep and
+// one scatter write sweep, with the scatter sequential as long as the
+// fan-out respects the TLB.
+func RadixWork(n int64, opts RadixOptions, m *hw.Machine) hw.Work {
+	opts = opts.resolve(m)
+	passes := int64((64 + opts.BitsPerPass - 1) / opts.BitsPerPass)
+	w := hw.Work{
+		Name:            "sort-radix",
+		Tuples:          n * passes,
+		ComputePerTuple: 3, // digit extract + counter bump / cursor store
+		SeqReadBytes:    2 * n * passes * keyBytes,
+	}
+	fanout := 1 << opts.BitsPerPass
+	if m != nil && fanout > m.TLBEntries {
+		w.RandomReads = n * passes
+		w.RandomWS = n * keyBytes
+	} else {
+		w.SeqWriteBytes = n * passes * keyBytes
+	}
+	return w
+}

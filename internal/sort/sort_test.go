@@ -1,0 +1,133 @@
+package sort
+
+import (
+	"math"
+	"reflect"
+	stdsort "sort"
+	"testing"
+	"testing/quick"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/workload"
+)
+
+func TestRadixSortsKnownCases(t *testing.T) {
+	cases := [][]int64{
+		{},
+		{5},
+		{2, 1},
+		{1, 2, 3},
+		{3, 1, 2, 1, 3, 0},
+		{-5, 3, -1, 0, 7, -5},
+		{math.MaxInt64, math.MinInt64, 0, -1, 1},
+	}
+	for _, in := range cases {
+		got := append([]int64(nil), in...)
+		Radix(got, RadixOptions{}, hw.Server2S())
+		want := append([]int64(nil), in...)
+		stdsort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Radix(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestRadixLargeRandom(t *testing.T) {
+	keys := workload.UniformInts(1, 100000, 1<<40)
+	// Mix in negatives.
+	for i := 0; i < len(keys); i += 3 {
+		keys[i] = -keys[i]
+	}
+	got := append([]int64(nil), keys...)
+	passes := Radix(got, RadixOptions{}, hw.Server2S())
+	if passes <= 0 {
+		t.Fatal("passes should be positive")
+	}
+	if !stdsort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("radix output not sorted")
+	}
+	want := append([]int64(nil), keys...)
+	Comparison(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("radix disagrees with comparison sort")
+	}
+}
+
+func TestRadixBitsPerPassVariants(t *testing.T) {
+	keys := workload.UniformInts(2, 5000, 1<<30)
+	for _, bits := range []int{1, 4, 8, 11, 16} {
+		got := append([]int64(nil), keys...)
+		Radix(got, RadixOptions{BitsPerPass: bits}, nil)
+		if !stdsort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("bits=%d: not sorted", bits)
+		}
+	}
+}
+
+func TestRadixOptionsResolve(t *testing.T) {
+	m := hw.Server2S()
+	o := RadixOptions{}.resolve(m)
+	if o.BitsPerPass != 6 { // log2(64 TLB entries)
+		t.Fatalf("auto bits = %d, want 6", o.BitsPerPass)
+	}
+	if (RadixOptions{BitsPerPass: 20}).resolve(m).BitsPerPass != 20 {
+		t.Fatal("explicit bits should be kept")
+	}
+	if (RadixOptions{}).resolve(nil).BitsPerPass != 6 {
+		t.Fatal("nil machine should default to 64-entry TLB")
+	}
+}
+
+func TestComparison(t *testing.T) {
+	keys := []int64{3, -1, 2}
+	Comparison(keys)
+	if !reflect.DeepEqual(keys, []int64{-1, 2, 3}) {
+		t.Fatalf("comparison sort = %v", keys)
+	}
+}
+
+func TestCostModelOrdering(t *testing.T) {
+	m := hw.Server2S()
+	ctx := hw.DefaultContext()
+	// At scale, radix should be cheaper than the comparison sort (that is
+	// why database engines use it), and an unbuffered over-wide digit must
+	// be penalized.
+	n := int64(1 << 24)
+	cmp := m.Cycles(ComparisonWork(n, m), ctx)
+	radix := m.Cycles(RadixWork(n, RadixOptions{}, m), ctx)
+	if radix >= cmp {
+		t.Fatalf("radix %e should beat comparison %e at n=%d", radix, cmp, n)
+	}
+	wide := m.Cycles(RadixWork(n, RadixOptions{BitsPerPass: 16}, m), ctx)
+	if wide <= radix {
+		t.Fatalf("16-bit digits (fanout 65536 >> TLB) should cost more: %e <= %e", wide, radix)
+	}
+	if got := m.Cycles(ComparisonWork(1, m), ctx); got != 0 {
+		t.Fatalf("sorting one element should be free, got %f", got)
+	}
+}
+
+// Property: Radix is a correct sort for arbitrary inputs (result is sorted,
+// and is a permutation of the input).
+func TestRadixCorrectnessProperty(t *testing.T) {
+	f := func(raw []int64, bitsRaw uint8) bool {
+		bits := int(bitsRaw)%12 + 1
+		got := append([]int64(nil), raw...)
+		Radix(got, RadixOptions{BitsPerPass: bits}, nil)
+		want := append([]int64(nil), raw...)
+		stdsort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixSkipEqualDigitPass(t *testing.T) {
+	// All keys equal: every pass skips, result unchanged and correct.
+	keys := []int64{7, 7, 7, 7}
+	Radix(keys, RadixOptions{BitsPerPass: 8}, nil)
+	if !reflect.DeepEqual(keys, []int64{7, 7, 7, 7}) {
+		t.Fatalf("keys = %v", keys)
+	}
+}

@@ -1,0 +1,99 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV builds a table from CSV data with a header row. Column types come
+// from the given schema, whose column names must match the header exactly
+// (order included). Numeric parse errors report the offending row and
+// column.
+func ReadCSV(name string, schema *Schema, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumColumns()
+
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table %q: reading CSV header: %w", name, err)
+	}
+	for i, h := range header {
+		if h != schema.Column(i).Name {
+			return nil, fmt.Errorf("table %q: header column %d is %q, schema says %q",
+				name, i, h, schema.Column(i).Name)
+		}
+	}
+
+	b := NewBuilder(name, schema, 1024)
+	rowNum := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table %q: row %d: %w", name, rowNum, err)
+		}
+		rowNum++
+		vals := make([]Value, len(rec))
+		for c, cell := range rec {
+			def := schema.Column(c)
+			switch def.Type {
+			case Int64:
+				v, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table %q: row %d column %q: %q is not an int64",
+						name, rowNum, def.Name, cell)
+				}
+				vals[c] = IntValue(v)
+			case Float64:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("table %q: row %d column %q: %q is not a float64",
+						name, rowNum, def.Name, cell)
+				}
+				vals[c] = FloatValue(v)
+			case String:
+				vals[c] = StringValue(cell)
+			}
+		}
+		if err := b.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteCSV writes the table as CSV with a header row. Floats use the
+// shortest round-trippable representation, so ReadCSV(WriteCSV(t)) is
+// value-identical.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.schema.NumColumns())
+	for i := range header {
+		header[i] = t.schema.Column(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for r := 0; r < t.NumRows(); r++ {
+		for c, col := range t.cols {
+			switch d := col.(type) {
+			case *Int64Data:
+				rec[c] = strconv.FormatInt(d.Values[r], 10)
+			case *Float64Data:
+				rec[c] = strconv.FormatFloat(d.Values[r], 'g', -1, 64)
+			case *StringData:
+				rec[c] = d.Dict[d.Codes[r]]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

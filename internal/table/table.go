@@ -1,0 +1,176 @@
+package table
+
+import "fmt"
+
+// Table is an immutable in-memory relation: a schema plus column storage of
+// equal length. Build tables with a Builder or FromColumns; once built, a
+// table is safe for concurrent readers.
+type Table struct {
+	name   string
+	schema *Schema
+	cols   []ColumnData
+	rows   int
+}
+
+// FromColumns assembles a table from pre-built column data. All columns must
+// match the schema types and have equal length.
+func FromColumns(name string, schema *Schema, cols []ColumnData) (*Table, error) {
+	if len(cols) != schema.NumColumns() {
+		return nil, fmt.Errorf("table %q: %d columns for schema of %d", name, len(cols), schema.NumColumns())
+	}
+	rows := -1
+	for i, c := range cols {
+		def := schema.Column(i)
+		if c.Type() != def.Type {
+			return nil, fmt.Errorf("table %q: column %q is %s, schema says %s", name, def.Name, c.Type(), def.Type)
+		}
+		if rows == -1 {
+			rows = c.Len()
+		} else if c.Len() != rows {
+			return nil, fmt.Errorf("table %q: column %q has %d rows, expected %d", name, def.Name, c.Len(), rows)
+		}
+	}
+	if rows == -1 {
+		rows = 0
+	}
+	return &Table{name: name, schema: schema, cols: cols, rows: rows}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.rows }
+
+// Column returns the storage of column i.
+func (t *Table) Column(i int) ColumnData { return t.cols[i] }
+
+// ColumnByName returns the storage of the named column, or an error.
+func (t *Table) ColumnByName(name string) (ColumnData, error) {
+	i := t.schema.ColumnIndex(name)
+	if i < 0 {
+		return nil, fmt.Errorf("table %q: no column %q", t.name, name)
+	}
+	return t.cols[i], nil
+}
+
+// Int64Column returns the named column as []int64, or an error when the
+// column is missing or not Int64. This is the fast path the vectorized
+// engine uses.
+func (t *Table) Int64Column(name string) ([]int64, error) {
+	c, err := t.ColumnByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := c.(*Int64Data)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %s, not int64", t.name, name, c.Type())
+	}
+	return d.Values, nil
+}
+
+// Float64Column returns the named column as []float64, or an error.
+func (t *Table) Float64Column(name string) ([]float64, error) {
+	c, err := t.ColumnByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := c.(*Float64Data)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %s, not float64", t.name, name, c.Type())
+	}
+	return d.Values, nil
+}
+
+// StringColumn returns the named column's dictionary-encoded storage.
+func (t *Table) StringColumn(name string) (*StringData, error) {
+	c, err := t.ColumnByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := c.(*StringData)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %s, not string", t.name, name, c.Type())
+	}
+	return d, nil
+}
+
+// Row materializes row i as dynamically typed values (baseline path).
+func (t *Table) Row(i int) []Value {
+	out := make([]Value, len(t.cols))
+	for c, col := range t.cols {
+		out[c] = col.ValueAt(i)
+	}
+	return out
+}
+
+// Bytes returns the total columnar footprint of the table.
+func (t *Table) Bytes() int64 {
+	var b int64
+	for _, c := range t.cols {
+		b += c.Bytes()
+	}
+	return b
+}
+
+// Builder accumulates rows and produces a Table.
+type Builder struct {
+	name   string
+	schema *Schema
+	cols   []ColumnData
+}
+
+// NewBuilder returns a builder for a table with the given schema. capacity is
+// a row-count hint.
+func NewBuilder(name string, schema *Schema, capacity int) *Builder {
+	cols := make([]ColumnData, schema.NumColumns())
+	for i := range cols {
+		cols[i] = NewColumnData(schema.Column(i).Type, capacity)
+	}
+	return &Builder{name: name, schema: schema, cols: cols}
+}
+
+// AppendRow adds one row; values must match the schema in count and kind.
+func (b *Builder) AppendRow(vals ...Value) error {
+	if len(vals) != b.schema.NumColumns() {
+		return fmt.Errorf("table %q: AppendRow got %d values for %d columns", b.name, len(vals), b.schema.NumColumns())
+	}
+	for i, v := range vals {
+		def := b.schema.Column(i)
+		if v.Kind != def.Type {
+			return fmt.Errorf("table %q: column %q wants %s, got %s", b.name, def.Name, def.Type, v.Kind)
+		}
+	}
+	for i, v := range vals {
+		switch c := b.cols[i].(type) {
+		case *Int64Data:
+			c.Values = append(c.Values, v.I)
+		case *Float64Data:
+			c.Values = append(c.Values, v.F)
+		case *StringData:
+			c.Append(v.S)
+		}
+	}
+	return nil
+}
+
+// MustAppendRow is AppendRow that panics on error, for test fixtures.
+func (b *Builder) MustAppendRow(vals ...Value) {
+	if err := b.AppendRow(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// Build finalizes the table. The builder must not be used afterwards.
+func (b *Builder) Build() *Table {
+	t, err := FromColumns(b.name, b.schema, b.cols)
+	if err != nil {
+		// All invariants are enforced during AppendRow; reaching here is a
+		// programming error inside the builder.
+		panic(err)
+	}
+	return t
+}

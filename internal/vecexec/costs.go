@@ -1,0 +1,70 @@
+package vecexec
+
+import "hwstar/internal/hw"
+
+// Cost descriptions for the E6 queries. Column widths follow the lineitem
+// schema: four 8-byte numeric columns for Q6; five numerics plus two 4-byte
+// dictionary code columns for Q1.
+
+const (
+	q6ColumnBytes = 4 * 8
+	q1ColumnBytes = 5*8 + 2*4
+)
+
+// ChargeQ6Vectorized models the vectorized Q6 pipeline: three filter
+// primitives plus one sum-product, each a tight loop; intermediate selection
+// vectors stay cache-resident (chunked execution), so only base columns
+// stream from memory.
+func ChargeQ6Vectorized(acct *hw.Account, rows int64) {
+	acct.Charge(hw.Work{
+		Name:            "q6-vectorized",
+		Tuples:          rows * 3, // four primitives over shrinking selections
+		ComputePerTuple: vecTupleCycles,
+		SeqReadBytes:    rows * q6ColumnBytes,
+		BranchMisses:    rows / 4,
+	})
+}
+
+// ChargeQ6Fused models the fused Q6 loop: one pass, one combined predicate,
+// no intermediates.
+func ChargeQ6Fused(acct *hw.Account, rows int64) {
+	acct.Charge(hw.Work{
+		Name:            "q6-fused",
+		Tuples:          rows,
+		ComputePerTuple: fusedTupleCycles,
+		SeqReadBytes:    rows * q6ColumnBytes,
+		BranchMisses:    rows / 4,
+	})
+}
+
+// ChargeQ1Vectorized models the vectorized Q1: a filter primitive plus a
+// gather-and-accumulate pass per chunk (the dense group array stays in L1).
+func ChargeQ1Vectorized(acct *hw.Account, rows int64) {
+	acct.Charge(hw.Work{
+		Name:            "q1-vectorized",
+		Tuples:          rows * 5, // filter + gather + five accumulate primitives
+		ComputePerTuple: vecTupleCycles,
+		SeqReadBytes:    rows * q1ColumnBytes,
+		BranchMisses:    rows / 8, // the permissive date cutoff predicts well
+	})
+}
+
+// ChargeQ1Fused models the fused Q1 loop.
+func ChargeQ1Fused(acct *hw.Account, rows int64) {
+	acct.Charge(hw.Work{
+		Name:            "q1-fused",
+		Tuples:          rows,
+		ComputePerTuple: 2 * fusedTupleCycles, // five accumulations per tuple
+		SeqReadBytes:    rows * q1ColumnBytes,
+		BranchMisses:    rows / 8,
+	})
+}
+
+// Exported per-tuple constants for cost charges assembled outside this
+// package (e.g. the Q3 join pipeline in internal/queries).
+const (
+	// VecTupleCycles is the modelled vectorized per-primitive cost.
+	VecTupleCycles = vecTupleCycles
+	// FusedTupleCycles is the modelled fused-pipeline per-tuple cost.
+	FusedTupleCycles = fusedTupleCycles
+)

@@ -1,0 +1,171 @@
+package vecexec
+
+import "container/heap"
+
+// HashGroupSum is the vectorized group-by for group keys too wide or too
+// numerous for the dense GroupAgg array: an open-addressing table of
+// (key, sum, count) slots sized to the expected cardinality, processed a
+// selection at a time. It is the vectorized engine's counterpart of
+// internal/agg's serial paths and exists so pipelines can group without
+// falling back to Go maps in the hot loop.
+type HashGroupSum struct {
+	keys   []int64
+	sums   []float64
+	counts []int64
+	used   []bool
+	mask   uint64
+	size   int
+}
+
+// NewHashGroupSum sizes the table for an expected number of groups (50%
+// max fill).
+func NewHashGroupSum(expectedGroups int) *HashGroupSum {
+	capacity := 16
+	for capacity < 2*expectedGroups {
+		capacity <<= 1
+	}
+	return &HashGroupSum{
+		keys:   make([]int64, capacity),
+		sums:   make([]float64, capacity),
+		counts: make([]int64, capacity),
+		used:   make([]bool, capacity),
+		mask:   uint64(capacity - 1),
+	}
+}
+
+func ghash(k int64) uint64 {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// grow doubles the table when fill reaches 50%.
+func (g *HashGroupSum) grow() {
+	old := *g
+	capacity := len(old.keys) * 2
+	g.keys = make([]int64, capacity)
+	g.sums = make([]float64, capacity)
+	g.counts = make([]int64, capacity)
+	g.used = make([]bool, capacity)
+	g.mask = uint64(capacity - 1)
+	g.size = 0
+	for i, u := range old.used {
+		if u {
+			slot := g.slotFor(old.keys[i])
+			g.keys[slot] = old.keys[i]
+			g.used[slot] = true
+			g.sums[slot] = old.sums[i]
+			g.counts[slot] = old.counts[i]
+			g.size++
+		}
+	}
+}
+
+// slotFor returns the slot where key lives or should be inserted.
+func (g *HashGroupSum) slotFor(key int64) uint64 {
+	slot := ghash(key) & g.mask
+	for g.used[slot] && g.keys[slot] != key {
+		slot = (slot + 1) & g.mask
+	}
+	return slot
+}
+
+// AddBatch folds vals[i] into the group keys[i] for every selected row
+// (sel nil = all rows).
+func (g *HashGroupSum) AddBatch(keys []int64, vals []float64, sel Sel) {
+	fold := func(i int32) {
+		if 2*g.size >= len(g.keys) {
+			g.grow()
+		}
+		slot := g.slotFor(keys[i])
+		if !g.used[slot] {
+			g.used[slot] = true
+			g.keys[slot] = keys[i]
+			g.size++
+		}
+		g.sums[slot] += vals[i]
+		g.counts[slot]++
+	}
+	if sel == nil {
+		for i := range keys {
+			fold(int32(i))
+		}
+		return
+	}
+	for _, i := range sel {
+		fold(i)
+	}
+}
+
+// Len returns the number of groups.
+func (g *HashGroupSum) Len() int { return g.size }
+
+// Result returns one group's aggregate.
+type GroupResult struct {
+	Key   int64
+	Sum   float64
+	Count int64
+}
+
+// Results extracts all groups (unordered).
+func (g *HashGroupSum) Results() []GroupResult {
+	out := make([]GroupResult, 0, g.size)
+	for i, u := range g.used {
+		if u {
+			out = append(out, GroupResult{Key: g.keys[i], Sum: g.sums[i], Count: g.counts[i]})
+		}
+	}
+	return out
+}
+
+// TopK returns the k groups with the largest sums, descending (ties by
+// smaller key first), using a size-k min-heap — the vectorized engine's
+// ORDER BY ... LIMIT k without a full sort.
+func (g *HashGroupSum) TopK(k int) []GroupResult {
+	if k <= 0 {
+		return nil
+	}
+	h := &groupHeap{}
+	heap.Init(h)
+	for i, u := range g.used {
+		if !u {
+			continue
+		}
+		r := GroupResult{Key: g.keys[i], Sum: g.sums[i], Count: g.counts[i]}
+		if h.Len() < k {
+			heap.Push(h, r)
+		} else if less((*h)[0], r) {
+			(*h)[0] = r
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]GroupResult, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(GroupResult)
+	}
+	return out
+}
+
+// less orders a strictly below b in the "top" ordering (smaller sum, or
+// equal sum with larger key).
+func less(a, b GroupResult) bool {
+	if a.Sum != b.Sum {
+		return a.Sum < b.Sum
+	}
+	return a.Key > b.Key
+}
+
+// groupHeap is a min-heap under the top ordering.
+type groupHeap []GroupResult
+
+func (h groupHeap) Len() int           { return len(h) }
+func (h groupHeap) Less(i, j int) bool { return less(h[i], h[j]) }
+func (h groupHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x any)        { *h = append(*h, x.(GroupResult)) }
+func (h *groupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}

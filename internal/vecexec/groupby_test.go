@@ -1,0 +1,159 @@
+package vecexec
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hwstar/internal/workload"
+)
+
+func TestHashGroupSumBasics(t *testing.T) {
+	g := NewHashGroupSum(4)
+	keys := []int64{1, 2, 1, 3, 2, 1}
+	vals := []float64{10, 20, 30, 40, 50, 60}
+	g.AddBatch(keys, vals, nil)
+	if g.Len() != 3 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	got := map[int64]GroupResult{}
+	for _, r := range g.Results() {
+		got[r.Key] = r
+	}
+	if got[1].Sum != 100 || got[1].Count != 3 {
+		t.Fatalf("group 1 = %+v", got[1])
+	}
+	if got[2].Sum != 70 || got[3].Sum != 40 {
+		t.Fatalf("groups = %v", got)
+	}
+}
+
+func TestHashGroupSumWithSelection(t *testing.T) {
+	g := NewHashGroupSum(4)
+	keys := []int64{1, 2, 1, 3}
+	vals := []float64{10, 20, 30, 40}
+	g.AddBatch(keys, vals, Sel{0, 3})
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	for _, r := range g.Results() {
+		if r.Key == 1 && r.Sum != 10 {
+			t.Fatalf("selected group 1 = %+v", r)
+		}
+	}
+}
+
+func TestHashGroupSumGrowth(t *testing.T) {
+	g := NewHashGroupSum(2) // deliberately undersized
+	keys := workload.SequentialInts(10000)
+	vals := make([]float64, len(keys))
+	for i := range vals {
+		vals[i] = 1
+	}
+	g.AddBatch(keys, vals, nil)
+	g.AddBatch(keys, vals, nil) // every key twice
+	if g.Len() != 10000 {
+		t.Fatalf("groups = %d", g.Len())
+	}
+	for _, r := range g.Results() {
+		if r.Sum != 2 || r.Count != 2 {
+			t.Fatalf("group %d = %+v", r.Key, r)
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := NewHashGroupSum(8)
+	keys := []int64{10, 20, 30, 40, 50}
+	vals := []float64{5, 3, 9, 1, 7}
+	g.AddBatch(keys, vals, nil)
+
+	top3 := g.TopK(3)
+	if len(top3) != 3 {
+		t.Fatalf("topk = %v", top3)
+	}
+	if top3[0].Key != 30 || top3[1].Key != 50 || top3[2].Key != 10 {
+		t.Fatalf("topk order = %v", top3)
+	}
+	// k beyond the group count returns everything, still ordered.
+	all := g.TopK(100)
+	if len(all) != 5 || all[4].Key != 40 {
+		t.Fatalf("topk(100) = %v", all)
+	}
+	if g.TopK(0) != nil {
+		t.Fatal("topk(0) should be nil")
+	}
+}
+
+func TestTopKTieBreak(t *testing.T) {
+	g := NewHashGroupSum(4)
+	g.AddBatch([]int64{7, 3, 9}, []float64{1, 1, 1}, nil)
+	top := g.TopK(2)
+	if top[0].Key != 3 || top[1].Key != 7 {
+		t.Fatalf("ties should order by smaller key: %v", top)
+	}
+}
+
+// Property: the hash group-by agrees with a reference map, and TopK returns
+// the k largest sums in order, for arbitrary inputs.
+func TestHashGroupSumEquivalenceProperty(t *testing.T) {
+	f := func(rawKeys []uint8, rawVals []uint8, kRaw uint8) bool {
+		n := len(rawKeys)
+		if len(rawVals) < n {
+			n = len(rawVals)
+		}
+		keys := make([]int64, n)
+		vals := make([]float64, n)
+		ref := map[int64]float64{}
+		refCount := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			keys[i] = int64(rawKeys[i] % 32)
+			vals[i] = float64(rawVals[i])
+			ref[keys[i]] += vals[i]
+			refCount[keys[i]]++
+		}
+		g := NewHashGroupSum(8)
+		g.AddBatch(keys, vals, nil)
+		if g.Len() != len(ref) {
+			return false
+		}
+		for _, r := range g.Results() {
+			if ref[r.Key] != r.Sum || refCount[r.Key] != r.Count {
+				return false
+			}
+		}
+		// TopK equals the sorted reference prefix.
+		k := int(kRaw)%8 + 1
+		type pair struct {
+			key int64
+			sum float64
+		}
+		var ps []pair
+		for kk, s := range ref {
+			ps = append(ps, pair{kk, s})
+		}
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].sum != ps[j].sum {
+				return ps[i].sum > ps[j].sum
+			}
+			return ps[i].key < ps[j].key
+		})
+		top := g.TopK(k)
+		want := k
+		if want > len(ps) {
+			want = len(ps)
+		}
+		if len(top) != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if top[i].Key != ps[i].key || top[i].Sum != ps[i].sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+package vmsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwstar/internal/hw"
+)
+
+func spec() QuerySpec {
+	return QuerySpec{Work: hw.Work{
+		Tuples: 100000, ComputePerTuple: 4,
+		SeqReadBytes: 8 << 20,
+		RandomReads:  20000, RandomWS: 1 << 30,
+	}}
+}
+
+func TestInterferenceValidate(t *testing.T) {
+	for _, ok := range []Interference{None(), Light(), Heavy(), Isolated(Heavy())} {
+		if err := ok.Validate(); err != nil {
+			t.Fatalf("%+v should validate: %v", ok, err)
+		}
+	}
+	bad := []Interference{
+		{StealProb: -0.1, PollutionFactor: 1, BandwidthFactor: 1},
+		{StealProb: 1.5, PollutionFactor: 1, BandwidthFactor: 1},
+		{PollutionProb: 0.5, PollutionFactor: 0.5, BandwidthFactor: 1},
+		{PollutionFactor: 1, BandwidthFactor: 0.5},
+		{StealPenalty: -1, PollutionFactor: 1, BandwidthFactor: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("bad interference %d should fail: %+v", i, b)
+		}
+	}
+}
+
+func TestRunDistributionBasics(t *testing.T) {
+	m := hw.Server2S()
+	h, err := RunDistribution(m, spec(), None(), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 500 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Undisturbed: every run identical.
+	if h.Min() != h.Max() {
+		t.Fatalf("undisturbed runs should be constant: %f..%f", h.Min(), h.Max())
+	}
+	if _, err := RunDistribution(m, spec(), None(), 0, 1); err == nil {
+		t.Fatal("zero queries should fail")
+	}
+	if _, err := RunDistribution(m, spec(), Interference{BandwidthFactor: 0.1, PollutionFactor: 1}, 5, 1); err == nil {
+		t.Fatal("invalid interference should fail")
+	}
+}
+
+func TestInterferenceRaisesTail(t *testing.T) {
+	m := hw.Server2S()
+	base, _ := RunDistribution(m, spec(), None(), 2000, 7)
+	heavy, _ := RunDistribution(m, spec(), Heavy(), 2000, 7)
+	pb, ph := Summarize(base), Summarize(heavy)
+	if ph.P50 <= pb.P50 {
+		t.Fatalf("heavy interference should raise median: %f <= %f", ph.P50, pb.P50)
+	}
+	if ph.TailRatio() <= 1.05 {
+		t.Fatalf("heavy interference tail ratio = %f, should be well above 1", ph.TailRatio())
+	}
+	if pb.TailRatio() > 1.0001 {
+		t.Fatalf("undisturbed tail ratio = %f, should be 1", pb.TailRatio())
+	}
+}
+
+func TestIsolationRestoresPredictability(t *testing.T) {
+	m := hw.Server2S()
+	heavy, _ := RunDistribution(m, spec(), Heavy(), 2000, 9)
+	isolated, _ := RunDistribution(m, spec(), Isolated(Heavy()), 2000, 9)
+	ph, pi := Summarize(heavy), Summarize(isolated)
+	if pi.TailRatio() >= ph.TailRatio() {
+		t.Fatalf("isolation should shrink the tail: %f >= %f", pi.TailRatio(), ph.TailRatio())
+	}
+	// Isolation keeps the bandwidth tax but removes the variance.
+	if pi.P999 > pi.P50*1.0001 {
+		t.Fatalf("isolated runs should be near-constant: p999 %f vs p50 %f", pi.P999, pi.P50)
+	}
+}
+
+func TestLightBetweenNoneAndHeavy(t *testing.T) {
+	m := hw.Server2S()
+	none, _ := RunDistribution(m, spec(), None(), 1500, 3)
+	light, _ := RunDistribution(m, spec(), Light(), 1500, 3)
+	heavy, _ := RunDistribution(m, spec(), Heavy(), 1500, 3)
+	n, l, h := Summarize(none), Summarize(light), Summarize(heavy)
+	if !(n.P99 <= l.P99 && l.P99 <= h.P99) {
+		t.Fatalf("p99 ordering violated: %f, %f, %f", n.P99, l.P99, h.P99)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := hw.Laptop()
+	a, _ := RunDistribution(m, spec(), Heavy(), 300, 42)
+	b, _ := RunDistribution(m, spec(), Heavy(), 300, 42)
+	if a.Quantile(0.9) != b.Quantile(0.9) || a.Sum() != b.Sum() {
+		t.Fatal("same seed must reproduce the distribution")
+	}
+	c, _ := RunDistribution(m, spec(), Heavy(), 300, 43)
+	if a.Sum() == c.Sum() {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTailRatioZeroSafe(t *testing.T) {
+	if (Predictability{}).TailRatio() != 0 {
+		t.Fatal("zero median should not divide by zero")
+	}
+}
+
+// Property: interference can only slow queries down — every latency under
+// disturbance is at least the undisturbed latency.
+func TestInterferenceMonotoneProperty(t *testing.T) {
+	m := hw.Server2S()
+	baseLat := m.Cycles(spec().Work, hw.DefaultContext())
+	f := func(seed int64, stealRaw, pollRaw uint8) bool {
+		inter := Interference{
+			StealProb:       float64(stealRaw%100) / 100,
+			StealPenalty:    2,
+			PollutionProb:   float64(pollRaw%100) / 100,
+			PollutionFactor: 2,
+			BandwidthFactor: 1.1,
+		}
+		h, err := RunDistribution(m, spec(), inter, 100, seed)
+		if err != nil {
+			return false
+		}
+		return h.Min() >= baseLat-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package volcano
+
+import "fmt"
+
+// HashJoin is the iterator-model equi-join: it drains the build child into
+// an in-memory hash table on Open, then streams the probe child, emitting
+// the probe row concatenated with each matching build row. Like everything
+// in this package it is the faithful hardware-oblivious rendition — boxed
+// values as hash keys, a map of slices, one virtual call per tuple.
+type HashJoin struct {
+	build, probe       Iterator
+	buildCol, probeCol int
+
+	ht      map[string][]Row
+	pending []Row // remaining matches for the current probe row
+	cur     Row
+}
+
+// NewHashJoin joins build and probe on equality of the given columns.
+func NewHashJoin(build, probe Iterator, buildCol, probeCol int) *HashJoin {
+	return &HashJoin{build: build, probe: probe, buildCol: buildCol, probeCol: probeCol}
+}
+
+// Open builds the hash table from the build child.
+func (j *HashJoin) Open() error {
+	if err := j.build.Open(); err != nil {
+		return err
+	}
+	defer j.build.Close()
+	j.ht = make(map[string][]Row)
+	for {
+		row, ok, err := j.build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if j.buildCol < 0 || j.buildCol >= len(row) {
+			return fmt.Errorf("volcano: hash join build column %d out of range", j.buildCol)
+		}
+		key := row[j.buildCol].String()
+		j.ht[key] = append(j.ht[key], row)
+	}
+	j.pending = nil
+	return j.probe.Open()
+}
+
+// Next implements Iterator: output rows are probe columns followed by build
+// columns.
+func (j *HashJoin) Next() (Row, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			match := j.pending[0]
+			j.pending = j.pending[1:]
+			out := make(Row, 0, len(j.cur)+len(match))
+			out = append(out, j.cur...)
+			out = append(out, match...)
+			return out, true, nil
+		}
+		row, ok, err := j.probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if j.probeCol < 0 || j.probeCol >= len(row) {
+			return nil, false, fmt.Errorf("volcano: hash join probe column %d out of range", j.probeCol)
+		}
+		j.cur = row
+		j.pending = j.ht[row[j.probeCol].String()]
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoin) Close() error {
+	j.ht = nil
+	j.pending = nil
+	return j.probe.Close()
+}
+
+// compile-time interface checks for all operators in the package.
+var (
+	_ Iterator = (*TableScan)(nil)
+	_ Iterator = (*Filter)(nil)
+	_ Iterator = (*Project)(nil)
+	_ Iterator = (*HashAggregate)(nil)
+	_ Iterator = (*HashJoin)(nil)
+)

@@ -1,0 +1,265 @@
+package volcano
+
+import (
+	"math"
+	"testing"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/table"
+)
+
+func fixtureTable(t *testing.T) *table.Table {
+	t.Helper()
+	s := table.MustSchema(
+		table.ColumnDef{Name: "id", Type: table.Int64},
+		table.ColumnDef{Name: "grp", Type: table.String},
+		table.ColumnDef{Name: "val", Type: table.Float64},
+	)
+	b := table.NewBuilder("fixture", s, 6)
+	b.MustAppendRow(table.IntValue(1), table.StringValue("a"), table.FloatValue(10))
+	b.MustAppendRow(table.IntValue(2), table.StringValue("b"), table.FloatValue(20))
+	b.MustAppendRow(table.IntValue(3), table.StringValue("a"), table.FloatValue(30))
+	b.MustAppendRow(table.IntValue(4), table.StringValue("b"), table.FloatValue(40))
+	b.MustAppendRow(table.IntValue(5), table.StringValue("a"), table.FloatValue(50))
+	return b.Build()
+}
+
+func TestTableScan(t *testing.T) {
+	rows, err := Run(NewTableScan(fixtureTable(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[2][0].I != 3 || rows[2][1].S != "a" || rows[2][2].F != 30 {
+		t.Fatalf("row 2 = %v", rows[2])
+	}
+}
+
+func TestTableScanReopen(t *testing.T) {
+	scan := NewTableScan(fixtureTable(t))
+	first, _ := Run(scan)
+	second, err := Run(scan) // Run calls Open again
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("reopen produced %d rows, want %d", len(second), len(first))
+	}
+}
+
+func TestFilter(t *testing.T) {
+	it := NewFilter(NewTableScan(fixtureTable(t)), func(r Row) bool { return r[0].I%2 == 1 })
+	rows, err := Run(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("filtered rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].I%2 != 1 {
+			t.Fatalf("filter leak: %v", r)
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	it := NewProject(NewTableScan(fixtureTable(t)), []func(Row) table.Value{
+		func(r Row) table.Value { return table.FloatValue(r[2].F * 2) },
+		func(r Row) table.Value { return r[1] },
+	})
+	rows, err := Run(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0][0].F != 20 || rows[0][1].S != "a" {
+		t.Fatalf("projection wrong: %v", rows[0])
+	}
+}
+
+func TestHashAggregateGrouped(t *testing.T) {
+	agg := NewHashAggregate(NewTableScan(fixtureTable(t)), []int{1}, []AggSpec{
+		{Kind: AggSum, Col: 2},
+		{Kind: AggCount},
+		{Kind: AggMin, Col: 2},
+		{Kind: AggMax, Col: 2},
+		{Kind: AggAvg, Col: 2},
+	})
+	rows, err := Run(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(rows))
+	}
+	byGroup := map[string]Row{}
+	for _, r := range rows {
+		byGroup[r[0].S] = r
+	}
+	a := byGroup["a"]
+	if a[1].F != 90 || a[2].I != 3 || a[3].F != 10 || a[4].F != 50 || a[5].F != 30 {
+		t.Fatalf("group a = %v", a)
+	}
+	b := byGroup["b"]
+	if b[1].F != 60 || b[2].I != 2 {
+		t.Fatalf("group b = %v", b)
+	}
+}
+
+func TestHashAggregateGlobal(t *testing.T) {
+	agg := NewHashAggregate(NewTableScan(fixtureTable(t)), nil, []AggSpec{{Kind: AggSum, Col: 2}})
+	rows, err := Run(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].F != 150 {
+		t.Fatalf("global sum = %v", rows)
+	}
+}
+
+func TestHashAggregateIntColumn(t *testing.T) {
+	agg := NewHashAggregate(NewTableScan(fixtureTable(t)), nil, []AggSpec{{Kind: AggSum, Col: 0}})
+	rows, err := Run(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].F != 15 {
+		t.Fatalf("int sum = %v", rows[0])
+	}
+}
+
+func TestHashAggregateStringAggError(t *testing.T) {
+	agg := NewHashAggregate(NewTableScan(fixtureTable(t)), nil, []AggSpec{{Kind: AggSum, Col: 1}})
+	if _, err := Run(agg); err == nil {
+		t.Fatal("aggregating a string column should fail")
+	}
+}
+
+func TestEmptyPipeline(t *testing.T) {
+	s := table.MustSchema(table.ColumnDef{Name: "x", Type: table.Int64})
+	empty := table.NewBuilder("empty", s, 0).Build()
+	rows, err := Run(NewHashAggregate(NewTableScan(empty), nil, []AggSpec{{Kind: AggCount}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty table should produce no groups, got %v", rows)
+	}
+}
+
+func TestPipelineComposition(t *testing.T) {
+	// scan → filter → project → aggregate, all composed.
+	tbl := fixtureTable(t)
+	pipeline := NewHashAggregate(
+		NewProject(
+			NewFilter(NewTableScan(tbl), func(r Row) bool { return r[2].F >= 20 }),
+			[]func(Row) table.Value{
+				func(r Row) table.Value { return r[1] },
+				func(r Row) table.Value { return table.FloatValue(r[2].F / 10) },
+			}),
+		[]int{0},
+		[]AggSpec{{Kind: AggSum, Col: 1}})
+	rows, err := Run(pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, r := range rows {
+		got[r[0].S] = r[1].F
+	}
+	if math.Abs(got["a"]-8) > 1e-12 || math.Abs(got["b"]-6) > 1e-12 {
+		t.Fatalf("pipeline result = %v", got)
+	}
+}
+
+func TestChargeCost(t *testing.T) {
+	m := hw.Laptop()
+	acct := hw.NewAccount(m, hw.DefaultContext())
+	ChargeCost(acct, 1000, 4, 20)
+	if acct.TotalCycles() <= 0 {
+		t.Fatal("volcano cost should be positive")
+	}
+	bd := acct.Breakdown()
+	if bd.Compute < 1000*4*interpTupleCycles {
+		t.Fatalf("compute %f below interpretation floor", bd.Compute)
+	}
+	if bd.Branches <= 0 {
+		t.Fatal("branch misses should be charged")
+	}
+}
+
+func ordersFixture(t *testing.T) *table.Table {
+	t.Helper()
+	s := table.MustSchema(
+		table.ColumnDef{Name: "key", Type: table.Int64},
+		table.ColumnDef{Name: "name", Type: table.String},
+	)
+	b := table.NewBuilder("dim", s, 3)
+	b.MustAppendRow(table.IntValue(1), table.StringValue("one"))
+	b.MustAppendRow(table.IntValue(2), table.StringValue("two"))
+	b.MustAppendRow(table.IntValue(2), table.StringValue("zwei")) // duplicate build key
+	return b.Build()
+}
+
+func TestHashJoin(t *testing.T) {
+	facts := fixtureTable(t) // ids 1..5
+	dim := ordersFixture(t)
+	join := NewHashJoin(NewTableScan(dim), NewTableScan(facts), 0, 0)
+	rows, err := Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fact ids 1 and 2 match; id 2 matches two build rows.
+	if len(rows) != 3 {
+		t.Fatalf("joined rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// probe columns (3) then build columns (2)
+		if len(r) != 5 {
+			t.Fatalf("row width = %d", len(r))
+		}
+		if r[0].I != r[3].I {
+			t.Fatalf("join key mismatch: %v", r)
+		}
+	}
+}
+
+func TestHashJoinNoMatches(t *testing.T) {
+	facts := fixtureTable(t)
+	empty := table.NewBuilder("empty", table.MustSchema(table.ColumnDef{Name: "key", Type: table.Int64}), 0).Build()
+	rows, err := Run(NewHashJoin(NewTableScan(empty), NewTableScan(facts), 0, 0))
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty build join: %v, %v", rows, err)
+	}
+}
+
+func TestHashJoinColumnOutOfRange(t *testing.T) {
+	facts := fixtureTable(t)
+	dim := ordersFixture(t)
+	if _, err := Run(NewHashJoin(NewTableScan(dim), NewTableScan(facts), 9, 0)); err == nil {
+		t.Fatal("bad build column should fail")
+	}
+	if _, err := Run(NewHashJoin(NewTableScan(dim), NewTableScan(facts), 0, 9)); err == nil {
+		t.Fatal("bad probe column should fail")
+	}
+}
+
+func TestHashJoinComposedPipeline(t *testing.T) {
+	facts := fixtureTable(t)
+	dim := ordersFixture(t)
+	join := NewHashJoin(NewTableScan(dim), NewTableScan(facts), 0, 0)
+	agg := NewHashAggregate(join, []int{4}, []AggSpec{{Kind: AggSum, Col: 2}}) // group by dim name, sum fact val
+	rows, err := Run(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, r := range rows {
+		got[r[0].S] = r[1].F
+	}
+	if got["one"] != 10 || got["two"] != 20 || got["zwei"] != 20 {
+		t.Fatalf("aggregated join = %v", got)
+	}
+}
