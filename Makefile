@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench experiments clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: compile everything, vet, and run the
+# whole suite under the race detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=BenchmarkE -benchtime=1x .
+
+experiments:
+	$(GO) run ./cmd/hwbench
+
+clean:
+	$(GO) clean ./...

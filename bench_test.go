@@ -78,6 +78,7 @@ func BenchmarkE15LatchFree(b *testing.B)     { runExperiment(b, "E15") }
 func BenchmarkE16BloomJoin(b *testing.B)     { runExperiment(b, "E16") }
 func BenchmarkE17Planner(b *testing.B)       { runExperiment(b, "E17") }
 func BenchmarkE18Validation(b *testing.B)    { runExperiment(b, "E18") }
+func BenchmarkE19Serve(b *testing.B)         { runExperiment(b, "E19") }
 
 // Live microbenchmarks: the real Go implementations on the host CPU.
 

@@ -1,0 +1,189 @@
+// Command hwserve drives the hwstar concurrent query service: it starts a
+// Server on a machine profile, fires a cohort of concurrent clients at it,
+// and reports what the serving layer did — throughput, admission decisions,
+// batch-size distribution, and the modeled cycles each query paid.
+//
+// Usage:
+//
+//	hwserve [-machine name] [-clients n] [-requests n] [-rows n]
+//	        [-queue n] [-maxbatch n] [-window d] [-mix scan|mixed]
+//	        [-deadline d]
+//
+// The default workload is all shared-scannable range aggregates; -mix mixed
+// adds joins and grouped aggregations that exercise the worker budget.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwstar"
+	"hwstar/internal/hw"
+)
+
+type config struct {
+	machineName string
+	clients     int
+	requests    int // per client
+	rows        int
+	queueDepth  int
+	maxBatch    int
+	window      time.Duration
+	deadline    time.Duration
+	mix         string // "scan" or "mixed"
+}
+
+type report struct {
+	completed, rejected, deadlined int64
+	elapsed                        time.Duration
+	batches                        int
+	batchP50, batchMax             float64
+	meanMcyc                       float64 // per completed query
+	queueDepth                     int
+}
+
+func run(cfg config) (*report, error) {
+	m, ok := hw.Profiles()[cfg.machineName]
+	if !ok {
+		return nil, fmt.Errorf("unknown machine %q", cfg.machineName)
+	}
+	if cfg.mix != "scan" && cfg.mix != "mixed" {
+		return nil, fmt.Errorf("unknown mix %q (want scan or mixed)", cfg.mix)
+	}
+	srv, err := hwstar.NewServer(m, hwstar.ServerOptions{
+		QueueDepth:  cfg.queueDepth,
+		MaxBatch:    cfg.maxBatch,
+		BatchWindow: cfg.window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := [][]int64{
+		hwstar.GenUniform(41, cfg.rows, 100000),
+		hwstar.GenUniform(42, cfg.rows, 1000),
+	}
+	if err := srv.Register("facts", cols); err != nil {
+		return nil, err
+	}
+	g := hwstar.GenJoin(43, 4096, 16384, 0)
+	var joinReq hwstar.Request
+	joinReq.Op = hwstar.OpJoin
+	joinReq.Algorithm = "auto"
+	joinReq.Join.BuildKeys, joinReq.Join.BuildVals = g.BuildKeys, g.BuildVals
+	joinReq.Join.ProbeKeys, joinReq.Join.ProbeVals = g.ProbeKeys, g.ProbeVals
+	aggKeys := hwstar.GenUniform(44, 65536, 1024)
+	aggVals := hwstar.GenUniform(45, 65536, 100)
+
+	var completed, rejected, deadlined int64
+	var cycles atomicFloat
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			for i := 0; i < cfg.requests; i++ {
+				req := hwstar.Request{
+					Op:    hwstar.OpScan,
+					Table: "facts",
+					Query: hwstar.ScanQuery{FilterCol: 0, Lo: int64(rng.Intn(90000)), AggCol: 1},
+				}
+				req.Query.Hi = req.Query.Lo + 5000
+				if cfg.mix == "mixed" {
+					switch rng.Intn(4) {
+					case 1:
+						req = joinReq
+					case 2:
+						req = hwstar.Request{Op: hwstar.OpGroupSum, Keys: aggKeys, Vals: aggVals, Strategy: hwstar.AggRadix}
+					}
+				}
+				ctx := context.Background()
+				cancel := func() {}
+				if cfg.deadline > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+				}
+				resp, err := srv.Submit(ctx, req)
+				cancel()
+				switch {
+				case err == nil:
+					atomic.AddInt64(&completed, 1)
+					cycles.add(resp.SimCycles)
+				case errors.Is(err, hwstar.ErrOverloaded):
+					atomic.AddInt64(&rejected, 1)
+				case errors.Is(err, context.DeadlineExceeded):
+					atomic.AddInt64(&deadlined, 1)
+				default:
+					atomic.AddInt64(&deadlined, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	bs := srv.Metrics().Histogram("serve.batch_size")
+	r := &report{
+		completed: completed, rejected: rejected, deadlined: deadlined,
+		elapsed:  elapsed,
+		batches:  bs.Count(),
+		batchP50: bs.Quantile(0.5), batchMax: bs.Max(),
+		queueDepth: cfg.queueDepth,
+	}
+	if completed > 0 {
+		r.meanMcyc = cycles.load() / float64(completed) / 1e6
+	}
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *report) print(w io.Writer, cfg config) {
+	total := int64(cfg.clients) * int64(cfg.requests)
+	fmt.Fprintf(w, "%d clients x %d requests on %s (%s mix)\n", cfg.clients, cfg.requests, cfg.machineName, cfg.mix)
+	fmt.Fprintf(w, "  completed %d / %d  (rejected %d, missed deadline %d)\n", r.completed, total, r.rejected, r.deadlined)
+	fmt.Fprintf(w, "  wall time %.2fs  (%.0f req/s)\n", r.elapsed.Seconds(), float64(r.completed)/r.elapsed.Seconds())
+	if r.batches > 0 {
+		fmt.Fprintf(w, "  scan batches %d  (p50 size %.0f, max %.0f)\n", r.batches, r.batchP50, r.batchMax)
+	}
+	fmt.Fprintf(w, "  modeled cost %.2f Mcycles/query (amortized over shared scans)\n", r.meanMcyc)
+}
+
+// atomicFloat accumulates float64 samples without a mutex on the hot path.
+type atomicFloat struct {
+	mu  sync.Mutex
+	sum float64
+}
+
+func (a *atomicFloat) add(v float64) { a.mu.Lock(); a.sum += v; a.mu.Unlock() }
+func (a *atomicFloat) load() float64 { a.mu.Lock(); defer a.mu.Unlock(); return a.sum }
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.machineName, "machine", "server-2s8c", "machine profile name")
+	flag.IntVar(&cfg.clients, "clients", 64, "concurrent clients")
+	flag.IntVar(&cfg.requests, "requests", 10, "requests per client")
+	flag.IntVar(&cfg.rows, "rows", 1<<20, "fact table rows")
+	flag.IntVar(&cfg.queueDepth, "queue", 256, "intake queue depth")
+	flag.IntVar(&cfg.maxBatch, "maxbatch", 1024, "max queries per shared scan")
+	flag.DurationVar(&cfg.window, "window", 2*time.Millisecond, "batching window")
+	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-request deadline (0 = none)")
+	flag.StringVar(&cfg.mix, "mix", "scan", "workload mix: scan or mixed")
+	flag.Parse()
+
+	r, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r.print(os.Stdout, cfg)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smallConfig() config {
+	return config{
+		machineName: "server-2s8c",
+		clients:     8,
+		requests:    3,
+		rows:        1 << 14,
+		queueDepth:  64,
+		maxBatch:    64,
+		window:      time.Millisecond,
+		mix:         "scan",
+	}
+}
+
+func TestRunScanMix(t *testing.T) {
+	cfg := smallConfig()
+	r, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(cfg.clients * cfg.requests)
+	if r.completed != total || r.rejected != 0 || r.deadlined != 0 {
+		t.Fatalf("completed %d of %d (rejected %d, deadlined %d)", r.completed, total, r.rejected, r.deadlined)
+	}
+	if r.batches == 0 || r.batchMax < 1 {
+		t.Fatalf("no batches recorded: %+v", r)
+	}
+	if r.meanMcyc <= 0 {
+		t.Fatalf("no modeled cost: %+v", r)
+	}
+	var sb strings.Builder
+	r.print(&sb, cfg)
+	for _, want := range []string{"completed", "scan batches", "Mcycles/query"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunMixedMix(t *testing.T) {
+	cfg := smallConfig()
+	cfg.mix = "mixed"
+	cfg.deadline = time.Minute // generous: nothing should miss it
+	r, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.completed != int64(cfg.clients*cfg.requests) {
+		t.Fatalf("mixed run lost requests: %+v", r)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cfg := smallConfig()
+	cfg.machineName = "nope"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("unknown machine should fail")
+	}
+	cfg = smallConfig()
+	cfg.mix = "bogus"
+	if _, err := run(cfg); err == nil {
+		t.Fatal("unknown mix should fail")
+	}
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -171,7 +172,7 @@ func (s *session) exec(line string) error {
 		}
 		g := workload.GenerateJoin(workload.JoinConfig{Seed: 7, BuildRows: build, ProbeRows: probe})
 		start := time.Now()
-		res, err := s.engine.HashJoin(g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, hwstar.JoinAlgorithm(fields[3]))
+		res, err := s.engine.HashJoin(context.Background(), g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, hwstar.JoinAlgorithm(fields[3]))
 		if err != nil {
 			return err
 		}

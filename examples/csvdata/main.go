@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	top, err := engine.TopGroups(keys, amounts, 3)
+	top, err := engine.TopGroups(context.Background(), keys, amounts, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,23 +24,24 @@ func main() {
 
 	// 1. The same query under three execution models. The fused pipeline
 	// is what JiT compilation produces; Volcano is the classic interpreter.
+	ctx := context.Background()
 	lineitem := hwstar.GenLineItem(1, 200_000)
 	fmt.Printf("\nQ6 over %d rows (%d columns):\n", lineitem.NumRows(), lineitem.Schema().NumColumns())
 	for _, eng := range []hwstar.QueryEngine{hwstar.Volcano, hwstar.Vectorized, hwstar.Fused} {
 		start := time.Now()
-		revenue, cycles, err := engine.RunQ6(eng, lineitem)
+		q6, err := engine.RunQ6(ctx, eng, lineitem)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-11s revenue=%.2f   model %5.1f cyc/tuple   real %6.2fms\n",
-			eng, revenue, cycles/float64(lineitem.NumRows()),
+			eng, q6.Revenue, q6.SimCycles/float64(lineitem.NumRows()),
 			float64(time.Since(start).Microseconds())/1000)
 	}
 
 	// 2. A parallel hash join. JoinAuto picks the no-partitioning join for
 	// cache-resident build sides and the radix-partitioned join beyond.
 	data := hwstar.GenJoin(2, 100_000, 400_000, 0)
-	res, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinAuto)
+	res, err := engine.HashJoin(ctx, data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinAuto)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func main() {
 	// 3. Grouped aggregation with a contention-free strategy.
 	keys := hwstar.GenZipf(3, 500_000, 1000, 1.2)
 	vals := hwstar.GenUniform(4, 500_000, 100)
-	agg, err := engine.GroupSum(keys, vals, hwstar.AggRadix)
+	agg, err := engine.GroupSum(ctx, keys, vals, hwstar.AggRadix)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	m := engine.Machine()
 	fmt.Printf("machine: %s\n\n", m)
 
@@ -24,11 +26,11 @@ func main() {
 	fmt.Println("build rows   npo Mcyc   radix Mcyc   winner")
 	for _, build := range []int{1 << 14, 1 << 17, 1 << 20} {
 		data := hwstar.GenJoin(1, build, 4*build, 0)
-		npo, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinNPO)
+		npo, err := engine.HashJoin(ctx, data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinNPO)
 		if err != nil {
 			log.Fatal(err)
 		}
-		radix, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinRadix)
+		radix, err := engine.HashJoin(ctx, data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinRadix)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,11 +48,11 @@ func main() {
 	fmt.Println("zipf s   npo Mcyc   radix Mcyc   winner")
 	for _, s := range []float64{0, 1.1, 1.5} {
 		data := hwstar.GenJoin(2, 1<<21, 1<<23, s)
-		npo, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinNPO)
+		npo, err := engine.HashJoin(ctx, data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinNPO)
 		if err != nil {
 			log.Fatal(err)
 		}
-		radix, err := engine.HashJoin(data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinRadix)
+		radix, err := engine.HashJoin(ctx, data.BuildKeys, data.BuildVals, data.ProbeKeys, data.ProbeVals, hwstar.JoinRadix)
 		if err != nil {
 			log.Fatal(err)
 		}

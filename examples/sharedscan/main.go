@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 		for i := range qs {
 			qs[i] = hwstar.ScanQuery{FilterCol: 0, Lo: starts[i], Hi: starts[i] + 3600, AggCol: 1}
 		}
-		res, err := engine.SharedScan(cols, qs)
+		res, err := engine.SharedScan(context.Background(), cols, qs)
 		if err != nil {
 			log.Fatal(err)
 		}

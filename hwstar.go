@@ -18,17 +18,26 @@
 //     cache/TLB simulator (internal/cache).
 //
 // This package is the public façade: an Engine bound to a machine profile,
-// with high-level operations that return both real results and modeled
-// hardware costs. The E1–E18 experiment suite (internal/experiments,
-// cmd/hwbench) reproduces the behaviour the hardware-conscious database
-// literature reports, on any host, deterministically.
+// with high-level, context-first operations that return both real results and
+// modeled hardware costs, and a Server that multiplexes concurrent clients
+// onto the engine with shared-scan batching and admission control. The E1–E19
+// experiment suite (internal/experiments, cmd/hwbench) reproduces the
+// behaviour the hardware-conscious database literature reports, on any host,
+// deterministically.
+//
+// All Engine operations take a context.Context as their first parameter.
+// Cancellation is cooperative: parallel operations check the context at every
+// morsel boundary, so a cancelled context aborts within one morsel's worth of
+// work and returns an error wrapping the context's error.
 package hwstar
 
 import (
+	"context"
 	"fmt"
 
 	"hwstar/internal/agg"
 	"hwstar/internal/bench"
+	"hwstar/internal/errs"
 	"hwstar/internal/experiments"
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
@@ -37,10 +46,35 @@ import (
 	"hwstar/internal/queries"
 	"hwstar/internal/scan"
 	"hwstar/internal/sched"
+	"hwstar/internal/serve"
 	"hwstar/internal/table"
 	"hwstar/internal/vecexec"
 	"hwstar/internal/workload"
 )
+
+// Sentinel errors. All validation and lifecycle failures across the façade
+// and the server wrap one of these, so callers can classify failures with
+// errors.Is regardless of the message text.
+var (
+	// ErrNilMachine reports a nil machine profile.
+	ErrNilMachine = errs.ErrNilMachine
+	// ErrWorkersOutOfRange reports a worker count outside 1..TotalCores.
+	ErrWorkersOutOfRange = errs.ErrWorkersOutOfRange
+	// ErrInvalidInput reports malformed operation input (mismatched slice
+	// lengths, unknown algorithm or strategy names, out-of-range columns).
+	ErrInvalidInput = errs.ErrInvalidInput
+	// ErrOverloaded reports that a Server's intake queue is full.
+	ErrOverloaded = errs.ErrOverloaded
+	// ErrClosed reports an operation on a closed Server.
+	ErrClosed = errs.ErrClosed
+)
+
+// Cost is the modeled hardware cost shared by every result type: simulated
+// cycles on the engine's machine profile. For parallel operations SimCycles
+// is the scheduled makespan; for single-threaded query plans it is the
+// accounted total; for batched server execution it is the amortized
+// per-query share of the batch.
+type Cost = hw.Cost
 
 // Re-exported core types. The aliases are identical to the internal types,
 // so values flow freely between the façade and the sub-packages.
@@ -115,7 +149,7 @@ func WithoutStealing() Option { return func(e *Engine) { e.stealing = false } }
 // New creates an Engine on the given machine profile.
 func New(m *Machine, opts ...Option) (*Engine, error) {
 	if m == nil {
-		return nil, fmt.Errorf("hwstar: machine must not be nil")
+		return nil, fmt.Errorf("hwstar: %w", ErrNilMachine)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -125,7 +159,7 @@ func New(m *Machine, opts ...Option) (*Engine, error) {
 		o(e)
 	}
 	if e.workers <= 0 || e.workers > m.TotalCores() {
-		return nil, fmt.Errorf("hwstar: worker count %d out of range 1..%d", e.workers, m.TotalCores())
+		return nil, fmt.Errorf("hwstar: worker count %d not in 1..%d: %w", e.workers, m.TotalCores(), ErrWorkersOutOfRange)
 	}
 	return e, nil
 }
@@ -153,18 +187,19 @@ const (
 
 // JoinResult reports an equi-join outcome.
 type JoinResult struct {
+	// Cost carries SimCycles, the simulated parallel makespan.
+	Cost
 	// Matches and Checksum aggregate the join output.
 	Matches  int64
 	Checksum uint64
 	// Algorithm is the implementation that ran (resolved for JoinAuto).
 	Algorithm JoinAlgorithm
-	// SimCycles is the simulated parallel makespan on the engine's machine.
-	SimCycles float64
 }
 
 // HashJoin joins build (unique or duplicate keys, with payloads) against
-// probe, in parallel on the engine's simulated cores.
-func (e *Engine) HashJoin(buildKeys, buildVals, probeKeys, probeVals []int64, algo JoinAlgorithm) (JoinResult, error) {
+// probe, in parallel on the engine's simulated cores. Cancelling ctx aborts
+// at the next morsel boundary.
+func (e *Engine) HashJoin(ctx context.Context, buildKeys, buildVals, probeKeys, probeVals []int64, algo JoinAlgorithm) (JoinResult, error) {
 	in := join.Input{BuildKeys: buildKeys, BuildVals: buildVals, ProbeKeys: probeKeys, ProbeVals: probeVals}
 	if err := in.Validate(); err != nil {
 		return JoinResult{}, err
@@ -184,49 +219,52 @@ func (e *Engine) HashJoin(buildKeys, buildVals, probeKeys, probeVals []int64, al
 	var res join.ParallelResult
 	switch algo {
 	case JoinNPO:
-		res, err = join.ParallelNPO(in, s, 0)
+		res, err = join.ParallelNPO(ctx, in, s, 0)
 	case JoinRadix:
-		res, err = join.ParallelRadix(in, join.RadixOptions{}, s, e.machine, 0)
+		res, err = join.ParallelRadix(ctx, in, join.RadixOptions{}, s, e.machine, 0)
 	default:
-		return JoinResult{}, fmt.Errorf("hwstar: unknown join algorithm %q", algo)
+		return JoinResult{}, fmt.Errorf("hwstar: unknown join algorithm %q: %w", algo, ErrInvalidInput)
 	}
 	if err != nil {
 		return JoinResult{}, err
 	}
-	return JoinResult{Matches: res.Matches, Checksum: res.Checksum, Algorithm: algo, SimCycles: res.MakespanCycles}, nil
+	return JoinResult{Matches: res.Matches, Checksum: res.Checksum, Algorithm: algo, Cost: Cost{SimCycles: res.MakespanCycles}}, nil
 }
 
 // GroupSumResult reports a parallel aggregation outcome.
 type GroupSumResult struct {
-	Groups    map[int64]int64
-	SimCycles float64
+	// Cost carries SimCycles, the simulated parallel makespan.
+	Cost
+	Groups map[int64]int64
 }
 
 // GroupSum computes SUM(vals) GROUP BY keys with the given strategy on the
-// engine's simulated cores.
-func (e *Engine) GroupSum(keys, vals []int64, strategy AggStrategy) (GroupSumResult, error) {
+// engine's simulated cores. Cancelling ctx aborts at the next morsel
+// boundary.
+func (e *Engine) GroupSum(ctx context.Context, keys, vals []int64, strategy AggStrategy) (GroupSumResult, error) {
 	s, err := e.scheduler()
 	if err != nil {
 		return GroupSumResult{}, err
 	}
-	res, err := agg.Parallel(keys, vals, strategy, s, e.machine, 0)
+	res, err := agg.Parallel(ctx, keys, vals, strategy, s, e.machine, 0)
 	if err != nil {
 		return GroupSumResult{}, err
 	}
-	return GroupSumResult{Groups: res.Groups, SimCycles: res.MakespanCycles}, nil
+	return GroupSumResult{Groups: res.Groups, Cost: Cost{SimCycles: res.MakespanCycles}}, nil
 }
 
 // SharedScanResult reports a shared-scan batch execution.
 type SharedScanResult struct {
+	// Cost carries SimCycles, the parallel makespan of the clock scan.
+	Cost
 	// Sums holds one aggregate per query, in input order.
 	Sums []int64
-	// SimCycles is the parallel makespan of the clock scan.
-	SimCycles float64
 }
 
 // SharedScan answers a batch of range-filter SUM queries with one
-// cooperative clock scan over the columns.
-func (e *Engine) SharedScan(cols [][]int64, qs []ScanQuery) (SharedScanResult, error) {
+// cooperative clock scan over the columns. Cancelling ctx aborts at the next
+// segment boundary.
+func (e *Engine) SharedScan(ctx context.Context, cols [][]int64, qs []ScanQuery) (SharedScanResult, error) {
 	rel, err := scan.NewRelation(cols)
 	if err != nil {
 		return SharedScanResult{}, err
@@ -235,11 +273,11 @@ func (e *Engine) SharedScan(cols [][]int64, qs []ScanQuery) (SharedScanResult, e
 	if err != nil {
 		return SharedScanResult{}, err
 	}
-	sums, schedRes, err := scan.ParallelShared(rel, qs, scan.SharedOptions{UseQueryIndex: true}, s, 0)
+	sums, schedRes, err := scan.ParallelShared(ctx, rel, qs, scan.SharedOptions{UseQueryIndex: true}, s, 0)
 	if err != nil {
 		return SharedScanResult{}, err
 	}
-	return SharedScanResult{Sums: sums, SimCycles: schedRes.MakespanCycles}, nil
+	return SharedScanResult{Sums: sums, Cost: Cost{SimCycles: schedRes.MakespanCycles}}, nil
 }
 
 // TopGroup is one entry of a TopGroups result.
@@ -248,15 +286,26 @@ type TopGroup = vecexec.GroupResult
 // TopGroups computes SUM(vals) GROUP BY keys and returns the k groups with
 // the largest sums, descending — the vectorized engine's ORDER BY ... LIMIT
 // k, built on a cache-sized open-addressing table and a size-k heap instead
-// of a full sort.
-func (e *Engine) TopGroups(keys []int64, vals []float64, k int) ([]TopGroup, error) {
+// of a full sort. The context is checked between vector-sized batches.
+func (e *Engine) TopGroups(ctx context.Context, keys []int64, vals []float64, k int) ([]TopGroup, error) {
 	if len(keys) != len(vals) {
-		return nil, fmt.Errorf("hwstar: keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+		return nil, fmt.Errorf("hwstar: keys/vals length mismatch: %d vs %d: %w", len(keys), len(vals), ErrInvalidInput)
 	}
 	g := vecexec.NewHashGroupSum(1024)
+	var ctxErr error
 	vecexec.Chunks(len(keys), func(start, end int) {
+		if ctxErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return
+		}
 		g.AddBatch(keys[start:end], vals[start:end], nil)
 	})
+	if ctxErr != nil {
+		return nil, fmt.Errorf("hwstar: top-groups aborted: %w", ctxErr)
+	}
 	return g.TopK(k), nil
 }
 
@@ -327,27 +376,83 @@ const (
 // Q1Row is one group of the Q1-shaped aggregation query.
 type Q1Row = queries.Q1Row
 
+// Q6Result reports a Q6 execution: the revenue sum plus the modeled cycles.
+type Q6Result struct {
+	Cost
+	Revenue float64
+}
+
+// Q1Result reports a Q1 execution: the result groups plus the modeled cycles.
+type Q1Result struct {
+	Cost
+	Rows []Q1Row
+}
+
 // RunQ6 executes the TPC-H-Q6-shaped query on a lineitem table with the
-// given execution model, returning the revenue sum and the modeled cycles on
-// the engine's machine.
-func (e *Engine) RunQ6(eng QueryEngine, lineitem *Table) (float64, float64, error) {
+// given execution model. The query plans are single-threaded; the context is
+// checked before execution starts.
+func (e *Engine) RunQ6(ctx context.Context, eng QueryEngine, lineitem *Table) (Q6Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Q6Result{}, fmt.Errorf("hwstar: q6 aborted: %w", err)
+	}
 	acct := hw.NewAccount(e.machine, hw.DefaultContext())
 	sum, err := queries.Q6(eng, lineitem, queries.DefaultQ6(), acct)
 	if err != nil {
-		return 0, 0, err
+		return Q6Result{}, err
 	}
-	return sum, acct.TotalCycles(), nil
+	return Q6Result{Revenue: sum, Cost: Cost{SimCycles: acct.TotalCycles()}}, nil
 }
 
 // RunQ1 executes the TPC-H-Q1-shaped query on a lineitem table with the
-// given execution model, returning the groups and the modeled cycles.
-func (e *Engine) RunQ1(eng QueryEngine, lineitem *Table) ([]Q1Row, float64, error) {
+// given execution model. The query plans are single-threaded; the context is
+// checked before execution starts.
+func (e *Engine) RunQ1(ctx context.Context, eng QueryEngine, lineitem *Table) (Q1Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Q1Result{}, fmt.Errorf("hwstar: q1 aborted: %w", err)
+	}
 	acct := hw.NewAccount(e.machine, hw.DefaultContext())
 	rows, err := queries.Q1(eng, lineitem, queries.DefaultQ1(), acct)
 	if err != nil {
-		return nil, 0, err
+		return Q1Result{}, err
 	}
-	return rows, acct.TotalCycles(), nil
+	return Q1Result{Rows: rows, Cost: Cost{SimCycles: acct.TotalCycles()}}, nil
+}
+
+// Server is a concurrent query service on top of the engine: an
+// admission-controlled intake queue feeding a dispatcher that batches
+// compatible scan requests into one shared clock scan and schedules other
+// operations under a per-server simulated-core budget. See the serve
+// package for the full semantics; NewServer is the entry point.
+type Server = serve.Server
+
+// ServerOptions configures a Server (worker budget, queue depth, batching
+// window, batch size cap). The zero value uses sensible defaults.
+type ServerOptions = serve.Options
+
+// Request is one operation submitted to a Server.
+type Request = serve.Request
+
+// Response is a Server's answer: the operation's result fields plus the
+// amortized modeled cost.
+type Response = serve.Response
+
+// ServerOp names a Server operation kind.
+type ServerOp = serve.Op
+
+// Server operation kinds.
+const (
+	OpScan     = serve.OpScan
+	OpJoin     = serve.OpJoin
+	OpGroupSum = serve.OpGroupSum
+	OpQ1       = serve.OpQ1
+	OpQ6       = serve.OpQ6
+)
+
+// NewServer starts a query server on the given machine profile. Submit
+// queries with Server.Submit; stop it with Server.Close, which drains
+// admitted work before returning.
+func NewServer(m *Machine, opts ServerOptions) (*Server, error) {
+	return serve.New(m, opts)
 }
 
 // Data generators re-exported from internal/workload so examples and users

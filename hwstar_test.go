@@ -1,24 +1,27 @@
 package hwstar
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"hwstar/internal/workload"
 )
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil); err == nil {
-		t.Fatal("nil machine should fail")
+	if _, err := New(nil); !errors.Is(err, ErrNilMachine) {
+		t.Fatalf("nil machine: %v", err)
 	}
 	m := Laptop()
 	m.MLP = 0
 	if _, err := New(m); err == nil {
 		t.Fatal("invalid machine should fail")
 	}
-	if _, err := New(Laptop(), WithWorkers(99)); err == nil {
-		t.Fatal("too many workers should fail")
+	if _, err := New(Laptop(), WithWorkers(99)); !errors.Is(err, ErrWorkersOutOfRange) {
+		t.Fatalf("too many workers: %v", err)
 	}
 	e, err := New(Server2S(), WithWorkers(4), WithoutStealing())
 	if err != nil {
@@ -34,7 +37,7 @@ func TestHashJoinAlgorithms(t *testing.T) {
 	g := workload.GenerateJoin(workload.JoinConfig{Seed: 1, BuildRows: 5000, ProbeRows: 20000})
 	var results []JoinResult
 	for _, algo := range []JoinAlgorithm{JoinNPO, JoinRadix, JoinAuto} {
-		r, err := e.HashJoin(g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, algo)
+		r, err := e.HashJoin(context.Background(), g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, algo)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -58,7 +61,7 @@ func TestHashJoinAlgorithms(t *testing.T) {
 func TestHashJoinAutoPicksRadixWhenLarge(t *testing.T) {
 	e, _ := New(Server2S())
 	g := workload.GenerateJoin(workload.JoinConfig{Seed: 2, BuildRows: 1 << 20, ProbeRows: 1 << 20})
-	r, err := e.HashJoin(g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, JoinAuto)
+	r, err := e.HashJoin(context.Background(), g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, JoinAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +72,11 @@ func TestHashJoinAutoPicksRadixWhenLarge(t *testing.T) {
 
 func TestHashJoinErrors(t *testing.T) {
 	e, _ := New(Laptop())
-	if _, err := e.HashJoin([]int64{1}, nil, nil, nil, JoinNPO); err == nil {
-		t.Fatal("ragged input should fail")
+	if _, err := e.HashJoin(context.Background(), []int64{1}, nil, nil, nil, JoinNPO); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("ragged input: %v", err)
 	}
-	if _, err := e.HashJoin(nil, nil, nil, nil, JoinAlgorithm("bogus")); err == nil {
-		t.Fatal("unknown algorithm should fail")
+	if _, err := e.HashJoin(context.Background(), nil, nil, nil, nil, JoinAlgorithm("bogus")); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("unknown algorithm: %v", err)
 	}
 }
 
@@ -83,7 +86,7 @@ func TestGroupSum(t *testing.T) {
 	vals := []int64{10, 20, 30, 40}
 	want := map[int64]int64{1: 40, 2: 20, 3: 40}
 	for _, strat := range []AggStrategy{AggGlobalAtomic, AggLocalMerge, AggRadix} {
-		r, err := e.GroupSum(keys, vals, strat)
+		r, err := e.GroupSum(context.Background(), keys, vals, strat)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -91,8 +94,8 @@ func TestGroupSum(t *testing.T) {
 			t.Fatalf("%s: groups = %v", strat, r.Groups)
 		}
 	}
-	if _, err := e.GroupSum(keys, vals[:1], AggRadix); err == nil {
-		t.Fatal("ragged input should fail")
+	if _, err := e.GroupSum(context.Background(), keys, vals[:1], AggRadix); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("ragged input: %v", err)
 	}
 }
 
@@ -106,7 +109,7 @@ func TestSharedScan(t *testing.T) {
 		{FilterCol: 0, Lo: 0, Hi: 999, AggCol: 1},
 		{FilterCol: 0, Lo: 100, Hi: 200, AggCol: 1},
 	}
-	r, err := e.SharedScan(cols, qs)
+	r, err := e.SharedScan(context.Background(), cols, qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,8 +123,8 @@ func TestSharedScan(t *testing.T) {
 	if r.Sums[1] >= r.Sums[0] {
 		t.Fatal("narrow query should sum less than full range")
 	}
-	if _, err := e.SharedScan(nil, qs); err == nil {
-		t.Fatal("empty relation should fail")
+	if _, err := e.SharedScan(context.Background(), nil, qs); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("empty relation: %v", err)
 	}
 }
 
@@ -210,34 +213,84 @@ func TestTopGroupsFacade(t *testing.T) {
 	e, _ := New(Laptop())
 	keys := []int64{1, 2, 1, 3, 2, 1}
 	vals := []float64{10, 20, 30, 40, 50, 60}
-	top, err := e.TopGroups(keys, vals, 2)
+	top, err := e.TopGroups(context.Background(), keys, vals, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(top) != 2 || top[0].Key != 1 || top[0].Sum != 100 || top[1].Key != 2 || top[1].Sum != 70 {
 		t.Fatalf("top groups = %v", top)
 	}
-	if _, err := e.TopGroups(keys, vals[:2], 2); err == nil {
-		t.Fatal("ragged input should fail")
+	if _, err := e.TopGroups(context.Background(), keys, vals[:2], 2); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("ragged input: %v", err)
 	}
 }
 
 func TestQueryFacade(t *testing.T) {
 	e, _ := New(Server2S())
+	ctx := context.Background()
 	li := GenLineItem(99, 10000)
-	rev, cycles, err := e.RunQ6(Fused, li)
-	if err != nil || rev <= 0 || cycles <= 0 {
-		t.Fatalf("RunQ6: %f, %f, %v", rev, cycles, err)
+	q6, err := e.RunQ6(ctx, Fused, li)
+	if err != nil || q6.Revenue <= 0 || q6.SimCycles <= 0 {
+		t.Fatalf("RunQ6: %+v, %v", q6, err)
 	}
-	rows, cycles, err := e.RunQ1(Vectorized, li)
-	if err != nil || len(rows) == 0 || cycles <= 0 {
-		t.Fatalf("RunQ1: %v, %f, %v", rows, cycles, err)
+	q1, err := e.RunQ1(ctx, Vectorized, li)
+	if err != nil || len(q1.Rows) == 0 || q1.SimCycles <= 0 {
+		t.Fatalf("RunQ1: %+v, %v", q1, err)
 	}
-	if _, _, err := e.RunQ6(QueryEngine("bogus"), li); err == nil {
+	if _, err := e.RunQ6(ctx, QueryEngine("bogus"), li); err == nil {
 		t.Fatal("unknown engine should fail Q6")
 	}
-	if _, _, err := e.RunQ1(QueryEngine("bogus"), li); err == nil {
+	if _, err := e.RunQ1(ctx, QueryEngine("bogus"), li); err == nil {
 		t.Fatal("unknown engine should fail Q1")
+	}
+}
+
+// TestCancelledContext checks that every Engine operation returns promptly
+// with the context's error when called with an already-cancelled context.
+func TestCancelledContext(t *testing.T) {
+	e, _ := New(Server2S())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := workload.GenerateJoin(workload.JoinConfig{Seed: 8, BuildRows: 1 << 16, ProbeRows: 1 << 18})
+	cols := [][]int64{workload.UniformInts(9, 1<<18, 1000), workload.UniformInts(10, 1<<18, 50)}
+	li := GenLineItem(11, 10000)
+	fvals := make([]float64, len(cols[0]))
+
+	ops := map[string]func() error{
+		"HashJoin": func() error {
+			_, err := e.HashJoin(ctx, g.BuildKeys, g.BuildVals, g.ProbeKeys, g.ProbeVals, JoinAuto)
+			return err
+		},
+		"GroupSum": func() error {
+			_, err := e.GroupSum(ctx, cols[0], cols[1], AggRadix)
+			return err
+		},
+		"SharedScan": func() error {
+			_, err := e.SharedScan(ctx, cols, []ScanQuery{{FilterCol: 0, Lo: 0, Hi: 10, AggCol: 1}})
+			return err
+		},
+		"TopGroups": func() error {
+			_, err := e.TopGroups(ctx, cols[0], fvals, 3)
+			return err
+		},
+		"RunQ1": func() error {
+			_, err := e.RunQ1(ctx, Vectorized, li)
+			return err
+		},
+		"RunQ6": func() error {
+			_, err := e.RunQ6(ctx, Fused, li)
+			return err
+		},
+	}
+	for name, op := range ops {
+		start := time.Now()
+		err := op()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled context: %v", name, err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Errorf("%s took %v to notice cancellation", name, d)
+		}
 	}
 }
 

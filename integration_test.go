@@ -5,6 +5,7 @@ package hwstar
 // choice may change timing, never results.
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestInterferenceChangesTimingNotResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, schedRes, err := scan.ParallelShared(rel, qs, scan.SharedOptions{UseQueryIndex: true}, s, 4096)
+		res, schedRes, err := scan.ParallelShared(context.Background(), rel, qs, scan.SharedOptions{UseQueryIndex: true}, s, 4096)
 		if err != nil {
 			t.Fatal(err)
 		}

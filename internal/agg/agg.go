@@ -17,8 +17,10 @@
 package agg
 
 import (
+	"context"
 	"fmt"
 
+	"hwstar/internal/errs"
 	"hwstar/internal/hw"
 	"hwstar/internal/sched"
 )
@@ -63,23 +65,32 @@ func (r *Result) addPhase(s sched.Result) {
 	r.MakespanCycles += s.MakespanCycles
 }
 
+// runPhase executes tasks with cancellation checked at morsel boundaries and
+// folds the (possibly partial) schedule into the result.
+func (r *Result) runPhase(ctx context.Context, s *sched.Scheduler, tasks []sched.Task) error {
+	phase, err := s.RunContext(ctx, tasks)
+	r.addPhase(phase)
+	return err
+}
+
 // Parallel aggregates keys/vals with the given strategy on scheduler s.
 // numGroups is the (approximate) group cardinality used for cost modelling;
 // pass 0 to have it estimated from the data (exact, via a counting pass that
-// is not charged — a real system would use a sketch).
-func Parallel(keys, vals []int64, strat Strategy, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+// is not charged — a real system would use a sketch). Cancellation is
+// checked at every morsel boundary.
+func Parallel(ctx context.Context, keys, vals []int64, strat Strategy, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
 	if len(keys) != len(vals) {
-		return Result{}, fmt.Errorf("agg: keys/vals length mismatch: %d vs %d", len(keys), len(vals))
+		return Result{}, fmt.Errorf("agg: keys/vals length mismatch: %d vs %d: %w", len(keys), len(vals), errs.ErrInvalidInput)
 	}
 	switch strat {
 	case StrategyGlobal:
-		return globalAtomic(keys, vals, s, m, morsel)
+		return globalAtomic(ctx, keys, vals, s, m, morsel)
 	case StrategyLocalMerge:
-		return localMerge(keys, vals, s, m, morsel)
+		return localMerge(ctx, keys, vals, s, m, morsel)
 	case StrategyRadix:
-		return radixPartitioned(keys, vals, s, m, morsel)
+		return radixPartitioned(ctx, keys, vals, s, m, morsel)
 	default:
-		return Result{}, fmt.Errorf("agg: unknown strategy %q", strat)
+		return Result{}, fmt.Errorf("agg: unknown strategy %q: %w", strat, errs.ErrInvalidInput)
 	}
 }
 
@@ -104,7 +115,7 @@ func distinct(keys []int64) int64 {
 // the number of cores hammering the same lines: with G groups and P active
 // cores, the probability of a concurrent update to the same entry scales
 // with P/G, and each conflict costs a cache-line transfer.
-func globalAtomic(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+func globalAtomic(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
 	var res Result
 	groups := make(map[int64]int64)
 	g := distinct(keys)
@@ -137,13 +148,15 @@ func globalAtomic(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel 
 			RandomWS:        tableBytes,
 		})
 	})
-	res.addPhase(s.Run(tasks))
+	if err := res.runPhase(ctx, s, tasks); err != nil {
+		return res, err
+	}
 	res.Groups = groups
 	return res, nil
 }
 
 // localMerge: per-morsel private tables, then a serial-per-partition merge.
-func localMerge(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+func localMerge(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
 	var res Result
 	msz := morselOrDefault(morsel)
 	nChunks := (len(keys) + msz - 1) / msz
@@ -170,7 +183,9 @@ func localMerge(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel in
 			RandomWS:        localBytes,
 		})
 	})
-	res.addPhase(s.Run(tasks))
+	if err := res.runPhase(ctx, s, tasks); err != nil {
+		return res, err
+	}
 
 	// Merge phase: a single worker folds all local tables (the simple merge
 	// used by many engines; its cost ∝ chunks × groups is exactly the
@@ -192,7 +207,9 @@ func localMerge(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel in
 			RandomWS:        g * groupEntryBytes,
 		})
 	}}}
-	res.addPhase(s.Run(mergeTask))
+	if err := res.runPhase(ctx, s, mergeTask); err != nil {
+		return res, err
+	}
 	res.Groups = groups
 	return res, nil
 }
@@ -200,7 +217,7 @@ func localMerge(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel in
 // radixPartitioned: partition input by group-key hash so each partition's
 // groups are disjoint; one task aggregates each partition into a private,
 // cache-sized table; results concatenate without merging.
-func radixPartitioned(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+func radixPartitioned(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
 	var res Result
 	g := distinct(keys)
 	if g == 0 {
@@ -250,7 +267,9 @@ func radixPartitioned(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, mor
 		}
 		w.Charge(work)
 	})
-	res.addPhase(s.Run(tasks))
+	if err := res.runPhase(ctx, s, tasks); err != nil {
+		return res, err
+	}
 
 	// Phase 2: aggregate each partition.
 	partGroups := make([]map[int64]int64, fanout)
@@ -280,7 +299,9 @@ func radixPartitioned(keys, vals []int64, s *sched.Scheduler, m *hw.Machine, mor
 			})
 		}}
 	}
-	res.addPhase(s.Run(aggTasks))
+	if err := res.runPhase(ctx, s, aggTasks); err != nil {
+		return res, err
+	}
 
 	groups := make(map[int64]int64, g)
 	for _, pg := range partGroups {

@@ -1,0 +1,28 @@
+// Package errs defines the sentinel errors shared across hwstar's layers.
+// The public façade re-exports them (hwstar.ErrInvalidInput, ...), and the
+// internal packages wrap them with %w so callers can classify failures with
+// errors.Is regardless of which layer produced them — admission control in
+// internal/serve, validation in internal/join and internal/scan, or engine
+// construction in the façade.
+package errs
+
+import "errors"
+
+// Sentinel errors. Wrap with fmt.Errorf("...: %w", Err...) to add detail
+// while keeping errors.Is classification working.
+var (
+	// ErrNilMachine reports an engine or server built without a machine
+	// profile.
+	ErrNilMachine = errors.New("machine must not be nil")
+	// ErrWorkersOutOfRange reports a worker count outside 1..machine cores.
+	ErrWorkersOutOfRange = errors.New("worker count out of range")
+	// ErrInvalidInput reports malformed operator input: ragged key/value
+	// slices, out-of-range columns, empty ranges, unknown algorithm or
+	// strategy names.
+	ErrInvalidInput = errors.New("invalid input")
+	// ErrOverloaded reports an admission-control rejection: the server's
+	// bounded intake queue is full. Clients should back off and retry.
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrClosed reports a request submitted to a closed server.
+	ErrClosed = errors.New("server closed")
+)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"hwstar/internal/bench"
@@ -149,7 +150,7 @@ func runE1b(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		npo, err := join.ParallelNPO(in, sn, 1<<13)
+		npo, err := join.ParallelNPO(context.Background(), in, sn, 1<<13)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +158,7 @@ func runE1b(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		radix, err := join.ParallelRadix(in, join.RadixOptions{}, sr, m, 1<<13)
+		radix, err := join.ParallelRadix(context.Background(), in, join.RadixOptions{}, sr, m, 1<<13)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"hwstar/internal/agg"
 	"hwstar/internal/bench"
 	"hwstar/internal/hw"
@@ -62,7 +63,7 @@ func runE2(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		aggRes, err := agg.Parallel(keys, vals, agg.StrategyRadix, s2, m, 1<<14)
+		aggRes, err := agg.Parallel(context.Background(), keys, vals, agg.StrategyRadix, s2, m, 1<<14)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +73,7 @@ func runE2(cfg Config) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		joinRes, err := join.ParallelRadix(jin, join.RadixOptions{}, s3, m, 1<<14)
+		joinRes, err := join.ParallelRadix(context.Background(), jin, join.RadixOptions{}, s3, m, 1<<14)
 		if err != nil {
 			return nil, err
 		}

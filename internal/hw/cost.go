@@ -5,6 +5,18 @@ import (
 	"math"
 )
 
+// Cost is the modeled hardware cost every hwstar operation reports alongside
+// its real result. Result structs embed it, so callers read res.SimCycles
+// uniformly across joins, aggregations, shared scans, queries, and server
+// responses.
+type Cost struct {
+	// SimCycles is the simulated cycle cost on the operation's machine: the
+	// parallel makespan for scheduled operators, the accounted total for
+	// single-threaded ones, and the amortized per-query share for batched
+	// server execution.
+	SimCycles float64
+}
+
 // Work describes, in hardware-relevant terms, what a piece of code did. It is
 // the vocabulary in which hwstar operators talk to the machine model:
 // instead of "I hashed 16M tuples", an operator reports "16M tuples × 6

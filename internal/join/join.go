@@ -8,7 +8,11 @@
 // experiments can report simulated cycles on arbitrary machine profiles.
 package join
 
-import "fmt"
+import (
+	"fmt"
+
+	"hwstar/internal/errs"
+)
 
 // Input is an equi-join input: build relation (keys+payload) and probe
 // relation (keys+payload). The build side is conventionally the smaller one.
@@ -22,10 +26,10 @@ type Input struct {
 // Validate reports an error when key and payload slices disagree.
 func (in Input) Validate() error {
 	if len(in.BuildKeys) != len(in.BuildVals) {
-		return fmt.Errorf("join: build keys/vals length mismatch: %d vs %d", len(in.BuildKeys), len(in.BuildVals))
+		return fmt.Errorf("join: build keys/vals length mismatch: %d vs %d: %w", len(in.BuildKeys), len(in.BuildVals), errs.ErrInvalidInput)
 	}
 	if len(in.ProbeKeys) != len(in.ProbeVals) {
-		return fmt.Errorf("join: probe keys/vals length mismatch: %d vs %d", len(in.ProbeKeys), len(in.ProbeVals))
+		return fmt.Errorf("join: probe keys/vals length mismatch: %d vs %d: %w", len(in.ProbeKeys), len(in.ProbeVals), errs.ErrInvalidInput)
 	}
 	return nil
 }

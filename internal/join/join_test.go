@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -290,7 +291,7 @@ func TestParallelJoinsMatchSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pn, err := ParallelNPO(in, s, 512)
+	pn, err := ParallelNPO(context.Background(), in, s, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestParallelJoinsMatchSerial(t *testing.T) {
 		t.Fatalf("parallel NPO phases: %+v", pn.Phases)
 	}
 
-	pr, err := ParallelRadix(in, RadixOptions{TotalBits: 5}, s, m, 512)
+	pr, err := ParallelRadix(context.Background(), in, RadixOptions{TotalBits: 5}, s, m, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestParallelRadixScalesWithWorkers(t *testing.T) {
 	m := hw.Server2S()
 	run := func(workers int) float64 {
 		s, _ := sched.New(m, sched.Options{Workers: workers, Stealing: true})
-		r, err := ParallelRadix(in, RadixOptions{}, s, m, 1<<13)
+		r, err := ParallelRadix(context.Background(), in, RadixOptions{}, s, m, 1<<13)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,11 +338,11 @@ func TestParallelRadixScalesWithWorkers(t *testing.T) {
 func TestParallelEmptyInput(t *testing.T) {
 	m := hw.Laptop()
 	s, _ := sched.New(m, sched.Options{Workers: 2})
-	r, err := ParallelRadix(Input{}, RadixOptions{}, s, m, 0)
+	r, err := ParallelRadix(context.Background(), Input{}, RadixOptions{}, s, m, 0)
 	if err != nil || r.Matches != 0 {
 		t.Fatalf("empty parallel radix: %+v, %v", r, err)
 	}
-	rn, err := ParallelNPO(Input{}, s, 0)
+	rn, err := ParallelNPO(context.Background(), Input{}, s, 0)
 	if err != nil || rn.Matches != 0 {
 		t.Fatalf("empty parallel NPO: %+v, %v", rn, err)
 	}
@@ -351,10 +352,10 @@ func TestParallelValidation(t *testing.T) {
 	m := hw.Laptop()
 	s, _ := sched.New(m, sched.Options{Workers: 1})
 	bad := Input{BuildKeys: []int64{1}}
-	if _, err := ParallelNPO(bad, s, 0); err == nil {
+	if _, err := ParallelNPO(context.Background(), bad, s, 0); err == nil {
 		t.Fatal("invalid input should fail")
 	}
-	if _, err := ParallelRadix(bad, RadixOptions{}, s, m, 0); err == nil {
+	if _, err := ParallelRadix(context.Background(), bad, RadixOptions{}, s, m, 0); err == nil {
 		t.Fatal("invalid input should fail")
 	}
 }
@@ -395,11 +396,11 @@ func TestAlgorithmsEquivalenceProperty(t *testing.T) {
 			return false
 		}
 		s, _ := sched.New(m, sched.Options{Workers: 3, Stealing: true})
-		got4, err := ParallelRadix(in, RadixOptions{TotalBits: 3}, s, m, 16)
+		got4, err := ParallelRadix(context.Background(), in, RadixOptions{TotalBits: 3}, s, m, 16)
 		if err != nil || got4.Matches != want.Matches || got4.Checksum != want.Checksum {
 			return false
 		}
-		got5, err := ParallelNPO(in, s, 16)
+		got5, err := ParallelNPO(context.Background(), in, s, 16)
 		if err != nil || got5.Matches != want.Matches || got5.Checksum != want.Checksum {
 			return false
 		}

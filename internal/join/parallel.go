@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 
 	"hwstar/internal/hw"
@@ -26,8 +27,10 @@ func (r *ParallelResult) addPhase(s sched.Result) {
 // ParallelNPO runs the no-partitioning hash join with all workers sharing
 // one global hash table: morsels of the build relation insert concurrently,
 // then morsels of the probe relation probe. Its scalability is limited by
-// every worker random-accessing the same DRAM-resident table.
-func ParallelNPO(in Input, s *sched.Scheduler, morsel int) (ParallelResult, error) {
+// every worker random-accessing the same DRAM-resident table. Cancellation
+// is checked at every morsel boundary; a cancelled context returns the
+// context's error with the partial schedule already accounted.
+func ParallelNPO(ctx context.Context, in Input, s *sched.Scheduler, morsel int) (ParallelResult, error) {
 	if err := in.Validate(); err != nil {
 		return ParallelResult{}, err
 	}
@@ -45,7 +48,11 @@ func ParallelNPO(in Input, s *sched.Scheduler, morsel int) (ParallelResult, erro
 			RandomReads:  n, RandomWS: ht.Bytes(),
 		})
 	})
-	out.addPhase(s.Run(buildTasks))
+	phase, err := s.RunContext(ctx, buildTasks)
+	out.addPhase(phase)
+	if err != nil {
+		return out, err
+	}
 
 	// Probe morsels accumulate into per-task partial results, merged after
 	// the phase (no shared mutable aggregation state).
@@ -65,7 +72,11 @@ func ParallelNPO(in Input, s *sched.Scheduler, morsel int) (ParallelResult, erro
 			RandomReads:  n, RandomWS: ht.Bytes(),
 		})
 	})
-	out.addPhase(s.Run(probeTasks))
+	phase, err = s.RunContext(ctx, probeTasks)
+	out.addPhase(phase)
+	if err != nil {
+		return out, err
+	}
 
 	for _, p := range partials {
 		out.Matches += p.Matches
@@ -87,7 +98,8 @@ func morselOrDefault(m int) int {
 // buffers (phase 1), then each partition — assembled from all chunks — is
 // joined by one task with a cache-resident table (phase 2). Partition-level
 // tasks make skew visible as load imbalance rather than as contention.
-func ParallelRadix(in Input, opts RadixOptions, s *sched.Scheduler, m *hw.Machine, morsel int) (ParallelResult, error) {
+// Cancellation is checked at every morsel/partition boundary.
+func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Scheduler, m *hw.Machine, morsel int) (ParallelResult, error) {
 	if err := in.Validate(); err != nil {
 		return ParallelResult{}, err
 	}
@@ -102,7 +114,7 @@ func ParallelRadix(in Input, opts RadixOptions, s *sched.Scheduler, m *hw.Machin
 	// Phase 1: chunk-local partitioning. The physical scatter happens once
 	// per relation chunk; the modelled cost reflects the pass structure
 	// (multi-pass or software-buffered) the options describe.
-	partitionChunks := func(keys, vals []int64, label string) []partitioned {
+	partitionChunks := func(keys, vals []int64, label string) ([]partitioned, error) {
 		msz := morselOrDefault(morsel)
 		nChunks := (len(keys) + msz - 1) / msz
 		chunks := make([]partitioned, max(nChunks, 0))
@@ -113,11 +125,18 @@ func ParallelRadix(in Input, opts RadixOptions, s *sched.Scheduler, m *hw.Machin
 				w.Charge(partitionPassWork(fmt.Sprintf("%s-pass%d", label, pi+1), n, 1<<bits, m, opts.SWBuffers))
 			}
 		})
-		out.addPhase(s.Run(tasks))
-		return chunks
+		phase, err := s.RunContext(ctx, tasks)
+		out.addPhase(phase)
+		return chunks, err
 	}
-	buildChunks := partitionChunks(in.BuildKeys, in.BuildVals, "radix-part-build")
-	probeChunks := partitionChunks(in.ProbeKeys, in.ProbeVals, "radix-part-probe")
+	buildChunks, err := partitionChunks(in.BuildKeys, in.BuildVals, "radix-part-build")
+	if err != nil {
+		return out, err
+	}
+	probeChunks, err := partitionChunks(in.ProbeKeys, in.ProbeVals, "radix-part-probe")
+	if err != nil {
+		return out, err
+	}
 
 	// Phase 2: one task per partition.
 	partials := make([]Result, fanout)
@@ -160,7 +179,11 @@ func ParallelRadix(in Input, opts RadixOptions, s *sched.Scheduler, m *hw.Machin
 			},
 		})
 	}
-	out.addPhase(s.Run(tasks))
+	phase, err := s.RunContext(ctx, tasks)
+	out.addPhase(phase)
+	if err != nil {
+		return out, err
+	}
 
 	for _, p := range partials {
 		out.Matches += p.Matches

@@ -186,16 +186,18 @@ func (h *Histogram) ensureSortedLocked() {
 // substrates register their metrics here so that experiments can snapshot
 // everything that happened during a run.
 type Registry struct {
-	mu    sync.Mutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	hists  map[string]*Histogram
+	gauges map[string]*Gauge
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		ctrs:  make(map[string]*Counter),
-		hists: make(map[string]*Histogram),
+		ctrs:   make(map[string]*Counter),
+		hists:  make(map[string]*Histogram),
+		gauges: make(map[string]*Gauge),
 	}
 }
 
@@ -223,6 +225,29 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Gauges returns a snapshot of all gauge values keyed by name.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		out[k] = g.Value()
+	}
+	return out
+}
+
 // Counters returns a snapshot of all counter values keyed by name.
 func (r *Registry) Counters() map[string]int64 {
 	r.mu.Lock()
@@ -238,11 +263,14 @@ func (r *Registry) Counters() map[string]int64 {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	names := make([]string, 0, len(r.ctrs)+len(r.hists))
+	names := make([]string, 0, len(r.ctrs)+len(r.hists)+len(r.gauges))
 	for k := range r.ctrs {
 		names = append(names, k)
 	}
 	for k := range r.hists {
+		names = append(names, k)
+	}
+	for k := range r.gauges {
 		names = append(names, k)
 	}
 	sort.Strings(names)
@@ -258,5 +286,8 @@ func (r *Registry) Reset() {
 	}
 	for _, h := range r.hists {
 		h.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Set(0)
 	}
 }

@@ -12,8 +12,10 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 
+	"hwstar/internal/errs"
 	"hwstar/internal/hw"
 	"hwstar/internal/sched"
 )
@@ -29,13 +31,13 @@ type Query struct {
 // Validate checks the query against a relation of ncols columns.
 func (q Query) Validate(ncols int) error {
 	if q.FilterCol < 0 || q.FilterCol >= ncols {
-		return fmt.Errorf("scan: filter column %d out of range", q.FilterCol)
+		return fmt.Errorf("scan: filter column %d out of range: %w", q.FilterCol, errs.ErrInvalidInput)
 	}
 	if q.AggCol < 0 || q.AggCol >= ncols {
-		return fmt.Errorf("scan: agg column %d out of range", q.AggCol)
+		return fmt.Errorf("scan: agg column %d out of range: %w", q.AggCol, errs.ErrInvalidInput)
 	}
 	if q.Lo > q.Hi {
-		return fmt.Errorf("scan: empty range [%d, %d]", q.Lo, q.Hi)
+		return fmt.Errorf("scan: empty range [%d, %d]: %w", q.Lo, q.Hi, errs.ErrInvalidInput)
 	}
 	return nil
 }
@@ -49,12 +51,12 @@ type Relation struct {
 // NewRelation wraps columns (equal length) as a scannable relation.
 func NewRelation(cols [][]int64) (*Relation, error) {
 	if len(cols) == 0 {
-		return nil, fmt.Errorf("scan: need at least one column")
+		return nil, fmt.Errorf("scan: need at least one column: %w", errs.ErrInvalidInput)
 	}
 	rows := len(cols[0])
 	for i, c := range cols {
 		if len(c) != rows {
-			return nil, fmt.Errorf("scan: column %d has %d rows, expected %d", i, len(c), rows)
+			return nil, fmt.Errorf("scan: column %d has %d rows, expected %d: %w", i, len(c), rows, errs.ErrInvalidInput)
 		}
 	}
 	return &Relation{cols: cols, rows: rows}, nil
@@ -239,8 +241,11 @@ func domain(col []int64) (lo, hi int64) {
 // ParallelShared runs the shared scan segmented over the scheduler's
 // workers: each task owns a contiguous segment (as Crescando's scan threads
 // own memory partitions) and evaluates the whole query batch against it;
-// per-query partial sums are combined after the pass.
-func ParallelShared(r *Relation, queries []Query, opts SharedOptions, s *sched.Scheduler, segRows int) ([]int64, sched.Result, error) {
+// per-query partial sums are combined after the pass. Cancellation is
+// checked at every segment boundary; on a cancelled context the partial
+// schedule and the context's error are returned and the sums must be
+// discarded.
+func ParallelShared(ctx context.Context, r *Relation, queries []Query, opts SharedOptions, s *sched.Scheduler, segRows int) ([]int64, sched.Result, error) {
 	for _, q := range queries {
 		if err := q.Validate(r.NumCols()); err != nil {
 			return nil, sched.Result{}, err
@@ -281,7 +286,10 @@ func ParallelShared(r *Relation, queries []Query, opts SharedOptions, s *sched.S
 		}
 		w.Charge(acct)
 	})
-	schedRes := s.Run(tasks)
+	schedRes, err := s.RunContext(ctx, tasks)
+	if err != nil {
+		return nil, schedRes, err
+	}
 
 	out := make([]int64, len(queries))
 	for _, p := range partials {
@@ -316,13 +324,13 @@ type Update struct {
 // Validate checks the update against a relation of ncols columns.
 func (u Update) Validate(ncols int) error {
 	if u.FilterCol < 0 || u.FilterCol >= ncols {
-		return fmt.Errorf("scan: update filter column %d out of range", u.FilterCol)
+		return fmt.Errorf("scan: update filter column %d out of range: %w", u.FilterCol, errs.ErrInvalidInput)
 	}
 	if u.SetCol < 0 || u.SetCol >= ncols {
-		return fmt.Errorf("scan: update set column %d out of range", u.SetCol)
+		return fmt.Errorf("scan: update set column %d out of range: %w", u.SetCol, errs.ErrInvalidInput)
 	}
 	if u.Lo > u.Hi {
-		return fmt.Errorf("scan: empty update range [%d, %d]", u.Lo, u.Hi)
+		return fmt.Errorf("scan: empty update range [%d, %d]: %w", u.Lo, u.Hi, errs.ErrInvalidInput)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"testing/quick"
@@ -117,7 +118,7 @@ func TestValidationErrorsPropagate(t *testing.T) {
 	}
 	m := hw.Laptop()
 	s, _ := sched.New(m, sched.Options{Workers: 2})
-	if _, _, err := ParallelShared(r, bad, SharedOptions{}, s, 0); err == nil {
+	if _, _, err := ParallelShared(context.Background(), r, bad, SharedOptions{}, s, 0); err == nil {
 		t.Fatal("ParallelShared should reject bad query")
 	}
 }
@@ -172,7 +173,7 @@ func TestParallelSharedMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, schedRes, err := ParallelShared(r, qs, SharedOptions{UseQueryIndex: true}, s, 4096)
+	got, schedRes, err := ParallelShared(context.Background(), r, qs, SharedOptions{UseQueryIndex: true}, s, 4096)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestParallelSharedDefaultSegment(t *testing.T) {
 	qs := testQueries(4)
 	m := hw.Laptop()
 	s, _ := sched.New(m, sched.Options{Workers: 2})
-	got, _, err := ParallelShared(r, qs, SharedOptions{}, s, 0)
+	got, _, err := ParallelShared(context.Background(), r, qs, SharedOptions{}, s, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestScanEquivalenceProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got, _, err := ParallelShared(r, qs, SharedOptions{UseQueryIndex: true}, s, 333)
+		got, _, err := ParallelShared(context.Background(), r, qs, SharedOptions{UseQueryIndex: true}, s, 333)
 		return err == nil && reflect.DeepEqual(got, want)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {

@@ -15,8 +15,10 @@ package sched
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
+	"hwstar/internal/errs"
 	"hwstar/internal/hw"
 )
 
@@ -153,13 +155,13 @@ func New(m *hw.Machine, opts Options) (*Scheduler, error) {
 		return nil, err
 	}
 	if opts.Workers < 0 {
-		return nil, fmt.Errorf("sched: negative worker count %d", opts.Workers)
+		return nil, fmt.Errorf("sched: negative worker count %d: %w", opts.Workers, errs.ErrWorkersOutOfRange)
 	}
 	if opts.Workers == 0 {
 		opts.Workers = m.TotalCores()
 	}
 	if opts.Workers > m.TotalCores() {
-		return nil, fmt.Errorf("sched: %d workers exceed machine's %d cores", opts.Workers, m.TotalCores())
+		return nil, fmt.Errorf("sched: %d workers exceed machine's %d cores: %w", opts.Workers, m.TotalCores(), errs.ErrWorkersOutOfRange)
 	}
 	if opts.Interference < 1 {
 		opts.Interference = 1
@@ -191,6 +193,18 @@ func (h *workerHeap) Pop() any {
 // preferred socket go to that socket's queue; unpinned tasks are spread
 // round-robin. Execution order is deterministic.
 func (s *Scheduler) Run(tasks []Task) Result {
+	res, _ := s.RunContext(context.Background(), tasks)
+	return res
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked at
+// every morsel boundary (before each task dispatch), so an expired deadline
+// or a cancelled client stops the schedule between tasks rather than after
+// the whole set. A morsel in flight always completes — tasks are never
+// interrupted mid-execution, matching how morsel-driven engines implement
+// query cancellation. On cancellation the partial schedule's Result is
+// returned together with the context's error (wrapped, errors.Is-compatible).
+func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error) {
 	m := s.machine
 	nw := s.opts.Workers
 
@@ -234,7 +248,12 @@ func (s *Scheduler) Run(tasks []Task) Result {
 	heap.Init(&h)
 
 	res := Result{Workers: nw}
+	var runErr error
 	for totalRemaining > 0 && h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			runErr = fmt.Errorf("sched: run aborted after %d of %d tasks: %w", res.TasksRun, len(tasks), err)
+			break
+		}
 		w := heap.Pop(&h).(*Worker)
 		// Prefer the local queue; otherwise steal from the fullest queue.
 		sock := w.Socket
@@ -278,7 +297,7 @@ func (s *Scheduler) Run(tasks []Task) Result {
 			res.MakespanCycles = w.clock
 		}
 	}
-	return res
+	return res, runErr
 }
 
 // Morsels splits n items into tasks of at most morselSize items each,

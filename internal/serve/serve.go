@@ -1,0 +1,566 @@
+// Package serve is the concurrent query service layer over the hwstar
+// engine: it multiplexes many concurrent clients onto one simulated machine
+// instead of running every query in isolation. The design operationalizes
+// the SharedDB/Crescando argument the keynote builds on — under concurrency,
+// the unit of execution should be a shared pass over the data, not a query:
+//
+//   - clients submit Requests through a bounded intake queue; when the queue
+//     is full the server rejects with ErrOverloaded instead of buffering
+//     without bound (admission control / backpressure);
+//   - scan-shaped requests against the same registered relation are collected
+//     for a batching window (or until MaxBatch) and executed as ONE
+//     cooperative clock scan (scan.ParallelShared), so memory traffic is paid
+//     once per batch rather than once per client;
+//   - join/aggregate/query requests flow through the morsel scheduler under a
+//     per-server simulated-core budget, so concurrent operations cannot
+//     oversubscribe the machine;
+//   - every request carries a context.Context honoured end to end: expired
+//     deadlines are rejected before execution, and in-flight work stops at
+//     the next morsel boundary;
+//   - Close drains: queued requests finish, new ones get ErrClosed.
+//
+// Per-server metrics (queue depth, batch sizes, latencies, modeled cycles
+// per query, admission counters) are recorded in a metrics.Registry.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hwstar/internal/agg"
+	"hwstar/internal/errs"
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+	"hwstar/internal/metrics"
+	"hwstar/internal/queries"
+	"hwstar/internal/scan"
+	"hwstar/internal/sched"
+	"hwstar/internal/table"
+)
+
+// Op identifies a request kind.
+type Op string
+
+// Request kinds.
+const (
+	OpScan     Op = "scan"      // range-filter SUM over a registered relation (batchable)
+	OpJoin     Op = "join"      // parallel equi-join
+	OpGroupSum Op = "group-sum" // parallel GROUP BY SUM
+	OpQ1       Op = "q1"        // TPC-H-Q1-shaped query over a lineitem table
+	OpQ6       Op = "q6"        // TPC-H-Q6-shaped query over a lineitem table
+)
+
+// Request is one client query. Set Op and the fields of the matching group;
+// the rest stay zero.
+type Request struct {
+	Op Op
+
+	// OpScan: one range-filter aggregation against the relation registered
+	// under Table. Scan requests are the batchable shape — concurrent scans
+	// of the same table share one clock-scan pass.
+	Table string
+	Query scan.Query
+
+	// OpJoin: equi-join input and algorithm ("" or "auto" resolves from the
+	// machine's cache hierarchy, as the Engine façade does).
+	Join      join.Input
+	Algorithm join.Algorithm
+
+	// OpGroupSum: SUM(Vals) GROUP BY Keys with the given strategy.
+	Keys, Vals []int64
+	Strategy   agg.Strategy
+
+	// OpQ1 / OpQ6: the lineitem table and execution engine.
+	Lineitem *table.Table
+	Engine   queries.Engine
+}
+
+// Response is the server's answer to one Request. The embedded hw.Cost
+// reports the modeled cycles attributed to this request: for batched scans
+// that is the batch makespan divided by the batch size — the amortization
+// that makes sharing worthwhile.
+type Response struct {
+	hw.Cost
+
+	// BatchSize is the number of requests that shared this execution
+	// (1 for unbatched operations).
+	BatchSize int
+
+	// Sum is the scan result (OpScan).
+	Sum int64
+
+	// Matches and Checksum report the join output (OpJoin).
+	Matches  int64
+	Checksum uint64
+
+	// Groups is the aggregation result (OpGroupSum).
+	Groups map[int64]int64
+
+	// Q1Rows and Revenue are the analytic query results (OpQ1, OpQ6).
+	Q1Rows  []queries.Q1Row
+	Revenue float64
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the server's simulated-core budget — the maximum number of
+	// simulated cores in use across all concurrently executing operations.
+	// 0 means all cores of the machine; more than the machine has is an
+	// error.
+	Workers int
+	// OpWorkers is the number of simulated cores one join/aggregate
+	// operation runs on. Defaults to half the budget (min 1) so two heavy
+	// operations can overlap. Shared-scan batches always use the full
+	// budget: one cooperative pass should own the machine.
+	OpWorkers int
+	// QueueDepth bounds the intake queue; submissions beyond it are
+	// rejected with ErrOverloaded. Default 256.
+	QueueDepth int
+	// BatchWindow is how long the batcher waits, after the first scan
+	// request arrives, for more scans to share the pass. Default 500µs.
+	BatchWindow time.Duration
+	// MaxBatch caps the number of scan requests sharing one pass; reaching
+	// it flushes immediately. Default 1024.
+	MaxBatch int
+}
+
+func (o Options) withDefaults(m *hw.Machine) (Options, error) {
+	if o.Workers == 0 {
+		o.Workers = m.TotalCores()
+	}
+	if o.Workers < 0 || o.Workers > m.TotalCores() {
+		return o, fmt.Errorf("serve: worker budget %d out of range 1..%d: %w", o.Workers, m.TotalCores(), errs.ErrWorkersOutOfRange)
+	}
+	if o.OpWorkers == 0 {
+		o.OpWorkers = o.Workers / 2
+		if o.OpWorkers < 1 {
+			o.OpWorkers = 1
+		}
+	}
+	if o.OpWorkers < 0 || o.OpWorkers > o.Workers {
+		return o, fmt.Errorf("serve: op workers %d out of range 1..%d: %w", o.OpWorkers, o.Workers, errs.ErrWorkersOutOfRange)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 500 * time.Microsecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 1024
+	}
+	return o, nil
+}
+
+// pending is one admitted request waiting for its outcome.
+type pending struct {
+	ctx  context.Context
+	req  Request
+	enq  time.Time
+	done chan outcome
+}
+
+type outcome struct {
+	resp Response
+	err  error
+}
+
+// Server is an admission-controlled, batching query service bound to one
+// machine profile. All methods are safe for concurrent use.
+type Server struct {
+	machine *hw.Machine
+	opts    Options
+	reg     *metrics.Registry
+
+	intake chan *pending
+	sem    chan struct{} // simulated-core tokens; capacity = opts.Workers
+
+	mu     sync.RWMutex // guards closed and tables
+	closed bool
+	tables map[string]*scan.Relation
+
+	wg sync.WaitGroup // dispatcher + in-flight executors
+
+	// testHold, when non-nil, blocks every executor after it has acquired
+	// its core tokens until the channel is closed. Tests use it to pin the
+	// pipeline and exercise backpressure deterministically.
+	testHold chan struct{}
+}
+
+// New starts a server on the given machine profile. The returned server is
+// running; stop it with Close.
+func New(m *hw.Machine, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: %w", errs.ErrNilMachine)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := opts.withDefaults(m)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		machine: m,
+		opts:    opts,
+		reg:     metrics.NewRegistry(),
+		intake:  make(chan *pending, opts.QueueDepth),
+		sem:     make(chan struct{}, opts.Workers),
+		tables:  make(map[string]*scan.Relation),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.sem <- struct{}{}
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Machine returns the server's hardware profile.
+func (s *Server) Machine() *hw.Machine { return s.machine }
+
+// Metrics returns the server's metrics registry. Counters:
+// serve.admitted, serve.rejected, serve.invalid, serve.completed,
+// serve.deadline_exceeded. Histograms: serve.batch_size, serve.latency_ms,
+// serve.cycles_per_query. Gauge: serve.queue_depth.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Register makes a columnar relation available to scan requests under the
+// given name. Registering an existing name replaces the relation (new
+// batches see the new data; a batch in flight finishes on the old).
+func (s *Server) Register(name string, cols [][]int64) error {
+	rel, err := scan.NewRelation(cols)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: register %q: %w", name, errs.ErrClosed)
+	}
+	s.tables[name] = rel
+	return nil
+}
+
+// lookup returns the relation registered under name.
+func (s *Server) lookup(name string) (*scan.Relation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rel, ok := s.tables[name]
+	return rel, ok
+}
+
+// validate rejects malformed requests before they consume queue space.
+func (s *Server) validate(req Request) error {
+	switch req.Op {
+	case OpScan:
+		rel, ok := s.lookup(req.Table)
+		if !ok {
+			return fmt.Errorf("serve: unknown table %q: %w", req.Table, errs.ErrInvalidInput)
+		}
+		return req.Query.Validate(rel.NumCols())
+	case OpJoin:
+		switch req.Algorithm {
+		case "", "auto", join.AlgNPO, join.AlgRadix:
+		default:
+			return fmt.Errorf("serve: unknown join algorithm %q: %w", req.Algorithm, errs.ErrInvalidInput)
+		}
+		return req.Join.Validate()
+	case OpGroupSum:
+		if len(req.Keys) != len(req.Vals) {
+			return fmt.Errorf("serve: keys/vals length mismatch: %d vs %d: %w", len(req.Keys), len(req.Vals), errs.ErrInvalidInput)
+		}
+		switch req.Strategy {
+		case agg.StrategyGlobal, agg.StrategyLocalMerge, agg.StrategyRadix:
+			return nil
+		default:
+			return fmt.Errorf("serve: unknown aggregation strategy %q: %w", req.Strategy, errs.ErrInvalidInput)
+		}
+	case OpQ1, OpQ6:
+		if req.Lineitem == nil {
+			return fmt.Errorf("serve: %s needs a lineitem table: %w", req.Op, errs.ErrInvalidInput)
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: unknown op %q: %w", req.Op, errs.ErrInvalidInput)
+	}
+}
+
+// Submit enqueues one request and blocks until its response, the context's
+// end, or rejection. A full intake queue fails fast with ErrOverloaded; a
+// closed server with ErrClosed. If ctx ends while the request is queued the
+// request is dropped at dispatch; if it ends mid-execution the operation
+// stops at the next morsel boundary. In both cases Submit returns the
+// context's error.
+func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
+	if err := s.validate(req); err != nil {
+		s.reg.Counter("serve.invalid").Inc()
+		return Response{}, err
+	}
+	p := &pending{ctx: ctx, req: req, enq: time.Now(), done: make(chan outcome, 1)}
+
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Response{}, fmt.Errorf("serve: submit: %w", errs.ErrClosed)
+	}
+	select {
+	case s.intake <- p:
+		s.mu.RUnlock()
+		s.reg.Counter("serve.admitted").Inc()
+		s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake)))
+	default:
+		s.mu.RUnlock()
+		s.reg.Counter("serve.rejected").Inc()
+		return Response{}, fmt.Errorf("serve: intake queue full (%d deep): %w", s.opts.QueueDepth, errs.ErrOverloaded)
+	}
+
+	select {
+	case out := <-p.done:
+		return out.resp, out.err
+	case <-ctx.Done():
+		// The request may still be dispatched; the dispatcher will observe
+		// the dead context and account it then.
+		return Response{}, ctx.Err()
+	}
+}
+
+// Close stops intake and drains: queued requests are still served, then the
+// server's goroutines exit. Safe to call once; further calls and further
+// Submits return ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: close: %w", errs.ErrClosed)
+	}
+	s.closed = true
+	close(s.intake)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// acquire takes n simulated-core tokens. Only the dispatcher acquires, so
+// partial acquisition cannot deadlock against another acquirer; executors
+// release as they finish.
+func (s *Server) acquire(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+func (s *Server) release(n int) {
+	for i := 0; i < n; i++ {
+		s.sem <- struct{}{}
+	}
+}
+
+// batch is the scan batch under collection: requests against one relation
+// that will share a single clock-scan pass.
+type batch struct {
+	table string
+	rel   *scan.Relation
+	reqs  []*pending
+}
+
+// dispatch is the server's single intake consumer: it collects scan requests
+// into batches and hands every unit of execution to a goroutine only after
+// reserving its simulated cores — while it blocks on the reservation, the
+// intake queue is the only buffer, which is what makes ErrOverloaded mean
+// "the machine is behind", not "a buffer happened to fill".
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	var cur *batch
+	var window <-chan time.Time // nil when no batch is open
+
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		b := cur
+		cur, window = nil, nil
+		s.acquire(s.opts.Workers) // a shared pass owns the whole budget
+		s.wg.Add(1)
+		go s.runBatch(b)
+	}
+
+	for {
+		select {
+		case p, ok := <-s.intake:
+			if !ok {
+				flush()
+				return
+			}
+			s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake)))
+			if err := p.ctx.Err(); err != nil {
+				s.finish(p, Response{}, fmt.Errorf("serve: dropped before dispatch: %w", err))
+				continue
+			}
+			if p.req.Op != OpScan {
+				workers := s.opts.OpWorkers
+				if p.req.Op == OpQ1 || p.req.Op == OpQ6 {
+					workers = 1 // single-threaded query engines
+				}
+				s.acquire(workers)
+				s.wg.Add(1)
+				go s.runOne(p, workers)
+				continue
+			}
+			if cur != nil && cur.table != p.req.Table {
+				flush() // a different relation cannot share the pass
+			}
+			if cur == nil {
+				rel, ok := s.lookup(p.req.Table)
+				if !ok { // table dropped since validation
+					s.finish(p, Response{}, fmt.Errorf("serve: unknown table %q: %w", p.req.Table, errs.ErrInvalidInput))
+					continue
+				}
+				cur = &batch{table: p.req.Table, rel: rel}
+				window = time.After(s.opts.BatchWindow)
+			}
+			cur.reqs = append(cur.reqs, p)
+			if len(cur.reqs) >= s.opts.MaxBatch {
+				flush()
+			}
+		case <-window:
+			flush()
+		}
+	}
+}
+
+// runBatch executes one shared clock scan for every live request of the
+// batch and distributes per-query results. The modeled cost attributed to
+// each request is the batch makespan divided by the batch size.
+func (s *Server) runBatch(b *batch) {
+	defer s.wg.Done()
+	defer s.release(s.opts.Workers)
+	if c := s.testHold; c != nil {
+		<-c
+	}
+
+	live := make([]*pending, 0, len(b.reqs))
+	for _, p := range b.reqs {
+		if err := p.ctx.Err(); err != nil {
+			s.finish(p, Response{}, fmt.Errorf("serve: dropped from batch: %w", err))
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	qs := make([]scan.Query, len(live))
+	for i, p := range live {
+		qs[i] = p.req.Query
+	}
+	sch, err := sched.New(s.machine, sched.Options{Workers: s.opts.Workers, Stealing: true})
+	if err == nil {
+		var sums []int64
+		var schedRes sched.Result
+		// The batch runs for all its members; individual deadlines were
+		// honoured at collection time. Batch members share fate from here.
+		sums, schedRes, err = scan.ParallelShared(context.Background(), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, 0)
+		if err == nil {
+			per := schedRes.MakespanCycles / float64(len(live))
+			s.reg.Histogram("serve.batch_size").Record(float64(len(live)))
+			s.reg.Histogram("serve.cycles_per_query").Record(per)
+			for i, p := range live {
+				s.finish(p, Response{Cost: hw.Cost{SimCycles: per}, BatchSize: len(live), Sum: sums[i]}, nil)
+			}
+			return
+		}
+	}
+	for _, p := range live {
+		s.finish(p, Response{}, err)
+	}
+}
+
+// runOne executes one non-batchable request on its reserved cores.
+func (s *Server) runOne(p *pending, workers int) {
+	defer s.wg.Done()
+	defer s.release(workers)
+	if c := s.testHold; c != nil {
+		<-c
+	}
+	if err := p.ctx.Err(); err != nil {
+		s.finish(p, Response{}, fmt.Errorf("serve: dropped before execution: %w", err))
+		return
+	}
+	resp, err := s.execute(p.ctx, p.req, workers)
+	if err == nil {
+		s.reg.Histogram("serve.cycles_per_query").Record(resp.SimCycles)
+	}
+	s.finish(p, resp, err)
+}
+
+// execute runs one join/aggregate/query request under the client's context.
+func (s *Server) execute(ctx context.Context, req Request, workers int) (Response, error) {
+	switch req.Op {
+	case OpJoin:
+		sch, err := sched.New(s.machine, sched.Options{Workers: workers, Stealing: true})
+		if err != nil {
+			return Response{}, err
+		}
+		algo := req.Algorithm
+		if algo == "" || algo == "auto" {
+			if int64(len(req.Join.BuildKeys))*34 > s.machine.LLC().SizeBytes {
+				algo = join.AlgRadix
+			} else {
+				algo = join.AlgNPO
+			}
+		}
+		var res join.ParallelResult
+		if algo == join.AlgRadix {
+			res, err = join.ParallelRadix(ctx, req.Join, join.RadixOptions{}, sch, s.machine, 0)
+		} else {
+			res, err = join.ParallelNPO(ctx, req.Join, sch, 0)
+		}
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Matches: res.Matches, Checksum: res.Checksum}, nil
+	case OpGroupSum:
+		sch, err := sched.New(s.machine, sched.Options{Workers: workers, Stealing: true})
+		if err != nil {
+			return Response{}, err
+		}
+		res, err := agg.Parallel(ctx, req.Keys, req.Vals, req.Strategy, sch, s.machine, 0)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Groups: res.Groups}, nil
+	case OpQ1:
+		acct := hw.NewAccount(s.machine, hw.DefaultContext())
+		rows, err := queries.Q1(req.Engine, req.Lineitem, queries.DefaultQ1(), acct)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Cost: hw.Cost{SimCycles: acct.TotalCycles()}, BatchSize: 1, Q1Rows: rows}, nil
+	case OpQ6:
+		acct := hw.NewAccount(s.machine, hw.DefaultContext())
+		rev, err := queries.Q6(req.Engine, req.Lineitem, queries.DefaultQ6(), acct)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Cost: hw.Cost{SimCycles: acct.TotalCycles()}, BatchSize: 1, Revenue: rev}, nil
+	default:
+		return Response{}, fmt.Errorf("serve: unknown op %q: %w", req.Op, errs.ErrInvalidInput)
+	}
+}
+
+// finish delivers the outcome and accounts it: context-terminated requests
+// count as deadline-exceeded, successful ones record completion latency.
+func (s *Server) finish(p *pending, resp Response, err error) {
+	switch {
+	case err == nil:
+		s.reg.Counter("serve.completed").Inc()
+		s.reg.Histogram("serve.latency_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("serve.deadline_exceeded").Inc()
+	}
+	p.done <- outcome{resp: resp, err: err}
+}
