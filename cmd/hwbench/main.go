@@ -1,4 +1,4 @@
-// Command hwbench runs the hwstar experiment suite (E1–E18 from DESIGN.md)
+// Command hwbench runs the hwstar experiment suite (E1–E20 from DESIGN.md)
 // and prints each experiment's result tables. Every table corresponds to one
 // claim of the ICDE 2013 keynote "Hardware killed the software star" made
 // measurable.

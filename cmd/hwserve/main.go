@@ -8,9 +8,19 @@
 //	hwserve [-machine name] [-clients n] [-requests n] [-rows n]
 //	        [-queue n] [-maxbatch n] [-window d] [-mix scan|mixed]
 //	        [-deadline d]
+//	        [-fault-seed n] [-panic-prob p] [-transient-prob p]
+//	        [-straggler-prob p] [-straggler-skew k]
+//	        [-retries n] [-backoff d] [-breaker n] [-cooldown d]
 //
 // The default workload is all shared-scannable range aggregates; -mix mixed
 // adds joins and grouped aggregations that exercise the worker budget.
+//
+// The fault flags arm a seeded injector on the server (panics, transient
+// failures, stragglers), and the resilience flags configure how the server
+// absorbs them: morsel retry with exponential backoff, panic isolation with
+// straggler re-dispatch, and a circuit breaker that sheds load after
+// consecutive failures. SIGINT/SIGTERM stops the clients and drains admitted
+// work through Server.Close before the final report prints.
 package main
 
 import (
@@ -21,8 +31,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"hwstar"
@@ -39,18 +52,38 @@ type config struct {
 	window      time.Duration
 	deadline    time.Duration
 	mix         string // "scan" or "mixed"
+
+	// Fault injection (zero probabilities disable the injector).
+	faultSeed     int64
+	panicProb     float64
+	transientProb float64
+	stragglerProb float64
+	stragglerSkew float64
+
+	// Resilience policy.
+	retries  int
+	backoff  time.Duration
+	breaker  int
+	cooldown time.Duration
+}
+
+func (c config) faulty() bool {
+	return c.panicProb > 0 || c.transientProb > 0 || c.stragglerProb > 0
 }
 
 type report struct {
 	completed, rejected, deadlined int64
+	shed, failed                   int64
 	elapsed                        time.Duration
 	batches                        int
 	batchP50, batchMax             float64
 	meanMcyc                       float64 // per completed query
 	queueDepth                     int
+	interrupted                    bool
+	health                         hwstar.ServerHealth
 }
 
-func run(cfg config) (*report, error) {
+func run(ctx context.Context, cfg config) (*report, error) {
 	m, ok := hw.Profiles()[cfg.machineName]
 	if !ok {
 		return nil, fmt.Errorf("unknown machine %q", cfg.machineName)
@@ -58,11 +91,29 @@ func run(cfg config) (*report, error) {
 	if cfg.mix != "scan" && cfg.mix != "mixed" {
 		return nil, fmt.Errorf("unknown mix %q (want scan or mixed)", cfg.mix)
 	}
-	srv, err := hwstar.NewServer(m, hwstar.ServerOptions{
-		QueueDepth:  cfg.queueDepth,
-		MaxBatch:    cfg.maxBatch,
-		BatchWindow: cfg.window,
-	})
+	opts := hwstar.ServerOptions{
+		QueueDepth:       cfg.queueDepth,
+		MaxBatch:         cfg.maxBatch,
+		BatchWindow:      cfg.window,
+		MaxRetries:       cfg.retries,
+		RetryBackoff:     cfg.backoff,
+		BreakerThreshold: cfg.breaker,
+		BreakerCooldown:  cfg.cooldown,
+	}
+	if cfg.faulty() {
+		opts.Faults = hwstar.NewFaultInjector(hwstar.FaultConfig{
+			Seed:          cfg.faultSeed,
+			PanicProb:     cfg.panicProb,
+			TransientProb: cfg.transientProb,
+			StragglerProb: cfg.stragglerProb,
+			StragglerSkew: cfg.stragglerSkew,
+		})
+		// Injected panics and stragglers are survivable only with isolation
+		// and re-dispatch armed.
+		opts.IsolatePanics = true
+		opts.StragglerThreshold = 3
+	}
+	srv, err := hwstar.NewServer(m, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +133,7 @@ func run(cfg config) (*report, error) {
 	aggKeys := hwstar.GenUniform(44, 65536, 1024)
 	aggVals := hwstar.GenUniform(45, 65536, 100)
 
-	var completed, rejected, deadlined int64
+	var completed, rejected, deadlined, shed, failed int64
 	var cycles atomicFloat
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -93,6 +144,9 @@ func run(cfg config) (*report, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + c)))
 			for i := 0; i < cfg.requests; i++ {
+				if ctx.Err() != nil {
+					return // interrupted: stop submitting, let Close drain
+				}
 				req := hwstar.Request{
 					Op:    hwstar.OpScan,
 					Table: "facts",
@@ -107,12 +161,12 @@ func run(cfg config) (*report, error) {
 						req = hwstar.Request{Op: hwstar.OpGroupSum, Keys: aggKeys, Vals: aggVals, Strategy: hwstar.AggRadix}
 					}
 				}
-				ctx := context.Background()
+				reqCtx := ctx
 				cancel := func() {}
 				if cfg.deadline > 0 {
-					ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+					reqCtx, cancel = context.WithTimeout(reqCtx, cfg.deadline)
 				}
-				resp, err := srv.Submit(ctx, req)
+				resp, err := srv.Submit(reqCtx, req)
 				cancel()
 				switch {
 				case err == nil:
@@ -120,10 +174,12 @@ func run(cfg config) (*report, error) {
 					cycles.add(resp.SimCycles)
 				case errors.Is(err, hwstar.ErrOverloaded):
 					atomic.AddInt64(&rejected, 1)
-				case errors.Is(err, context.DeadlineExceeded):
+				case errors.Is(err, hwstar.ErrDegraded):
+					atomic.AddInt64(&shed, 1)
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 					atomic.AddInt64(&deadlined, 1)
 				default:
-					atomic.AddInt64(&deadlined, 1)
+					atomic.AddInt64(&failed, 1)
 				}
 			}
 		}()
@@ -133,14 +189,17 @@ func run(cfg config) (*report, error) {
 	bs := srv.Metrics().Histogram("serve.batch_size")
 	r := &report{
 		completed: completed, rejected: rejected, deadlined: deadlined,
+		shed: shed, failed: failed,
 		elapsed:  elapsed,
 		batches:  bs.Count(),
 		batchP50: bs.Quantile(0.5), batchMax: bs.Max(),
-		queueDepth: cfg.queueDepth,
+		queueDepth:  cfg.queueDepth,
+		interrupted: ctx.Err() != nil,
 	}
 	if completed > 0 {
 		r.meanMcyc = cycles.load() / float64(completed) / 1e6
 	}
+	r.health = srv.Health()
 	if err := srv.Close(); err != nil {
 		return nil, err
 	}
@@ -150,12 +209,31 @@ func run(cfg config) (*report, error) {
 func (r *report) print(w io.Writer, cfg config) {
 	total := int64(cfg.clients) * int64(cfg.requests)
 	fmt.Fprintf(w, "%d clients x %d requests on %s (%s mix)\n", cfg.clients, cfg.requests, cfg.machineName, cfg.mix)
-	fmt.Fprintf(w, "  completed %d / %d  (rejected %d, missed deadline %d)\n", r.completed, total, r.rejected, r.deadlined)
+	if r.interrupted {
+		fmt.Fprintf(w, "  interrupted: clients stopped, admitted work drained\n")
+	}
+	fmt.Fprintf(w, "  completed %d / %d  (rejected %d, missed deadline %d, shed %d, failed %d)\n",
+		r.completed, total, r.rejected, r.deadlined, r.shed, r.failed)
 	fmt.Fprintf(w, "  wall time %.2fs  (%.0f req/s)\n", r.elapsed.Seconds(), float64(r.completed)/r.elapsed.Seconds())
 	if r.batches > 0 {
 		fmt.Fprintf(w, "  scan batches %d  (p50 size %.0f, max %.0f)\n", r.batches, r.batchP50, r.batchMax)
 	}
 	fmt.Fprintf(w, "  modeled cost %.2f Mcycles/query (amortized over shared scans)\n", r.meanMcyc)
+	if cfg.faulty() {
+		h := r.health
+		fmt.Fprintf(w, "  health %s  (retries %d, exhausted %d, panics recovered %d, re-dispatched %d, stragglers retired %d, breaker trips %d)\n",
+			h.State, h.Retries, h.RetryExhausted, h.PanicsRecovered, h.Redispatched, h.StragglersRetired, h.BreakerTrips)
+		classes := make([]string, 0, len(h.Faults))
+		for c := range h.Faults {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(w, "  faults injected:")
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s=%d", c, h.Faults[c])
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // atomicFloat accumulates float64 samples without a mutex on the hot path.
@@ -178,9 +256,23 @@ func main() {
 	flag.DurationVar(&cfg.window, "window", 2*time.Millisecond, "batching window")
 	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-request deadline (0 = none)")
 	flag.StringVar(&cfg.mix, "mix", "scan", "workload mix: scan or mixed")
+	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "fault injector seed")
+	flag.Float64Var(&cfg.panicProb, "panic-prob", 0, "per-task injected panic probability")
+	flag.Float64Var(&cfg.transientProb, "transient-prob", 0, "per-task injected transient-failure probability")
+	flag.Float64Var(&cfg.stragglerProb, "straggler-prob", 0, "per-worker straggler probability")
+	flag.Float64Var(&cfg.stragglerSkew, "straggler-skew", 8, "cycle multiplier for straggling workers")
+	flag.IntVar(&cfg.retries, "retries", 0, "morsel-level retries per request (0 = retry-free)")
+	flag.DurationVar(&cfg.backoff, "backoff", 200*time.Microsecond, "base retry backoff (doubles per attempt, jittered)")
+	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive failures tripping the circuit breaker (0 = no breaker)")
+	flag.DurationVar(&cfg.cooldown, "cooldown", 10*time.Millisecond, "breaker cooldown before a half-open probe")
 	flag.Parse()
 
-	r, err := run(cfg)
+	// SIGINT/SIGTERM stops the client cohort; admitted work still drains
+	// through Server.Close before the report prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	r, err := run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

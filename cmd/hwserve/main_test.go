@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func smallConfig() config {
 
 func TestRunScanMix(t *testing.T) {
 	cfg := smallConfig()
-	r, err := run(cfg)
+	r, err := run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunMixedMix(t *testing.T) {
 	cfg := smallConfig()
 	cfg.mix = "mixed"
 	cfg.deadline = time.Minute // generous: nothing should miss it
-	r, err := run(cfg)
+	r, err := run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,12 +61,62 @@ func TestRunMixedMix(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cfg := smallConfig()
 	cfg.machineName = "nope"
-	if _, err := run(cfg); err == nil {
+	if _, err := run(context.Background(), cfg); err == nil {
 		t.Fatal("unknown machine should fail")
 	}
 	cfg = smallConfig()
 	cfg.mix = "bogus"
-	if _, err := run(cfg); err == nil {
+	if _, err := run(context.Background(), cfg); err == nil {
 		t.Fatal("unknown mix should fail")
+	}
+}
+
+// TestRunWithFaults arms the injector with transient failures and panics and
+// checks the resilient configuration still completes everything, with the
+// health summary in the report.
+func TestRunWithFaults(t *testing.T) {
+	cfg := smallConfig()
+	cfg.faultSeed = 7
+	cfg.transientProb = 0.05
+	cfg.panicProb = 0.01
+	cfg.retries = 4
+	cfg.backoff = 20 * time.Microsecond
+	r, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.completed != int64(cfg.clients*cfg.requests) {
+		t.Fatalf("faulty run lost requests: %+v", r)
+	}
+	var sb strings.Builder
+	r.print(&sb, cfg)
+	for _, want := range []string{"health", "faults injected:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestRunInterrupted cancels the run context up front: clients must stop
+// submitting, Close must still drain, and the report must say so.
+func TestRunInterrupted(t *testing.T) {
+	cfg := smallConfig()
+	cfg.requests = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.interrupted {
+		t.Fatalf("report not marked interrupted: %+v", r)
+	}
+	if r.completed != 0 {
+		t.Fatalf("cancelled-before-start run completed %d requests", r.completed)
+	}
+	var sb strings.Builder
+	r.print(&sb, cfg)
+	if !strings.Contains(sb.String(), "interrupted") {
+		t.Fatalf("report missing interruption notice:\n%s", sb.String())
 	}
 }

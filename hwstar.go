@@ -20,7 +20,7 @@
 // This package is the public façade: an Engine bound to a machine profile,
 // with high-level, context-first operations that return both real results and
 // modeled hardware costs, and a Server that multiplexes concurrent clients
-// onto the engine with shared-scan batching and admission control. The E1–E19
+// onto the engine with shared-scan batching and admission control. The E1–E20
 // experiment suite (internal/experiments, cmd/hwbench) reproduces the
 // behaviour the hardware-conscious database literature reports, on any host,
 // deterministically.
@@ -39,6 +39,7 @@ import (
 	"hwstar/internal/bench"
 	"hwstar/internal/errs"
 	"hwstar/internal/experiments"
+	"hwstar/internal/fault"
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
 	"hwstar/internal/layout"
@@ -67,6 +68,15 @@ var (
 	ErrOverloaded = errs.ErrOverloaded
 	// ErrClosed reports an operation on a closed Server.
 	ErrClosed = errs.ErrClosed
+	// ErrWorkerPanic reports a recovered task panic that the run could not
+	// absorb (stack attached to the wrapping error).
+	ErrWorkerPanic = errs.ErrWorkerPanic
+	// ErrTransient reports a retryable morsel-level failure that survived
+	// the server's retry budget.
+	ErrTransient = errs.ErrTransient
+	// ErrDegraded reports a request shed because the Server's circuit
+	// breaker is open.
+	ErrDegraded = errs.ErrDegraded
 )
 
 // Cost is the modeled hardware cost shared by every result type: simulated
@@ -455,6 +465,27 @@ func NewServer(m *Machine, opts ServerOptions) (*Server, error) {
 	return serve.New(m, opts)
 }
 
+// FaultConfig arms a fault injector: seeded, per-class probabilities for
+// injected panics, stragglers, transient failures, and core loss. See
+// internal/fault for the full semantics.
+type FaultConfig = fault.Config
+
+// FaultInjector produces deterministic faults and logs every firing. Arm
+// one on a Server via ServerOptions.Faults; read its Log/Counts afterwards
+// to prove what the run survived.
+type FaultInjector = fault.Injector
+
+// FaultEvent is one fired fault in a FaultInjector's log.
+type FaultEvent = fault.Event
+
+// NewFaultInjector builds an injector from a FaultConfig.
+var NewFaultInjector = fault.New
+
+// ServerHealth is the resilience snapshot returned by Server.Health():
+// breaker state, failure streak, retry/re-dispatch counters, and injected
+// fault counts.
+type ServerHealth = serve.Health
+
 // Data generators re-exported from internal/workload so examples and users
 // can produce the same deterministic datasets the experiments use.
 var (
@@ -479,7 +510,7 @@ func GenJoin(seed int64, buildRows, probeRows int, zipfS float64) JoinData {
 	})
 }
 
-// RunExperiment executes one experiment of the E1–E18 suite at the given
+// RunExperiment executes one experiment of the E1–E20 suite at the given
 // scale (1 = full size) and returns its result tables.
 func RunExperiment(id string, scale float64) ([]*ResultTable, error) {
 	exp, err := experiments.ByID(id)

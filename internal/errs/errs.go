@@ -25,4 +25,18 @@ var (
 	ErrOverloaded = errors.New("server overloaded")
 	// ErrClosed reports a request submitted to a closed server.
 	ErrClosed = errors.New("server closed")
+	// ErrWorkerPanic reports a panic inside a scheduled task. The scheduler
+	// recovers it, captures the stack, and either isolates the failure
+	// (retiring the worker and re-dispatching its morsels) or surfaces it
+	// wrapped around this sentinel.
+	ErrWorkerPanic = errors.New("worker panic")
+	// ErrTransient reports a transient task failure (injected or real) that
+	// is safe to retry: the morsel had no partial effect. The serving layer
+	// retries these with bounded exponential backoff.
+	ErrTransient = errors.New("transient failure")
+	// ErrDegraded reports that a server's circuit breaker is open and the
+	// request was shed. Unlike ErrOverloaded (queue full), ErrDegraded means
+	// the server is failing, not merely busy; scan requests are still served
+	// from a reduced worker budget instead of being shed.
+	ErrDegraded = errors.New("server degraded")
 )

@@ -11,7 +11,8 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("expected at least 24 experiments, got %d", len(all))
 	}
 	want := []string{"E1", "E1a", "E1b", "E1c", "E2", "E2a", "E2b", "E3", "E4", "E5", "E5a",
-		"E6", "E7", "E8", "E9", "E10", "E10a", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+		"E6", "E7", "E8", "E9", "E10", "E10a", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
+		"E19", "E20"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("experiment %s missing: %v", id, err)

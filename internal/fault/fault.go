@@ -1,0 +1,269 @@
+// Package fault is a seeded, deterministic fault-injection substrate for the
+// hwstar execution stack. Real hardware fails partially — cores stall,
+// machines run hot and slow down, tasks die — and a parallel design is only
+// trustworthy when exactly those modes are exercised deliberately. An
+// Injector is armed on a scheduler run (sched.Options.Inject) or a server
+// (serve.Options.Faults) and produces four fault classes at configurable,
+// reproducible probabilities:
+//
+//   - panics: a scheduled task panics before its body runs;
+//   - stragglers: a worker's cycle charges are multiplied by a skew factor,
+//     modelling a thermally throttled or contended core;
+//   - transient errors: a task fails with errs.ErrTransient, retryable;
+//   - core loss: a worker disappears at the start of a run.
+//
+// Injected panics and transient errors fire at the morsel boundary, BEFORE
+// the task body executes, so a re-dispatched or retried morsel never
+// double-applies partial effects. Every fired fault is appended to a log the
+// tests assert against: a chaos test is only meaningful if it can prove each
+// fault class actually fired.
+//
+// All draws come from one seeded source, so a single-threaded consumer (the
+// scheduler's virtual-time loop, a sequential experiment driver) replays the
+// exact same fault sequence from the same seed.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hwstar/internal/errs"
+)
+
+// Class names a fault category in the log and in count snapshots.
+type Class string
+
+// Fault classes.
+const (
+	ClassPanic     Class = "panic"
+	ClassStraggler Class = "straggler"
+	ClassTransient Class = "transient"
+	ClassCoreLoss  Class = "core-loss"
+)
+
+// Config arms an Injector. Probabilities are in [0,1]; zero disables the
+// class. Panic and transient probabilities are drawn once per task
+// execution; straggler and core-loss probabilities once per worker per
+// scheduler run.
+type Config struct {
+	// Seed makes the fault sequence reproducible.
+	Seed int64
+
+	// PanicProb is the per-task-execution probability of an injected panic.
+	PanicProb float64
+	// TransientProb is the per-task-execution probability of a retryable
+	// transient failure.
+	TransientProb float64
+	// StragglerProb is the per-worker probability of being a straggler for
+	// one run; StragglerSkew is the cycle multiplier applied to a straggling
+	// worker's charges (values <= 1 default to 4).
+	StragglerProb float64
+	StragglerSkew float64
+	// CoreLossProb is the per-worker probability of disappearing at run
+	// start. The scheduler never loses its last surviving worker.
+	CoreLossProb float64
+
+	// StragglerWorkers and LostCores arm specific workers deterministically,
+	// in addition to the probabilistic draws — tests use these to stage an
+	// exact failure.
+	StragglerWorkers []int
+	LostCores        []int
+
+	// PanicSites and TransientSites override the class probability for
+	// specific sites (a site is the morsel family name, e.g. "clock-scan" or
+	// "agg-part"). An entry of 0 shields that site entirely.
+	PanicSites     map[string]float64
+	TransientSites map[string]float64
+
+	// MaxFaults, when positive, caps the total number of injected faults:
+	// after the budget is spent the injector goes quiet. Tests use it to
+	// stage "fails twice, then recovers" sequences.
+	MaxFaults int
+}
+
+// Event is one fired fault, in firing order.
+type Event struct {
+	// Seq is the 0-based position in the fault log.
+	Seq int
+	// Class is the fault category; Site the morsel family it hit ("" for
+	// worker-level faults); Worker the simulated core involved.
+	Class  Class
+	Site   string
+	Worker int
+}
+
+// Injector produces faults from a seeded source and logs every firing. All
+// methods are safe for concurrent use; a nil *Injector is valid and injects
+// nothing.
+type Injector struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	log    []Event
+	counts map[Class]int
+}
+
+// New returns an Injector armed with cfg.
+func New(cfg Config) *Injector {
+	if cfg.StragglerSkew <= 1 {
+		cfg.StragglerSkew = 4
+	}
+	return &Injector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[Class]int),
+	}
+}
+
+// Enabled reports whether the injector can fire at all.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	c := in.cfg
+	return c.PanicProb > 0 || c.TransientProb > 0 || c.StragglerProb > 0 ||
+		c.CoreLossProb > 0 || len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0
+}
+
+// fire draws one fault with the given probability, honouring the fault
+// budget, and logs it when it fires. Callers hold no lock.
+func (in *Injector) fire(class Class, prob float64, site string, worker int) bool {
+	if prob <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.MaxFaults > 0 && len(in.log) >= in.cfg.MaxFaults {
+		return false
+	}
+	if prob < 1 && in.rng.Float64() >= prob {
+		return false
+	}
+	in.record(class, site, worker)
+	return true
+}
+
+// record appends one event. Callers hold in.mu.
+func (in *Injector) record(class Class, site string, worker int) {
+	in.log = append(in.log, Event{Seq: len(in.log), Class: class, Site: site, Worker: worker})
+	in.counts[class]++
+}
+
+func siteProb(overrides map[string]float64, site string, def float64) float64 {
+	if p, ok := overrides[site]; ok {
+		return p
+	}
+	return def
+}
+
+// ShouldPanic reports whether the task executing at site on the given worker
+// must panic. The scheduler calls it before the task body, so the panic has
+// no partial effects.
+func (in *Injector) ShouldPanic(site string, worker int) bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(ClassPanic, siteProb(in.cfg.PanicSites, site, in.cfg.PanicProb), site, worker)
+}
+
+// TaskError returns an injected transient failure for the task at site on
+// the given worker, or nil. The error wraps errs.ErrTransient.
+func (in *Injector) TaskError(site string, worker int) error {
+	if in == nil {
+		return nil
+	}
+	if !in.fire(ClassTransient, siteProb(in.cfg.TransientSites, site, in.cfg.TransientProb), site, worker) {
+		return nil
+	}
+	return fmt.Errorf("fault: injected transient at %s on worker %d: %w", site, worker, errs.ErrTransient)
+}
+
+// WorkerSkew returns the cycle multiplier for the given worker in one run:
+// the configured skew when the worker straggles, 1 otherwise.
+func (in *Injector) WorkerSkew(worker int) float64 {
+	if in == nil {
+		return 1
+	}
+	for _, id := range in.cfg.StragglerWorkers {
+		if id == worker {
+			in.mu.Lock()
+			in.record(ClassStraggler, "", worker)
+			in.mu.Unlock()
+			return in.cfg.StragglerSkew
+		}
+	}
+	if in.fire(ClassStraggler, in.cfg.StragglerProb, "", worker) {
+		return in.cfg.StragglerSkew
+	}
+	return 1
+}
+
+// LoseCore reports whether the given worker disappears for one run.
+func (in *Injector) LoseCore(worker int) bool {
+	if in == nil {
+		return false
+	}
+	for _, id := range in.cfg.LostCores {
+		if id == worker {
+			in.mu.Lock()
+			in.record(ClassCoreLoss, "", worker)
+			in.mu.Unlock()
+			return true
+		}
+	}
+	return in.fire(ClassCoreLoss, in.cfg.CoreLossProb, "", worker)
+}
+
+// Log returns a copy of the fault log in firing order.
+func (in *Injector) Log() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// Counts returns the number of fired faults per class.
+func (in *Injector) Counts() map[Class]int {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Class]int, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CountsInt64 is Counts keyed by string, for metric snapshots.
+func (in *Injector) CountsInt64() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[string(k)] = int64(v)
+	}
+	return out
+}
+
+// Reset clears the log and re-seeds the source, so the same injector can
+// replay its sequence.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.log = nil
+	in.counts = make(map[Class]int)
+	in.rng = rand.New(rand.NewSource(in.cfg.Seed))
+}

@@ -182,6 +182,26 @@ func (h *Histogram) ensureSortedLocked() {
 	}
 }
 
+// HistogramStats is a compact, copyable summary of a histogram — what
+// health endpoints and experiment tables need without holding the samples.
+type HistogramStats struct {
+	Count                    int
+	Mean, P50, P95, P99, Max float64
+}
+
+// Stats returns the histogram's summary statistics in one lock acquisition
+// per quantile family.
+func (h *Histogram) Stats() HistogramStats {
+	return HistogramStats{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
 // Registry is a named collection of counters and histograms. Operators and
 // substrates register their metrics here so that experiments can snapshot
 // everything that happened during a run.
@@ -275,6 +295,38 @@ func (r *Registry) Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Snapshot is a point-in-time copy of everything a registry recorded.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramStats
+}
+
+// Snapshot captures all counters, gauges, and histogram summaries at once,
+// for health reporting and experiment output.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.hists))
+	names := make([]string, 0, len(r.hists))
+	for k, h := range r.hists {
+		hists = append(hists, h)
+		names = append(names, k)
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   r.Counters(),
+		Gauges:     r.Gauges(),
+		Histograms: make(map[string]HistogramStats, len(hists)),
+	}
+	// Histogram stats are computed outside the registry lock: Quantile
+	// sorts lazily and must not block concurrent Counter/Histogram lookups.
+	for i, h := range hists {
+		s.Histograms[names[i]] = h.Stats()
+	}
+	return s
 }
 
 // Reset resets every counter and histogram in the registry.

@@ -225,3 +225,40 @@ func TestHistogramSummaryNonEmpty(t *testing.T) {
 		t.Fatal("summary should not be empty")
 	}
 }
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram(8)
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	st := h.Stats()
+	if st.Count != 100 || st.Mean != 50.5 || st.Max != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P50 != h.Quantile(0.5) || st.P95 != h.Quantile(0.95) || st.P99 != h.Quantile(0.99) {
+		t.Fatalf("stats quantiles disagree with Quantile: %+v", st)
+	}
+	if empty := NewHistogram(0).Stats(); empty.Count != 0 || empty.Mean != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("depth").Set(7)
+	r.Histogram("lat").Record(1)
+	r.Histogram("lat").Record(3)
+	s := r.Snapshot()
+	if s.Counters["reqs"] != 3 || s.Gauges["depth"] != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.Histograms["lat"]; got.Count != 2 || got.Mean != 2 || got.Max != 3 {
+		t.Fatalf("snapshot histogram = %+v", got)
+	}
+	// The snapshot is a copy: later recording must not change it.
+	r.Counter("reqs").Inc()
+	if s.Counters["reqs"] != 3 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}

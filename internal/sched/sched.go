@@ -11,14 +11,28 @@
 // reproducible regardless of host parallelism while still modelling a
 // parallel machine faithfully: the makespan is that of the same greedy
 // schedule on real hardware with the modelled per-task costs.
+//
+// The scheduler is also the layer that survives partial hardware failure.
+// Task panics are always recovered and converted to a typed error wrapping
+// errs.ErrWorkerPanic with the stack captured; with Options.IsolatePanics
+// the panicking worker is retired and its morsels re-dispatch to healthy
+// workers instead of failing the run. Per-worker progress clocks detect
+// stragglers (cores running a configurable factor slower than the median),
+// retire them, and re-dispatch their remaining claimed morsels. Simulated
+// core loss at run start is absorbed the same way. A fault.Injector armed
+// via Options.Inject drives all of these deterministically from a seed.
 package sched
 
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"sort"
 
 	"hwstar/internal/errs"
+	"hwstar/internal/fault"
 	"hwstar/internal/hw"
 )
 
@@ -35,6 +49,14 @@ type Worker struct {
 	tasks        int
 	machine      *hw.Machine
 	totalWorkers int
+
+	// skew multiplies every cycle charge (1 for a healthy core, >1 for an
+	// injected straggler); claimed holds morsels this worker has taken from
+	// a queue but not yet run; retired marks a worker removed from the run
+	// after a panic, straggler detection, or core loss.
+	skew    float64
+	claimed []claimedTask
+	retired bool
 }
 
 // TotalWorkers returns the number of workers participating in the current
@@ -42,16 +64,26 @@ type Worker struct {
 func (w *Worker) TotalWorkers() int { return w.totalWorkers }
 
 // Charge prices w on the worker's machine under the worker's execution
-// context and advances the virtual clock. It returns the cycles charged.
+// context and advances the virtual clock. It returns the cycles charged,
+// including any straggler skew on this core.
 func (w *Worker) Charge(work hw.Work) float64 {
 	cycles := w.acct.Charge(work)
+	if w.skew > 1 {
+		cycles *= w.skew
+	}
 	w.clock += cycles
 	return cycles
 }
 
 // AdvanceCycles adds raw cycles to the worker's clock (for costs computed
-// outside the Work vocabulary, e.g. traced cache simulations).
-func (w *Worker) AdvanceCycles(c float64) { w.clock += c }
+// outside the Work vocabulary, e.g. traced cache simulations). Straggler
+// skew applies here too: a slow core is slow for all its work.
+func (w *Worker) AdvanceCycles(c float64) {
+	if w.skew > 1 {
+		c *= w.skew
+	}
+	w.clock += c
+}
 
 // Clock returns the worker's current virtual time in cycles.
 func (w *Worker) Clock() float64 { return w.clock }
@@ -67,12 +99,21 @@ func (w *Worker) Context() hw.ExecContext { return w.acct.Context() }
 type Task struct {
 	// Name labels the task in diagnostics.
 	Name string
+	// Site is the morsel family name ("clock-scan", "agg-part", ...) used as
+	// the fault-injection site key; empty falls back to Name.
+	Site string
 	// Socket is the preferred NUMA node (-1 for no preference); the
 	// scheduler queues the task there and only another socket's worker
 	// takes it by stealing.
 	Socket int
 	// Run executes the task on the given worker.
 	Run func(w *Worker)
+}
+
+// claimedTask is a queued task plus its re-execution count after panics.
+type claimedTask struct {
+	t        Task
+	attempts int
 }
 
 // Options configures a scheduler run.
@@ -88,6 +129,33 @@ type Options struct {
 	// Interference is the external slowdown factor applied to all memory
 	// work (see hw.ExecContext); values < 1 are treated as 1.
 	Interference float64
+
+	// Inject arms a fault injector on this scheduler's runs: panics and
+	// transient errors at morsel boundaries, straggler skew and core loss
+	// per worker. Nil injects nothing.
+	Inject *fault.Injector
+
+	// IsolatePanics, when true, turns a task panic into worker retirement:
+	// the panicking core is removed from the run and its morsels (the
+	// panicked one plus everything it had claimed) re-dispatch to healthy
+	// workers. When false a panic fails the run with a typed
+	// errs.ErrWorkerPanic error (stack attached) — it never crashes the
+	// process either way.
+	IsolatePanics bool
+	// MaxTaskRetries bounds how many times one morsel may be re-executed
+	// after panics before the run fails (default 2). It keeps a
+	// deterministically-poisoned morsel from retiring every worker in turn.
+	MaxTaskRetries int
+
+	// StragglerThreshold enables straggler detection when > 0: after each
+	// completed morsel, a worker whose mean per-morsel cost exceeds
+	// threshold × the median of the other active workers is retired and its
+	// remaining claimed morsels re-dispatch. Typical values are 2–4.
+	StragglerThreshold float64
+	// BlockSize is how many morsels a worker claims per dispatch (default
+	// 1). Claiming blocks models real morsel-batching — and is what gives a
+	// straggler morsels to hold hostage, which re-dispatch then rescues.
+	BlockSize int
 }
 
 // Result summarizes a scheduler run.
@@ -106,6 +174,33 @@ type Result struct {
 	Steals   int
 	// Workers is the number of simulated cores used.
 	Workers int
+	// FaultStats reports what the run survived.
+	FaultStats
+}
+
+// FaultStats counts the fault handling a schedule performed. Operators that
+// run multiple phases (join, aggregation) sum these across phases.
+type FaultStats struct {
+	// Panics is the number of recovered task panics; TaskRetries the
+	// morsel re-executions they caused.
+	Panics      int
+	TaskRetries int
+	// Redispatched counts morsels moved from a retired or lost worker to a
+	// healthy one.
+	Redispatched int
+	// StragglersRetired and CoresLost count workers removed mid-run and at
+	// run start respectively.
+	StragglersRetired int
+	CoresLost         int
+}
+
+// Add accumulates other into s.
+func (s *FaultStats) Add(other FaultStats) {
+	s.Panics += other.Panics
+	s.TaskRetries += other.TaskRetries
+	s.Redispatched += other.Redispatched
+	s.StragglersRetired += other.StragglersRetired
+	s.CoresLost += other.CoresLost
 }
 
 // Speedup returns TotalCycles / MakespanCycles — the effective parallelism
@@ -191,9 +286,13 @@ func (h *workerHeap) Pop() any {
 
 // Run executes all tasks and returns the schedule's result. Tasks with a
 // preferred socket go to that socket's queue; unpinned tasks are spread
-// round-robin. Execution order is deterministic.
+// round-robin. Execution order is deterministic. A task panic that the run
+// cannot absorb re-panics here (there is no error return to carry it).
 func (s *Scheduler) Run(tasks []Task) Result {
-	res, _ := s.RunContext(context.Background(), tasks)
+	res, err := s.RunContext(context.Background(), tasks)
+	if err != nil && errors.Is(err, errs.ErrWorkerPanic) {
+		panic(err)
+	}
 	return res
 }
 
@@ -204,9 +303,24 @@ func (s *Scheduler) Run(tasks []Task) Result {
 // interrupted mid-execution, matching how morsel-driven engines implement
 // query cancellation. On cancellation the partial schedule's Result is
 // returned together with the context's error (wrapped, errors.Is-compatible).
+//
+// Task panics are recovered, never propagated: without IsolatePanics the run
+// fails with an error wrapping errs.ErrWorkerPanic carrying the panic value
+// and captured stack; with it the panicking worker retires and its morsels
+// re-dispatch (see Options). Injected transient failures fail the run with
+// an errs.ErrTransient-wrapping error — retrying is the caller's policy.
 func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error) {
 	m := s.machine
 	nw := s.opts.Workers
+	inj := s.opts.Inject
+	blockSize := s.opts.BlockSize
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	maxRetries := s.opts.MaxTaskRetries
+	if maxRetries <= 0 {
+		maxRetries = 2
+	}
 
 	// Place workers on sockets: fill sockets in order, as a pinned engine
 	// would.
@@ -218,7 +332,7 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 			socket = m.Sockets - 1
 		}
 		perSocket[socket]++
-		workers[i] = &Worker{ID: i, Socket: socket, machine: m, totalWorkers: nw}
+		workers[i] = &Worker{ID: i, Socket: socket, machine: m, totalWorkers: nw, skew: 1}
 	}
 	for _, w := range workers {
 		ctx := hw.ExecContext{
@@ -228,8 +342,29 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 		w.acct = hw.NewAccount(m, ctx)
 	}
 
+	res := Result{Workers: nw}
+
+	// Arm injected worker-level faults: straggler skew, then core loss. The
+	// run never loses its last surviving worker.
+	liveOnSocket := make([]int, m.Sockets)
+	alive := nw
+	for _, w := range workers {
+		liveOnSocket[w.Socket]++
+		if k := inj.WorkerSkew(w.ID); k > 1 {
+			w.skew = k
+		}
+	}
+	for _, w := range workers {
+		if alive > 1 && inj.LoseCore(w.ID) {
+			w.retired = true
+			liveOnSocket[w.Socket]--
+			alive--
+			res.CoresLost++
+		}
+	}
+
 	// Socket-local FIFO queues.
-	queues := make([][]Task, m.Sockets)
+	queues := make([][]claimedTask, m.Sockets)
 	rr := 0
 	for _, t := range tasks {
 		sock := t.Socket
@@ -237,55 +372,216 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 			sock = rr % m.Sockets
 			rr++
 		}
-		queues[sock] = append(queues[sock], t)
+		queues[sock] = append(queues[sock], claimedTask{t: t})
 	}
 	heads := make([]int, m.Sockets)
 	remaining := func(sock int) int { return len(queues[sock]) - heads[sock] }
-	totalRemaining := len(tasks)
+	totalQueued := func() int {
+		n := 0
+		for sock := range queues {
+			n += remaining(sock)
+		}
+		return n
+	}
 
-	h := make(workerHeap, len(workers))
-	copy(h, workers)
+	// redispatch returns morsels to the queues of sockets that still have
+	// live workers, round-robin, so a retired worker's claims are never
+	// stranded.
+	redisRR := 0
+	redispatch := func(cts []claimedTask) {
+		for _, ct := range cts {
+			sock := -1
+			for probe := 0; probe < m.Sockets; probe++ {
+				cand := (redisRR + probe) % m.Sockets
+				if liveOnSocket[cand] > 0 {
+					sock = cand
+					redisRR = cand + 1
+					break
+				}
+			}
+			if sock < 0 {
+				sock = ct.t.Socket // no live workers anywhere; the loop will abort
+				if sock < 0 || sock >= m.Sockets {
+					sock = 0
+				}
+			}
+			queues[sock] = append(queues[sock], ct)
+			res.Redispatched++
+		}
+	}
+	// rebalance moves tasks queued on sockets that lost all their workers to
+	// live sockets. Only needed without stealing — a stealing worker reaches
+	// every queue anyway.
+	rebalance := func() {
+		if s.opts.Stealing {
+			return
+		}
+		for sock := range queues {
+			if liveOnSocket[sock] > 0 || remaining(sock) == 0 {
+				continue
+			}
+			stranded := queues[sock][heads[sock]:]
+			queues[sock] = queues[sock][:heads[sock]]
+			redispatch(stranded)
+		}
+	}
+	rebalance()
+
+	h := workerHeap{}
+	for _, w := range workers {
+		if !w.retired {
+			h = append(h, w)
+		}
+	}
 	heap.Init(&h)
+	var parked []*Worker
 
-	res := Result{Workers: nw}
+	// unpark returns idle workers to the heap once re-dispatched work exists
+	// for them.
+	unpark := func() {
+		keep := parked[:0]
+		for _, w := range parked {
+			if remaining(w.Socket) > 0 || (s.opts.Stealing && totalQueued() > 0) {
+				heap.Push(&h, w)
+			} else {
+				keep = append(keep, w)
+			}
+		}
+		parked = keep
+	}
+	// retire removes a worker mid-run and rescues its unfinished morsels.
+	retire := func(w *Worker, rescued []claimedTask) {
+		w.retired = true
+		w.claimed = nil
+		liveOnSocket[w.Socket]--
+		alive--
+		redispatch(rescued)
+		rebalance()
+		unpark()
+	}
+	// medianPeerCost is the median per-morsel cost of the other live workers
+	// that have completed at least one morsel — the reference a straggler is
+	// measured against.
+	medianPeerCost := func(self *Worker) float64 {
+		var costs []float64
+		for _, w := range workers {
+			if w == self || w.retired || w.tasks == 0 {
+				continue
+			}
+			costs = append(costs, w.clock/float64(w.tasks))
+		}
+		if len(costs) == 0 {
+			return 0
+		}
+		sort.Float64s(costs)
+		return costs[len(costs)/2]
+	}
+
+	pendingTasks := len(tasks)
 	var runErr error
-	for totalRemaining > 0 && h.Len() > 0 {
+
+	for pendingTasks > 0 {
 		if err := ctx.Err(); err != nil {
 			runErr = fmt.Errorf("sched: run aborted after %d of %d tasks: %w", res.TasksRun, len(tasks), err)
 			break
 		}
-		w := heap.Pop(&h).(*Worker)
-		// Prefer the local queue; otherwise steal from the fullest queue.
-		sock := w.Socket
-		if remaining(sock) == 0 {
-			if !s.opts.Stealing {
-				// This worker is done: do not re-queue it.
-				continue
+		if h.Len() == 0 {
+			// Everyone is parked or retired. Parked workers wake only when
+			// work reappears; if none can, the tasks are unreachable.
+			unpark()
+			if h.Len() == 0 {
+				runErr = fmt.Errorf("sched: %d morsels stranded with no live worker: %w", pendingTasks, errs.ErrWorkerPanic)
+				break
 			}
-			best, bestLeft := -1, 0
-			for qs := range queues {
-				if left := remaining(qs); left > bestLeft {
-					best, bestLeft = qs, left
+			continue
+		}
+		w := heap.Pop(&h).(*Worker)
+		if len(w.claimed) == 0 {
+			// Claim a block from the local queue; otherwise steal from the
+			// fullest queue.
+			sock := w.Socket
+			if remaining(sock) == 0 {
+				if !s.opts.Stealing {
+					parked = append(parked, w)
+					continue
+				}
+				best, bestLeft := -1, 0
+				for qs := range queues {
+					if left := remaining(qs); left > bestLeft {
+						best, bestLeft = qs, left
+					}
+				}
+				if best == -1 {
+					parked = append(parked, w)
+					continue
+				}
+				sock = best
+			}
+			n := blockSize
+			if left := remaining(sock); n > left {
+				n = left
+			}
+			for i := 0; i < n; i++ {
+				w.claimed = append(w.claimed, queues[sock][heads[sock]])
+				heads[sock]++
+				if sock != w.Socket {
+					res.Steals++
 				}
 			}
-			if best == -1 {
-				continue
-			}
-			sock = best
-			res.Steals++
 		}
-		t := queues[sock][heads[sock]]
-		heads[sock]++
-		totalRemaining--
+		ct := w.claimed[0]
+		w.claimed = w.claimed[1:]
+		site := ct.t.Site
+		if site == "" {
+			site = ct.t.Name
+		}
+
+		// Injected transient failure: the morsel boundary is the failure
+		// point, so nothing partial happened — fail the run and let the
+		// caller's retry policy decide.
+		if err := inj.TaskError(site, w.ID); err != nil {
+			runErr = fmt.Errorf("sched: task %s failed: %w", ct.t.Name, err)
+			break
+		}
 
 		before := w.clock
-		t.Run(w)
+		if pval, stack := runTask(ct.t, w, inj, site); pval != nil {
+			res.Panics++
+			if !s.opts.IsolatePanics {
+				runErr = fmt.Errorf("sched: worker %d panicked in task %s: %v: %w\n%s", w.ID, ct.t.Name, pval, errs.ErrWorkerPanic, stack)
+				break
+			}
+			ct.attempts++
+			if ct.attempts > maxRetries {
+				runErr = fmt.Errorf("sched: task %s panicked on %d workers, giving up (last: worker %d, %v): %w\n%s",
+					ct.t.Name, ct.attempts, w.ID, pval, errs.ErrWorkerPanic, stack)
+				break
+			}
+			res.TaskRetries++
+			// The core is poisoned: retire it and move the panicked morsel
+			// plus everything it still held to healthy workers. Cycles spent
+			// before the panic stay on its clock — wasted work is real work.
+			retire(w, append([]claimedTask{ct}, w.claimed...))
+			continue
+		}
 		if w.clock < before {
 			// Defensive: tasks must not rewind time.
 			w.clock = before
 		}
 		w.tasks++
 		res.TasksRun++
+		pendingTasks--
+
+		// Straggler detection: a worker paying far more per morsel than its
+		// peers is retired while there is still work to protect, and its
+		// claimed block re-dispatches.
+		if t := s.opts.StragglerThreshold; t > 0 && pendingTasks > 0 && alive > 1 {
+			if med := medianPeerCost(w); med > 0 && w.clock/float64(w.tasks) > t*med {
+				res.StragglersRetired++
+				retire(w, w.claimed)
+				continue
+			}
+		}
 		heap.Push(&h, w)
 	}
 
@@ -298,6 +594,24 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 		}
 	}
 	return res, runErr
+}
+
+// runTask executes one task with panic isolation: a panic (injected or real)
+// is recovered and returned with the captured stack instead of unwinding
+// into the scheduler. Injected panics fire before the body, so a re-executed
+// morsel never double-applies effects.
+func runTask(t Task, w *Worker, inj *fault.Injector, site string) (pval any, stack []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			pval = r
+			stack = debug.Stack()
+		}
+	}()
+	if inj.ShouldPanic(site, w.ID) {
+		panic(fmt.Sprintf("fault: injected panic at %s", site))
+	}
+	t.Run(w)
+	return nil, nil
 }
 
 // Morsels splits n items into tasks of at most morselSize items each,
@@ -316,6 +630,7 @@ func Morsels(n, morselSize int, name string, fn func(start, end int, w *Worker))
 		s, e := start, end
 		tasks = append(tasks, Task{
 			Name:   fmt.Sprintf("%s[%d:%d]", name, s, e),
+			Site:   name,
 			Socket: -1,
 			Run:    func(w *Worker) { fn(s, e, w) },
 		})

@@ -16,22 +16,41 @@
 //     oversubscribe the machine;
 //   - every request carries a context.Context honoured end to end: expired
 //     deadlines are rejected before execution, and in-flight work stops at
-//     the next morsel boundary;
+//     the next morsel boundary; a server-wide RequestDeadline bounds
+//     requests whose clients set none;
 //   - Close drains: queued requests finish, new ones get ErrClosed.
 //
+// The server is also the resilience layer over a partially failing machine
+// (arm faults with Options.Faults; see internal/fault):
+//
+//   - morsel-level transient failures and recovered worker panics are
+//     retried with bounded exponential backoff plus jitter (MaxRetries,
+//     RetryBackoff);
+//   - a circuit breaker trips after BreakerThreshold consecutive failures:
+//     while open, join/aggregate/query requests are shed with ErrDegraded,
+//     and scan requests still run — from a reduced DegradedWorkers budget —
+//     so the serving layer degrades instead of collapsing. After
+//     BreakerCooldown one probe request half-opens the breaker; a success
+//     closes it;
+//   - Health() snapshots the breaker, retry, re-dispatch, and fault-log
+//     state.
+//
 // Per-server metrics (queue depth, batch sizes, latencies, modeled cycles
-// per query, admission counters) are recorded in a metrics.Registry.
+// per query, admission and resilience counters) are recorded in a
+// metrics.Registry.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"hwstar/internal/agg"
 	"hwstar/internal/errs"
+	"hwstar/internal/fault"
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
 	"hwstar/internal/metrics"
@@ -125,6 +144,44 @@ type Options struct {
 	// MaxBatch caps the number of scan requests sharing one pass; reaching
 	// it flushes immediately. Default 1024.
 	MaxBatch int
+	// ScanSegRows sets the clock-scan segment (morsel) size in rows for
+	// batched scans; 0 uses the scan package default. Smaller segments mean
+	// finer-grained fault isolation and re-dispatch.
+	ScanSegRows int
+
+	// Faults arms a fault injector on every scheduled operation. Nil (the
+	// default) injects nothing.
+	Faults *fault.Injector
+
+	// RequestDeadline bounds requests whose context carries no deadline of
+	// its own; 0 leaves them unbounded.
+	RequestDeadline time.Duration
+
+	// MaxRetries is how many times a failed operation (transient fault or
+	// unabsorbed worker panic) is re-executed before the error reaches the
+	// client; 0 disables retries. RetryBackoff is the base of the
+	// exponential backoff between attempts (default 200µs when retries are
+	// on); the actual sleep is base<<attempt, capped at 32×base, with full
+	// jitter in [d/2, d).
+	MaxRetries   int
+	RetryBackoff time.Duration
+
+	// BreakerThreshold arms the circuit breaker: after that many
+	// consecutive operation failures the breaker opens, shedding non-scan
+	// requests with ErrDegraded and running scans on the DegradedWorkers
+	// budget (default Workers/4, min 1). After BreakerCooldown (default
+	// 10ms) one request probes half-open; success closes the breaker. 0
+	// disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	DegradedWorkers  int
+
+	// IsolatePanics, StragglerThreshold, and SchedBlockSize configure the
+	// scheduler's own resilience for every operation this server runs (see
+	// sched.Options).
+	IsolatePanics      bool
+	StragglerThreshold float64
+	SchedBlockSize     int
 }
 
 func (o Options) withDefaults(m *hw.Machine) (Options, error) {
@@ -152,6 +209,23 @@ func (o Options) withDefaults(m *hw.Machine) (Options, error) {
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 1024
 	}
+	if o.MaxRetries > 0 && o.RetryBackoff <= 0 {
+		o.RetryBackoff = 200 * time.Microsecond
+	}
+	if o.BreakerThreshold > 0 {
+		if o.BreakerCooldown <= 0 {
+			o.BreakerCooldown = 10 * time.Millisecond
+		}
+		if o.DegradedWorkers <= 0 {
+			o.DegradedWorkers = o.Workers / 4
+			if o.DegradedWorkers < 1 {
+				o.DegradedWorkers = 1
+			}
+		}
+		if o.DegradedWorkers > o.Workers {
+			return o, fmt.Errorf("serve: degraded workers %d out of range 1..%d: %w", o.DegradedWorkers, o.Workers, errs.ErrWorkersOutOfRange)
+		}
+	}
 	return o, nil
 }
 
@@ -177,6 +251,12 @@ type Server struct {
 
 	intake chan *pending
 	sem    chan struct{} // simulated-core tokens; capacity = opts.Workers
+
+	// brk is the circuit breaker (nil when disabled); rng feeds backoff
+	// jitter deterministically.
+	brk   *breaker
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.RWMutex // guards closed and tables
 	closed bool
@@ -210,6 +290,10 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 		intake:  make(chan *pending, opts.QueueDepth),
 		sem:     make(chan struct{}, opts.Workers),
 		tables:  make(map[string]*scan.Relation),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	if opts.BreakerThreshold > 0 {
+		s.brk = &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.sem <- struct{}{}
@@ -300,6 +384,19 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 		s.reg.Counter("serve.invalid").Inc()
 		return Response{}, err
 	}
+	// Degraded mode: shed everything but scans while the breaker is open.
+	// Scans stay admitted — they run on the reduced worker budget.
+	if s.brk != nil && req.Op != OpScan && !s.brk.allow(time.Now()) {
+		s.reg.Counter("serve.shed").Inc()
+		return Response{}, fmt.Errorf("serve: circuit open, %s shed: %w", req.Op, errs.ErrDegraded)
+	}
+	if d := s.opts.RequestDeadline; d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
 	p := &pending{ctx: ctx, req: req, enq: time.Now(), done: make(chan outcome, 1)}
 
 	s.mu.RLock()
@@ -359,12 +456,171 @@ func (s *Server) release(n int) {
 	}
 }
 
+// breaker is a consecutive-failure circuit breaker. Open means the server is
+// in degraded mode; after cooldown, requests pass half-open until one
+// succeeds (closing it) or fails (re-arming the cooldown).
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	consec   int
+	open     bool
+	openedAt time.Time
+	trips    int64
+}
+
+// allow reports whether a sheddable request may proceed: always when
+// closed, and as a half-open probe once the cooldown has elapsed.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open || now.Sub(b.openedAt) >= b.cooldown
+}
+
+// degraded reports whether the server is in degraded mode (breaker open,
+// cooled down or not).
+func (b *breaker) degraded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.consec = 0
+	b.open = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) onFailure(now time.Time) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.open {
+		b.openedAt = now // a failed half-open probe re-arms the cooldown
+		return false
+	}
+	if b.consec >= b.threshold {
+		b.open = true
+		b.openedAt = now
+		b.trips++
+		return true
+	}
+	return false
+}
+
+func (b *breaker) snapshot() (consec int, open bool, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consec, b.open, b.trips
+}
+
+// newSched builds one scheduler for one operation, carrying the server's
+// fault injector and resilience policy.
+func (s *Server) newSched(workers int) (*sched.Scheduler, error) {
+	return sched.New(s.machine, sched.Options{
+		Workers:            workers,
+		Stealing:           true,
+		Inject:             s.opts.Faults,
+		IsolatePanics:      s.opts.IsolatePanics,
+		StragglerThreshold: s.opts.StragglerThreshold,
+		BlockSize:          s.opts.SchedBlockSize,
+	})
+}
+
+// retryable classifies errors the retry loop and the breaker act on:
+// transient morsel failures and worker panics. Validation and context
+// errors are the client's problem, not the machine's.
+func retryable(err error) bool {
+	return errors.Is(err, errs.ErrTransient) || errors.Is(err, errs.ErrWorkerPanic)
+}
+
+// backoff returns the sleep before retry attempt+1: exponential in the
+// attempt with full jitter, capped at 32× the base.
+func (s *Server) backoff(attempt int) time.Duration {
+	d := s.opts.RetryBackoff << attempt
+	if max := 32 * s.opts.RetryBackoff; d > max {
+		d = max
+	}
+	s.rngMu.Lock()
+	j := s.rng.Float64()
+	s.rngMu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+// withRetry runs op up to 1+MaxRetries times, sleeping an exponentially
+// backed-off, jittered interval between attempts. Only retryable failures
+// re-run; ctx ending stops the loop.
+func (s *Server) withRetry(ctx context.Context, op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= s.opts.MaxRetries || !retryable(err) || ctx.Err() != nil {
+			break
+		}
+		d := s.backoff(attempt)
+		s.reg.Counter("serve.retries").Inc()
+		s.reg.Histogram("serve.retry_backoff_ms").Record(float64(d.Microseconds()) / 1000)
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("serve: retry abandoned: %w", ctx.Err())
+		}
+	}
+	if err != nil && retryable(err) && s.opts.MaxRetries > 0 {
+		s.reg.Counter("serve.retry_exhausted").Inc()
+	}
+	return err
+}
+
+// recordSched accumulates one schedule's fault handling into the server's
+// counters. runErr is the schedule's outcome: a run that failed by
+// surfacing a worker panic did NOT recover that final panic, so it is
+// excluded from serve.panics_recovered (any earlier panics in the same run
+// were absorbed by isolation and do count).
+func (s *Server) recordSched(fs sched.FaultStats, runErr error) {
+	recovered := fs.Panics
+	if runErr != nil && errors.Is(runErr, errs.ErrWorkerPanic) {
+		recovered--
+	}
+	if recovered > 0 {
+		s.reg.Counter("serve.panics_recovered").Add(int64(recovered))
+	}
+	if fs.Redispatched > 0 {
+		s.reg.Counter("serve.redispatched").Add(int64(fs.Redispatched))
+	}
+	if fs.StragglersRetired > 0 {
+		s.reg.Counter("serve.stragglers_retired").Add(int64(fs.StragglersRetired))
+	}
+	if fs.CoresLost > 0 {
+		s.reg.Counter("serve.cores_lost").Add(int64(fs.CoresLost))
+	}
+}
+
+// recordPhases records a multi-phase operation's fault stats. Only the last
+// phase can have surfaced opErr — earlier phases completed.
+func (s *Server) recordPhases(phases []sched.Result, opErr error) {
+	for i, ph := range phases {
+		if i == len(phases)-1 {
+			s.recordSched(ph.FaultStats, opErr)
+		} else {
+			s.recordSched(ph.FaultStats, nil)
+		}
+	}
+}
+
 // batch is the scan batch under collection: requests against one relation
-// that will share a single clock-scan pass.
+// that will share a single clock-scan pass. workers is the simulated-core
+// budget reserved for it — the full budget normally, the degraded budget
+// while the breaker is open.
 type batch struct {
-	table string
-	rel   *scan.Relation
-	reqs  []*pending
+	table   string
+	rel     *scan.Relation
+	reqs    []*pending
+	workers int
 }
 
 // dispatch is the server's single intake consumer: it collects scan requests
@@ -383,7 +639,12 @@ func (s *Server) dispatch() {
 		}
 		b := cur
 		cur, window = nil, nil
-		s.acquire(s.opts.Workers) // a shared pass owns the whole budget
+		b.workers = s.opts.Workers // a shared pass owns the whole budget...
+		if s.brk != nil && s.brk.degraded() {
+			b.workers = s.opts.DegradedWorkers // ...unless the server is degraded
+			s.reg.Counter("serve.degraded_scans").Inc()
+		}
+		s.acquire(b.workers)
 		s.wg.Add(1)
 		go s.runBatch(b)
 	}
@@ -437,7 +698,7 @@ func (s *Server) dispatch() {
 // each request is the batch makespan divided by the batch size.
 func (s *Server) runBatch(b *batch) {
 	defer s.wg.Done()
-	defer s.release(s.opts.Workers)
+	defer s.release(b.workers)
 	if c := s.testHold; c != nil {
 		<-c
 	}
@@ -457,25 +718,41 @@ func (s *Server) runBatch(b *batch) {
 	for i, p := range live {
 		qs[i] = p.req.Query
 	}
-	sch, err := sched.New(s.machine, sched.Options{Workers: s.opts.Workers, Stealing: true})
-	if err == nil {
-		var sums []int64
-		var schedRes sched.Result
-		// The batch runs for all its members; individual deadlines were
-		// honoured at collection time. Batch members share fate from here.
-		sums, schedRes, err = scan.ParallelShared(context.Background(), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, 0)
-		if err == nil {
-			per := schedRes.MakespanCycles / float64(len(live))
-			s.reg.Histogram("serve.batch_size").Record(float64(len(live)))
-			s.reg.Histogram("serve.cycles_per_query").Record(per)
-			for i, p := range live {
-				s.finish(p, Response{Cost: hw.Cost{SimCycles: per}, BatchSize: len(live), Sum: sums[i]}, nil)
-			}
-			return
+	var sums []int64
+	var schedRes sched.Result
+	// The batch runs for all its members; individual deadlines were honoured
+	// at collection time. Batch members share fate from here, including
+	// retries: a transient morsel failure re-runs the whole pass. Cycles
+	// burned by failed attempts are real machine work and stay charged to
+	// the batch — the amortized cost reports what the request actually cost,
+	// not just its final successful pass.
+	var burned float64
+	err := s.withRetry(context.Background(), func() error {
+		sch, err := s.newSched(b.workers)
+		if err != nil {
+			return err
 		}
+		sums, schedRes, err = scan.ParallelShared(context.Background(), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
+		s.recordSched(schedRes.FaultStats, err)
+		if err != nil {
+			burned += schedRes.MakespanCycles
+		}
+		return err
+	})
+	if err == nil {
+		per := (schedRes.MakespanCycles + burned) / float64(len(live))
+		s.reg.Histogram("serve.batch_size").Record(float64(len(live)))
+		s.reg.Histogram("serve.cycles_per_query").Record(per)
+		for i, p := range live {
+			s.finish(p, Response{Cost: hw.Cost{SimCycles: per}, BatchSize: len(live), Sum: sums[i]}, nil)
+		}
+		return
 	}
+	// Even a failed batch reports the cycles it burned, so clients (and the
+	// chaos experiment) can account the cost of failure.
+	per := burned / float64(len(live))
 	for _, p := range live {
-		s.finish(p, Response{}, err)
+		s.finish(p, Response{Cost: hw.Cost{SimCycles: per}}, err)
 	}
 }
 
@@ -490,7 +767,12 @@ func (s *Server) runOne(p *pending, workers int) {
 		s.finish(p, Response{}, fmt.Errorf("serve: dropped before execution: %w", err))
 		return
 	}
-	resp, err := s.execute(p.ctx, p.req, workers)
+	var resp Response
+	err := s.withRetry(p.ctx, func() error {
+		var err error
+		resp, err = s.execute(p.ctx, p.req, workers)
+		return err
+	})
 	if err == nil {
 		s.reg.Histogram("serve.cycles_per_query").Record(resp.SimCycles)
 	}
@@ -501,7 +783,7 @@ func (s *Server) runOne(p *pending, workers int) {
 func (s *Server) execute(ctx context.Context, req Request, workers int) (Response, error) {
 	switch req.Op {
 	case OpJoin:
-		sch, err := sched.New(s.machine, sched.Options{Workers: workers, Stealing: true})
+		sch, err := s.newSched(workers)
 		if err != nil {
 			return Response{}, err
 		}
@@ -519,16 +801,18 @@ func (s *Server) execute(ctx context.Context, req Request, workers int) (Respons
 		} else {
 			res, err = join.ParallelNPO(ctx, req.Join, sch, 0)
 		}
+		s.recordPhases(res.Phases, err)
 		if err != nil {
 			return Response{}, err
 		}
 		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Matches: res.Matches, Checksum: res.Checksum}, nil
 	case OpGroupSum:
-		sch, err := sched.New(s.machine, sched.Options{Workers: workers, Stealing: true})
+		sch, err := s.newSched(workers)
 		if err != nil {
 			return Response{}, err
 		}
 		res, err := agg.Parallel(ctx, req.Keys, req.Vals, req.Strategy, sch, s.machine, 0)
+		s.recordPhases(res.Phases, err)
 		if err != nil {
 			return Response{}, err
 		}
@@ -553,14 +837,83 @@ func (s *Server) execute(ctx context.Context, req Request, workers int) (Respons
 }
 
 // finish delivers the outcome and accounts it: context-terminated requests
-// count as deadline-exceeded, successful ones record completion latency.
+// count as deadline-exceeded, successful ones record completion latency and
+// close the breaker's failure streak, machine-level failures feed the
+// breaker.
 func (s *Server) finish(p *pending, resp Response, err error) {
 	switch {
 	case err == nil:
 		s.reg.Counter("serve.completed").Inc()
 		s.reg.Histogram("serve.latency_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
+		if s.brk != nil {
+			s.brk.onSuccess()
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.reg.Counter("serve.deadline_exceeded").Inc()
+	default:
+		s.reg.Counter("serve.failed").Inc()
+		if s.brk != nil && retryable(err) {
+			if s.brk.onFailure(time.Now()) {
+				s.reg.Counter("serve.breaker_trips").Inc()
+			}
+		}
 	}
 	p.done <- outcome{resp: resp, err: err}
+}
+
+// Health is a point-in-time snapshot of the server's resilience state.
+type Health struct {
+	// State is "ok" or "degraded" (circuit breaker open).
+	State string
+	// QueueDepth is the current intake backlog; ConsecutiveFailures the
+	// breaker's failure streak.
+	QueueDepth          int
+	ConsecutiveFailures int
+
+	// Admission and outcome counters.
+	Admitted, Completed, Failed, Rejected, Shed, DeadlineExceeded int64
+
+	// Resilience counters: retry attempts, operations that exhausted their
+	// retry budget, breaker trips, morsels re-dispatched away from sick
+	// workers, recovered panics, stragglers retired, cores lost.
+	Retries, RetryExhausted, BreakerTrips       int64
+	Redispatched, PanicsRecovered               int64
+	StragglersRetired, CoresLost, DegradedScans int64
+
+	// Faults counts injected faults by class, from the armed injector's log
+	// (nil when no injector is armed).
+	Faults map[string]int64
+}
+
+// Health snapshots the server's resilience state: breaker position, failure
+// streak, retry/re-dispatch counters, and the fault injector's log counts.
+func (s *Server) Health() Health {
+	c := s.reg.Counters()
+	h := Health{
+		State:             "ok",
+		QueueDepth:        len(s.intake),
+		Admitted:          c["serve.admitted"],
+		Completed:         c["serve.completed"],
+		Failed:            c["serve.failed"],
+		Rejected:          c["serve.rejected"],
+		Shed:              c["serve.shed"],
+		DeadlineExceeded:  c["serve.deadline_exceeded"],
+		Retries:           c["serve.retries"],
+		RetryExhausted:    c["serve.retry_exhausted"],
+		BreakerTrips:      c["serve.breaker_trips"],
+		Redispatched:      c["serve.redispatched"],
+		PanicsRecovered:   c["serve.panics_recovered"],
+		StragglersRetired: c["serve.stragglers_retired"],
+		CoresLost:         c["serve.cores_lost"],
+		DegradedScans:     c["serve.degraded_scans"],
+		Faults:            s.opts.Faults.CountsInt64(),
+	}
+	if s.brk != nil {
+		consec, open, _ := s.brk.snapshot()
+		h.ConsecutiveFailures = consec
+		if open {
+			h.State = "degraded"
+		}
+	}
+	return h
 }
