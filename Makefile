@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench experiments clean
+.PHONY: all build vet lint test race check bench experiments clean
 
 all: check
 
@@ -10,17 +10,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint is the static-analysis gate: go vet always, staticcheck and
+# govulncheck when installed. Missing tools are reported and skipped, not
+# fetched, so offline builds and hermetic CI runners both pass.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "lint: govulncheck not installed, skipped (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the full verification gate: compile everything, vet, and run the
-# whole suite under the race detector.
+# check is the full verification gate: compile everything, run the static
+# analyzers, and run the whole suite under the race detector.
 check:
 	$(GO) build ./...
-	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 
 bench:

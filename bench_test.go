@@ -79,6 +79,8 @@ func BenchmarkE16BloomJoin(b *testing.B)     { runExperiment(b, "E16") }
 func BenchmarkE17Planner(b *testing.B)       { runExperiment(b, "E17") }
 func BenchmarkE18Validation(b *testing.B)    { runExperiment(b, "E18") }
 func BenchmarkE19Serve(b *testing.B)         { runExperiment(b, "E19") }
+func BenchmarkE20Chaos(b *testing.B)         { runExperiment(b, "E20") }
+func BenchmarkE21Observe(b *testing.B)       { runExperiment(b, "E21") }
 
 // Live microbenchmarks: the real Go implementations on the host CPU.
 

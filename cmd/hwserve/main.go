@@ -11,6 +11,14 @@
 //	        [-fault-seed n] [-panic-prob p] [-transient-prob p]
 //	        [-straggler-prob p] [-straggler-skew k]
 //	        [-retries n] [-backoff d] [-breaker n] [-cooldown d]
+//	        [-listen addr] [-trace n]
+//
+// -listen mounts the observability endpoints for the run's duration:
+// Prometheus-text metrics on /metrics, expvar JSON on /debug/vars, and the
+// standard pprof profiles on /debug/pprof/. -trace n samples every nth
+// request into a span tree (queue → batch assembly → execute → retries,
+// with wall time and simulated cycles per stage) and dumps the last few
+// trees after the report.
 //
 // The default workload is all shared-scannable range aggregates; -mix mixed
 // adds joins and grouped aggregations that exercise the worker budget.
@@ -30,6 +38,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -65,6 +75,12 @@ type config struct {
 	backoff  time.Duration
 	breaker  int
 	cooldown time.Duration
+
+	// Observability: listen mounts /metrics, /debug/vars, and /debug/pprof
+	// on the given address for the run's duration; traceEvery samples every
+	// Nth request into span trees dumped after the report (0 = off).
+	listen     string
+	traceEvery int
 }
 
 func (c config) faulty() bool {
@@ -81,6 +97,9 @@ type report struct {
 	queueDepth                     int
 	interrupted                    bool
 	health                         hwstar.ServerHealth
+	traces                         []hwstar.TraceData
+	tracesStarted, tracesDropped   uint64
+	listenAddr                     string
 }
 
 func run(ctx context.Context, cfg config) (*report, error) {
@@ -113,9 +132,25 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		opts.IsolatePanics = true
 		opts.StragglerThreshold = 3
 	}
+	var tracer *hwstar.Tracer
+	if cfg.traceEvery > 0 {
+		tracer = hwstar.NewTracer(hwstar.TraceConfig{Capacity: 16, SampleEvery: cfg.traceEvery})
+		opts.Trace = tracer
+	}
 	srv, err := hwstar.NewServer(m, opts)
 	if err != nil {
 		return nil, err
+	}
+	var listenAddr string
+	if cfg.listen != "" {
+		ln, err := net.Listen("tcp", cfg.listen)
+		if err != nil {
+			return nil, err
+		}
+		listenAddr = ln.Addr().String()
+		hs := &http.Server{Handler: newDebugMux(srv.Metrics())}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
 	}
 	cols := [][]int64{
 		hwstar.GenUniform(41, cfg.rows, 100000),
@@ -200,6 +235,11 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		r.meanMcyc = cycles.load() / float64(completed) / 1e6
 	}
 	r.health = srv.Health()
+	r.listenAddr = listenAddr
+	if tracer != nil {
+		r.traces = tracer.Snapshot()
+		r.tracesStarted, r.tracesDropped = tracer.Started()
+	}
 	if err := srv.Close(); err != nil {
 		return nil, err
 	}
@@ -234,6 +274,16 @@ func (r *report) print(w io.Writer, cfg config) {
 		}
 		fmt.Fprintln(w)
 	}
+	if r.listenAddr != "" {
+		fmt.Fprintf(w, "  debug endpoints served on %s (/metrics, /debug/vars, /debug/pprof)\n", r.listenAddr)
+	}
+	if r.tracesStarted > 0 {
+		fmt.Fprintf(w, "  traced %d requests (%d spans dropped); span trees of the last %d:\n",
+			r.tracesStarted, r.tracesDropped, min(len(r.traces), 3))
+		for _, td := range r.traces[max(0, len(r.traces)-3):] {
+			fmt.Fprint(w, td.Render())
+		}
+	}
 }
 
 // atomicFloat accumulates float64 samples without a mutex on the hot path.
@@ -265,6 +315,8 @@ func main() {
 	flag.DurationVar(&cfg.backoff, "backoff", 200*time.Microsecond, "base retry backoff (doubles per attempt, jittered)")
 	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive failures tripping the circuit breaker (0 = no breaker)")
 	flag.DurationVar(&cfg.cooldown, "cooldown", 10*time.Millisecond, "breaker cooldown before a half-open probe")
+	flag.StringVar(&cfg.listen, "listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run (empty = off)")
+	flag.IntVar(&cfg.traceEvery, "trace", 0, "trace every Nth request and dump span trees after the report (0 = off)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM stops the client cohort; admitted work still drains

@@ -20,7 +20,7 @@
 // This package is the public façade: an Engine bound to a machine profile,
 // with high-level, context-first operations that return both real results and
 // modeled hardware costs, and a Server that multiplexes concurrent clients
-// onto the engine with shared-scan batching and admission control. The E1–E20
+// onto the engine with shared-scan batching and admission control. The E1–E21
 // experiment suite (internal/experiments, cmd/hwbench) reproduces the
 // behaviour the hardware-conscious database literature reports, on any host,
 // deterministically.
@@ -49,6 +49,7 @@ import (
 	"hwstar/internal/sched"
 	"hwstar/internal/serve"
 	"hwstar/internal/table"
+	"hwstar/internal/trace"
 	"hwstar/internal/vecexec"
 	"hwstar/internal/workload"
 )
@@ -486,6 +487,30 @@ var NewFaultInjector = fault.New
 // fault counts.
 type ServerHealth = serve.Health
 
+// Tracer records query-lifecycle span trees (admit → queue → batch assembly
+// → execute → retries, down to per-worker schedules) in a bounded ring. Arm
+// one on a Server via ServerOptions.Trace; read completed traces with
+// Tracer.Snapshot. A nil Tracer is valid everywhere and records nothing.
+type Tracer = trace.Tracer
+
+// Span is one stage of a traced request. All methods are nil-safe, so
+// instrumented code never branches on whether tracing is armed.
+type Span = trace.Span
+
+// TraceConfig sizes a Tracer: ring capacity, per-trace span cap, sampling
+// rate. The zero value uses sensible defaults.
+type TraceConfig = trace.Config
+
+// TraceData is an immutable snapshot of one completed trace; SpanData one
+// span of it. TraceData.Render formats the span tree for humans.
+type (
+	TraceData = trace.TraceData
+	SpanData  = trace.SpanData
+)
+
+// NewTracer builds a Tracer from a TraceConfig.
+var NewTracer = trace.New
+
 // Data generators re-exported from internal/workload so examples and users
 // can produce the same deterministic datasets the experiments use.
 var (
@@ -510,7 +535,7 @@ func GenJoin(seed int64, buildRows, probeRows int, zipfS float64) JoinData {
 	})
 }
 
-// RunExperiment executes one experiment of the E1–E20 suite at the given
+// RunExperiment executes one experiment of the E1–E21 suite at the given
 // scale (1 = full size) and returns its result tables.
 func RunExperiment(id string, scale float64) ([]*ResultTable, error) {
 	exp, err := experiments.ByID(id)

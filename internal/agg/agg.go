@@ -23,6 +23,7 @@ import (
 	"hwstar/internal/errs"
 	"hwstar/internal/hw"
 	"hwstar/internal/sched"
+	"hwstar/internal/trace"
 )
 
 // Strategy names an aggregation design.
@@ -66,9 +67,14 @@ func (r *Result) addPhase(s sched.Result) {
 }
 
 // runPhase executes tasks with cancellation checked at morsel boundaries and
-// folds the (possibly partial) schedule into the result.
-func (r *Result) runPhase(ctx context.Context, s *sched.Scheduler, tasks []sched.Task) error {
-	phase, err := s.RunContext(ctx, tasks)
+// folds the (possibly partial) schedule into the result. The phase reports
+// into a named child span of the context's trace span (a no-op when the
+// context carries none), so traces attribute cycles phase by phase.
+func (r *Result) runPhase(ctx context.Context, name string, s *sched.Scheduler, tasks []sched.Task) error {
+	ps := trace.FromContext(ctx).Child(name)
+	phase, err := s.RunContext(trace.NewContext(ctx, ps), tasks)
+	ps.AddCycles(phase.MakespanCycles)
+	ps.End()
 	r.addPhase(phase)
 	return err
 }
@@ -148,7 +154,7 @@ func globalAtomic(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m
 			RandomWS:        tableBytes,
 		})
 	})
-	if err := res.runPhase(ctx, s, tasks); err != nil {
+	if err := res.runPhase(ctx, "agg-global", s, tasks); err != nil {
 		return res, err
 	}
 	res.Groups = groups
@@ -183,7 +189,7 @@ func localMerge(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *
 			RandomWS:        localBytes,
 		})
 	})
-	if err := res.runPhase(ctx, s, tasks); err != nil {
+	if err := res.runPhase(ctx, "agg-local", s, tasks); err != nil {
 		return res, err
 	}
 
@@ -207,7 +213,7 @@ func localMerge(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *
 			RandomWS:        g * groupEntryBytes,
 		})
 	}}}
-	if err := res.runPhase(ctx, s, mergeTask); err != nil {
+	if err := res.runPhase(ctx, "agg-merge", s, mergeTask); err != nil {
 		return res, err
 	}
 	res.Groups = groups
@@ -267,7 +273,7 @@ func radixPartitioned(ctx context.Context, keys, vals []int64, s *sched.Schedule
 		}
 		w.Charge(work)
 	})
-	if err := res.runPhase(ctx, s, tasks); err != nil {
+	if err := res.runPhase(ctx, "agg-part", s, tasks); err != nil {
 		return res, err
 	}
 
@@ -299,7 +305,7 @@ func radixPartitioned(ctx context.Context, keys, vals []int64, s *sched.Schedule
 			})
 		}}
 	}
-	if err := res.runPhase(ctx, s, aggTasks); err != nil {
+	if err := res.runPhase(ctx, "agg-reduce", s, aggTasks); err != nil {
 		return res, err
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"hwstar/internal/hw"
 	"hwstar/internal/sched"
+	"hwstar/internal/trace"
 )
 
 // ParallelResult is a parallel join outcome: the (identical) join result
@@ -22,6 +23,18 @@ type ParallelResult struct {
 func (r *ParallelResult) addPhase(s sched.Result) {
 	r.Phases = append(r.Phases, s)
 	r.MakespanCycles += s.MakespanCycles
+}
+
+// runPhaseTraced executes one phase's tasks under a named child span of the
+// context's trace span (a no-op when the context carries none), attributing
+// the phase makespan to the span so a trace decomposes the join's cost phase
+// by phase — with the scheduler's per-worker breakdown beneath it.
+func runPhaseTraced(ctx context.Context, s *sched.Scheduler, name string, tasks []sched.Task) (sched.Result, error) {
+	ps := trace.FromContext(ctx).Child(name)
+	res, err := s.RunContext(trace.NewContext(ctx, ps), tasks)
+	ps.AddCycles(res.MakespanCycles)
+	ps.End()
+	return res, err
 }
 
 // ParallelNPO runs the no-partitioning hash join with all workers sharing
@@ -48,7 +61,7 @@ func ParallelNPO(ctx context.Context, in Input, s *sched.Scheduler, morsel int) 
 			RandomReads:  n, RandomWS: ht.Bytes(),
 		})
 	})
-	phase, err := s.RunContext(ctx, buildTasks)
+	phase, err := runPhaseTraced(ctx, s, "npo-build", buildTasks)
 	out.addPhase(phase)
 	if err != nil {
 		return out, err
@@ -72,7 +85,7 @@ func ParallelNPO(ctx context.Context, in Input, s *sched.Scheduler, morsel int) 
 			RandomReads:  n, RandomWS: ht.Bytes(),
 		})
 	})
-	phase, err = s.RunContext(ctx, probeTasks)
+	phase, err = runPhaseTraced(ctx, s, "npo-probe", probeTasks)
 	out.addPhase(phase)
 	if err != nil {
 		return out, err
@@ -125,7 +138,7 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 				w.Charge(partitionPassWork(fmt.Sprintf("%s-pass%d", label, pi+1), n, 1<<bits, m, opts.SWBuffers))
 			}
 		})
-		phase, err := s.RunContext(ctx, tasks)
+		phase, err := runPhaseTraced(ctx, s, label, tasks)
 		out.addPhase(phase)
 		return chunks, err
 	}
@@ -179,7 +192,7 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 			},
 		})
 	}
-	phase, err := s.RunContext(ctx, tasks)
+	phase, err := runPhaseTraced(ctx, s, "radix-join", tasks)
 	out.addPhase(phase)
 	if err != nil {
 		return out, err

@@ -46,35 +46,91 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Value returns the stored value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram records float64 samples and reports order statistics. It keeps
-// every sample, which is appropriate for experiment-scale data (up to a few
-// million samples); Record is O(1) amortized and quantile queries sort lazily.
+// DefaultReservoir is the default sample bound of a Histogram: below it every
+// sample is kept and order statistics are exact; above it the histogram keeps
+// a uniform reservoir of this size, so memory stays bounded under sustained
+// serving load while count, sum, mean, min, max, and stddev remain exact.
+const DefaultReservoir = 8192
+
+// Histogram records float64 samples and reports order statistics. It is
+// bounded: up to its reservoir size (DefaultReservoir unless set with
+// NewHistogramReservoir) all samples are retained and quantiles are exact;
+// beyond it, reservoir sampling (Vitter's Algorithm R, deterministic seed)
+// keeps a uniform subset for quantile estimation. Count, Sum, Mean, Min,
+// Max, and Stddev are always computed over every recorded sample. Record is
+// O(1); quantile queries sort the reservoir lazily.
 type Histogram struct {
-	mu     sync.Mutex
-	vals   []float64
-	sorted bool
-	sum    float64
+	mu       sync.Mutex
+	vals     []float64 // the reservoir (all samples while count <= maxKeep)
+	maxKeep  int
+	sorted   bool
+	count    int64
+	sum      float64
+	sumSq    float64
+	minV     float64
+	maxV     float64
+	rngState uint64
 }
 
-// NewHistogram returns an empty histogram with capacity hint n.
+// NewHistogram returns an empty histogram with capacity hint n and the
+// default reservoir bound.
 func NewHistogram(n int) *Histogram {
-	return &Histogram{vals: make([]float64, 0, n)}
+	if n > DefaultReservoir {
+		n = DefaultReservoir
+	}
+	return &Histogram{vals: make([]float64, 0, n), maxKeep: DefaultReservoir, rngState: 0x9E3779B97F4A7C15}
+}
+
+// NewHistogramReservoir returns an empty histogram that retains at most
+// reservoir samples (minimum 16) for quantile estimation.
+func NewHistogramReservoir(reservoir int) *Histogram {
+	if reservoir < 16 {
+		reservoir = 16
+	}
+	return &Histogram{maxKeep: reservoir, rngState: 0x9E3779B97F4A7C15}
+}
+
+// nextRand is a splitmix64 step — a tiny deterministic generator so reservoir
+// eviction does not contend on the global math/rand lock.
+func (h *Histogram) nextRand() uint64 {
+	h.rngState += 0x9E3779B97F4A7C15
+	z := h.rngState
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // Record adds one sample.
 func (h *Histogram) Record(v float64) {
 	h.mu.Lock()
-	h.vals = append(h.vals, v)
-	h.sorted = false
+	if h.count == 0 || v < h.minV {
+		h.minV = v
+	}
+	if h.count == 0 || v > h.maxV {
+		h.maxV = v
+	}
+	h.count++
 	h.sum += v
+	h.sumSq += v * v
+	if len(h.vals) < h.maxKeep {
+		h.vals = append(h.vals, v)
+		h.sorted = false
+	} else if j := h.nextRand() % uint64(h.count); j < uint64(h.maxKeep) {
+		// Algorithm R: sample i (>= maxKeep) replaces a random slot with
+		// probability maxKeep/i, keeping the reservoir uniform over all
+		// samples seen.
+		h.vals[j] = v
+		h.sorted = false
+	}
 	h.mu.Unlock()
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of recorded samples (all of them, not just the
+// retained reservoir).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.vals)
+	return int(h.count)
 }
 
 // Sum returns the sum of all samples.
@@ -88,50 +144,53 @@ func (h *Histogram) Sum() float64 {
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.vals) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.vals))
+	return h.sum / float64(h.count)
 }
 
-// Min returns the smallest sample, or 0 for an empty histogram.
+// Min returns the smallest sample (exact), or 0 for an empty histogram.
 func (h *Histogram) Min() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.ensureSortedLocked()
-	if len(h.vals) == 0 {
-		return 0
-	}
-	return h.vals[0]
+	return h.minV
 }
 
-// Max returns the largest sample, or 0 for an empty histogram.
+// Max returns the largest sample (exact), or 0 for an empty histogram.
 func (h *Histogram) Max() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.ensureSortedLocked()
-	if len(h.vals) == 0 {
-		return 0
-	}
-	return h.vals[len(h.vals)-1]
+	return h.maxV
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank
-// interpolation. It returns 0 for an empty histogram.
+// Quantile returns the q-quantile using linear interpolation between order
+// statistics (the "type 7" estimator): position q*(n-1) in the sorted
+// samples, interpolating between the two neighbouring ranks when it is
+// fractional. Once the sample count exceeds the reservoir bound the result
+// is an estimate over a uniform subsample; the q=0 and q=1 endpoints stay
+// exact (tracked min/max).
+//
+// Out-of-domain inputs are defined: q is clamped to [0, 1] (q <= 0 returns
+// the minimum, q >= 1 the maximum), a NaN q returns NaN, and an empty
+// histogram returns 0 for any q.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.ensureSortedLocked()
-	n := len(h.vals)
-	if n == 0 {
+	if h.count == 0 {
 		return 0
 	}
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if q <= 0 {
-		return h.vals[0]
+		return h.minV
 	}
 	if q >= 1 {
-		return h.vals[n-1]
+		return h.maxV
 	}
+	h.ensureSortedLocked()
+	n := len(h.vals)
 	pos := q * float64(n-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
@@ -142,30 +201,41 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.vals[lo]*(1-frac) + h.vals[hi]*frac
 }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation over all recorded
+// samples (exact, via running sums).
 func (h *Histogram) Stddev() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	n := len(h.vals)
-	if n == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	mean := h.sum / float64(n)
-	var ss float64
-	for _, v := range h.vals {
-		d := v - mean
-		ss += d * d
+	mean := h.sum / float64(h.count)
+	varr := h.sumSq/float64(h.count) - mean*mean
+	if varr < 0 {
+		varr = 0 // floating-point cancellation guard
 	}
-	return math.Sqrt(ss / float64(n))
+	return math.Sqrt(varr)
 }
 
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	h.vals = h.vals[:0]
+	h.count = 0
 	h.sum = 0
+	h.sumSq = 0
+	h.minV = 0
+	h.maxV = 0
 	h.sorted = false
 	h.mu.Unlock()
+}
+
+// SampleLen returns the number of retained samples — bounded by the
+// reservoir size no matter how many were recorded.
+func (h *Histogram) SampleLen() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vals)
 }
 
 // Summary returns a compact single-line description with count, mean, and
@@ -185,8 +255,8 @@ func (h *Histogram) ensureSortedLocked() {
 // HistogramStats is a compact, copyable summary of a histogram — what
 // health endpoints and experiment tables need without holding the samples.
 type HistogramStats struct {
-	Count                    int
-	Mean, P50, P95, P99, Max float64
+	Count                              int
+	Sum, Mean, Min, P50, P95, P99, Max float64
 }
 
 // Stats returns the histogram's summary statistics in one lock acquisition
@@ -194,7 +264,9 @@ type HistogramStats struct {
 func (h *Histogram) Stats() HistogramStats {
 	return HistogramStats{
 		Count: h.Count(),
+		Sum:   h.Sum(),
 		Mean:  h.Mean(),
+		Min:   h.Min(),
 		P50:   h.Quantile(0.50),
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),

@@ -3,7 +3,9 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -240,6 +242,179 @@ func TestHistogramStats(t *testing.T) {
 	}
 	if empty := NewHistogram(0).Stats(); empty.Count != 0 || empty.Mean != 0 {
 		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+// Regression for the unbounded-growth leak: 10M samples must stay under a
+// hard memory ceiling, while count/sum/min/max stay exact.
+func TestHistogramBoundedUnderSustainedLoad(t *testing.T) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	h := NewHistogram(64)
+	const n = 10_000_000
+	for i := 0; i < n; i++ {
+		h.Record(float64(i % 1000))
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.SampleLen() > DefaultReservoir {
+		t.Fatalf("reservoir holds %d samples, bound is %d", h.SampleLen(), DefaultReservoir)
+	}
+	if h.Min() != 0 || h.Max() != 999 {
+		t.Fatalf("min/max = %f/%f, want 0/999", h.Min(), h.Max())
+	}
+	if got, want := h.Sum(), float64(n/1000)*(999*1000/2); got != want {
+		t.Fatalf("sum = %f, want %f", got, want)
+	}
+	// 10M float64 samples would be 80MB; the reservoir keeps 8192 (64KB).
+	// Allow generous slack for allocator noise.
+	const ceiling = 8 << 20
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > ceiling {
+		t.Fatalf("heap grew %d bytes recording 10M samples, ceiling %d", grew, ceiling)
+	}
+}
+
+// Past the reservoir bound, quantiles are estimates over a uniform
+// subsample; for a uniform input the median must land near the middle.
+func TestHistogramReservoirQuantileEstimate(t *testing.T) {
+	h := NewHistogramReservoir(1024)
+	rng := rand.New(rand.NewSource(7))
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		h.Record(rng.Float64() * 100)
+	}
+	if h.Count() != n || h.SampleLen() != 1024 {
+		t.Fatalf("count/reservoir = %d/%d, want %d/1024", h.Count(), h.SampleLen(), n)
+	}
+	if p50 := h.Quantile(0.5); p50 < 40 || p50 > 60 {
+		t.Fatalf("reservoir p50 = %f, want ~50", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 95 {
+		t.Fatalf("reservoir p99 = %f, want >= 95", p99)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatal("quantile endpoints must stay exact min/max")
+	}
+}
+
+// Quantile's domain is defined for all inputs: NaN in, NaN out; q outside
+// [0,1] clamps to the exact extremes; the empty histogram reports 0.
+func TestHistogramQuantileDomain(t *testing.T) {
+	h := NewHistogram(4)
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("empty histogram NaN quantile = %f, want 0", got)
+	}
+	for _, v := range []float64{5, 1, 3} {
+		h.Record(v)
+	}
+	if got := h.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Fatalf("Quantile(NaN) = %f, want NaN", got)
+	}
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %f, want min 1", got)
+	}
+	if got := h.Quantile(2); got != 5 {
+		t.Fatalf("Quantile(2) = %f, want max 5", got)
+	}
+	if got := h.Quantile(math.Inf(1)); got != 5 {
+		t.Fatalf("Quantile(+Inf) = %f, want max 5", got)
+	}
+	if got := h.Quantile(math.Inf(-1)); got != 1 {
+		t.Fatalf("Quantile(-Inf) = %f, want min 1", got)
+	}
+}
+
+// Satellite regression: Snapshot must be safe against concurrent Record/Inc
+// on the same registry (run under -race).
+func TestSnapshotConcurrentWithRecording(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("ops").Inc()
+				r.Gauge("depth").Set(int64(i))
+				r.Histogram("lat").Record(float64(i % 100))
+				if g == 0 && i%10 == 0 {
+					r.Counter("extra" + string(rune('a'+i%26))).Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		s := r.Snapshot()
+		if s.Counters["ops"] < 0 {
+			t.Fatal("negative counter in snapshot")
+		}
+		if h, ok := s.Histograms["lat"]; ok && h.Count > 0 && (h.P50 < 0 || h.P99 > 99) {
+			t.Fatalf("implausible snapshot histogram: %+v", h)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.admitted").Add(42)
+	r.Gauge("serve.queue_depth").Set(7)
+	for i := 1; i <= 100; i++ {
+		r.Histogram("serve.latency_ms").Record(float64(i))
+	}
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_admitted counter\nserve_admitted 42\n",
+		"# TYPE serve_queue_depth gauge\nserve_queue_depth 7\n",
+		"# TYPE serve_latency_ms summary\n",
+		"serve_latency_ms{quantile=\"0.99\"}",
+		"serve_latency_ms_sum 5050\n",
+		"serve_latency_ms_count 100\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: two scrapes of the same state render identically.
+	var b2 strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Fatal("prometheus output is not deterministic")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"serve.latency_ms": "serve_latency_ms",
+		"a-b c":            "a_b_c",
+		"9lives":           "_9lives",
+		"ok_name:x":        "ok_name:x",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 

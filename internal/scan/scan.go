@@ -18,6 +18,7 @@ import (
 	"hwstar/internal/errs"
 	"hwstar/internal/hw"
 	"hwstar/internal/sched"
+	"hwstar/internal/trace"
 )
 
 // Query is a range-filter aggregation: SUM(agg column) over rows whose
@@ -286,7 +287,15 @@ func ParallelShared(ctx context.Context, r *Relation, queries []Query, opts Shar
 		}
 		w.Charge(acct)
 	})
-	schedRes, err := s.RunContext(ctx, tasks)
+	// The scan pass reports into a "clock-scan" phase span (no-op when the
+	// context carries no span): the phase's makespan cycles, its query batch
+	// size, and the scheduler's per-worker breakdown beneath it.
+	ps := trace.FromContext(ctx).Child("clock-scan")
+	ps.SetAttr("queries", fmt.Sprintf("%d", len(queries)))
+	ps.SetAttr("segments", fmt.Sprintf("%d", nSegs))
+	schedRes, err := s.RunContext(trace.NewContext(ctx, ps), tasks)
+	ps.AddCycles(schedRes.MakespanCycles)
+	ps.End()
 	if err != nil {
 		return nil, schedRes, err
 	}

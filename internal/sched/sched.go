@@ -34,6 +34,7 @@ import (
 	"hwstar/internal/errs"
 	"hwstar/internal/fault"
 	"hwstar/internal/hw"
+	"hwstar/internal/trace"
 )
 
 // Worker is a simulated core executing tasks. Tasks receive their worker and
@@ -313,6 +314,10 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 	m := s.machine
 	nw := s.opts.Workers
 	inj := s.opts.Inject
+	// sp is the trace span this schedule reports into (nil — a no-op — when
+	// the context carries none): fault events are annotated as they happen,
+	// and per-worker busy cycles are emitted as child spans at the end.
+	sp := trace.FromContext(ctx)
 	blockSize := s.opts.BlockSize
 	if blockSize <= 0 {
 		blockSize = 1
@@ -360,6 +365,7 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 			liveOnSocket[w.Socket]--
 			alive--
 			res.CoresLost++
+			sp.Annotate("core %d lost at run start", w.ID)
 		}
 	}
 
@@ -540,6 +546,7 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 		// point, so nothing partial happened — fail the run and let the
 		// caller's retry policy decide.
 		if err := inj.TaskError(site, w.ID); err != nil {
+			sp.Annotate("transient fault in %s on worker %d", ct.t.Name, w.ID)
 			runErr = fmt.Errorf("sched: task %s failed: %w", ct.t.Name, err)
 			break
 		}
@@ -548,16 +555,19 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 		if pval, stack := runTask(ct.t, w, inj, site); pval != nil {
 			res.Panics++
 			if !s.opts.IsolatePanics {
+				sp.Annotate("panic on worker %d in %s (run failed)", w.ID, ct.t.Name)
 				runErr = fmt.Errorf("sched: worker %d panicked in task %s: %v: %w\n%s", w.ID, ct.t.Name, pval, errs.ErrWorkerPanic, stack)
 				break
 			}
 			ct.attempts++
 			if ct.attempts > maxRetries {
+				sp.Annotate("task %s panicked on %d workers, giving up", ct.t.Name, ct.attempts)
 				runErr = fmt.Errorf("sched: task %s panicked on %d workers, giving up (last: worker %d, %v): %w\n%s",
 					ct.t.Name, ct.attempts, w.ID, pval, errs.ErrWorkerPanic, stack)
 				break
 			}
 			res.TaskRetries++
+			sp.Annotate("worker %d retired after panic in %s; %d morsels re-dispatched", w.ID, ct.t.Name, 1+len(w.claimed))
 			// The core is poisoned: retire it and move the panicked morsel
 			// plus everything it still held to healthy workers. Cycles spent
 			// before the panic stay on its clock — wasted work is real work.
@@ -578,6 +588,8 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 		if t := s.opts.StragglerThreshold; t > 0 && pendingTasks > 0 && alive > 1 {
 			if med := medianPeerCost(w); med > 0 && w.clock/float64(w.tasks) > t*med {
 				res.StragglersRetired++
+				sp.Annotate("worker %d retired as straggler (%.1fx median peer cost); %d morsels re-dispatched",
+					w.ID, w.clock/float64(w.tasks)/med, len(w.claimed))
 				retire(w, w.claimed)
 				continue
 			}
@@ -592,6 +604,25 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 		if w.clock > res.MakespanCycles {
 			res.MakespanCycles = w.clock
 		}
+	}
+	if sp != nil {
+		// Per-worker morsel spans: each worker's busy cycles and morsel
+		// count, with retirement visible, so a span tree attributes the
+		// schedule's cost core by core.
+		for _, w := range workers {
+			if w.tasks == 0 && w.clock == 0 {
+				continue
+			}
+			ws := sp.Child("worker")
+			ws.AddCycles(w.clock)
+			ws.SetAttr("id", fmt.Sprintf("%d", w.ID))
+			ws.SetAttr("morsels", fmt.Sprintf("%d", w.tasks))
+			if w.retired {
+				ws.SetAttr("retired", "true")
+			}
+			ws.End()
+		}
+		sp.SetAttr("steals", fmt.Sprintf("%d", res.Steals))
 	}
 	return res, runErr
 }

@@ -58,6 +58,7 @@ import (
 	"hwstar/internal/scan"
 	"hwstar/internal/sched"
 	"hwstar/internal/table"
+	"hwstar/internal/trace"
 )
 
 // Op identifies a request kind.
@@ -166,6 +167,19 @@ type Options struct {
 	MaxRetries   int
 	RetryBackoff time.Duration
 
+	// JitterSeed seeds the retry-backoff jitter generator. The default (0)
+	// derives a varied per-server seed, so concurrent server instances do
+	// NOT draw identical jitter and synchronize their retry storms; set a
+	// non-zero seed only where reproducible backoff sequences matter
+	// (tests, deterministic experiments).
+	JitterSeed int64
+
+	// Trace arms query-lifecycle tracing: sampled requests record a span
+	// tree (admit → queue → batch assembly → execute → retries) carrying
+	// wall time and simulated cycles, retained in the tracer's bounded
+	// ring. Nil disables tracing at zero cost.
+	Trace *trace.Tracer
+
 	// BreakerThreshold arms the circuit breaker: after that many
 	// consecutive operation failures the breaker opens, shedding non-scan
 	// requests with ErrDegraded and running scans on the DegradedWorkers
@@ -229,12 +243,19 @@ func (o Options) withDefaults(m *hw.Machine) (Options, error) {
 	return o, nil
 }
 
-// pending is one admitted request waiting for its outcome.
+// pending is one admitted request waiting for its outcome. The spans are
+// nil (no-op) when tracing is off or the request fell outside the sampling
+// rate: span is the request's root, queueSpan covers enqueue → dispatch,
+// batchSpan covers a scan's wait while its batch assembles.
 type pending struct {
 	ctx  context.Context
 	req  Request
 	enq  time.Time
 	done chan outcome
+
+	span      *trace.Span
+	queueSpan *trace.Span
+	batchSpan *trace.Span
 }
 
 type outcome struct {
@@ -283,6 +304,14 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Backoff jitter must differ between server instances: a shared constant
+	// seed makes concurrent servers draw identical jitter and synchronize
+	// their retry storms, defeating the jitter's purpose. Default to a
+	// varied seed; tests pin JitterSeed for reproducibility.
+	seed := opts.JitterSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	s := &Server{
 		machine: m,
 		opts:    opts,
@@ -290,7 +319,7 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 		intake:  make(chan *pending, opts.QueueDepth),
 		sem:     make(chan struct{}, opts.Workers),
 		tables:  make(map[string]*scan.Relation),
-		rng:     rand.New(rand.NewSource(1)),
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 	if opts.BreakerThreshold > 0 {
 		s.brk = &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
@@ -309,7 +338,7 @@ func (s *Server) Machine() *hw.Machine { return s.machine }
 // Metrics returns the server's metrics registry. Counters:
 // serve.admitted, serve.rejected, serve.invalid, serve.completed,
 // serve.deadline_exceeded. Histograms: serve.batch_size, serve.latency_ms,
-// serve.cycles_per_query. Gauge: serve.queue_depth.
+// serve.queue_wait_ms, serve.cycles_per_query. Gauge: serve.queue_depth.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Register makes a columnar relation available to scan requests under the
@@ -398,10 +427,18 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 	p := &pending{ctx: ctx, req: req, enq: time.Now(), done: make(chan outcome, 1)}
+	// The trace (if this request is sampled) must be rooted before the
+	// request enters the intake queue: the dispatcher reads the spans
+	// concurrently the moment the send succeeds.
+	p.span = s.opts.Trace.Start("request:" + string(req.Op))
+	p.queueSpan = p.span.Child("queue")
 
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		p.span.SetAttr("status", "closed")
+		p.queueSpan.End()
+		p.span.End()
 		return Response{}, fmt.Errorf("serve: submit: %w", errs.ErrClosed)
 	}
 	select {
@@ -412,6 +449,9 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	default:
 		s.mu.RUnlock()
 		s.reg.Counter("serve.rejected").Inc()
+		p.span.SetAttr("status", "rejected")
+		p.queueSpan.End()
+		p.span.End()
 		return Response{}, fmt.Errorf("serve: intake queue full (%d deep): %w", s.opts.QueueDepth, errs.ErrOverloaded)
 	}
 
@@ -551,8 +591,10 @@ func (s *Server) backoff(attempt int) time.Duration {
 
 // withRetry runs op up to 1+MaxRetries times, sleeping an exponentially
 // backed-off, jittered interval between attempts. Only retryable failures
-// re-run; ctx ending stops the loop.
-func (s *Server) withRetry(ctx context.Context, op func() error) error {
+// re-run; ctx ending stops the loop. Retries are annotated onto sp (nil-safe)
+// and each backoff sleep is a "retry-backoff" child span, so a trace
+// decomposes a slow request into execution vs waiting-to-retry.
+func (s *Server) withRetry(ctx context.Context, sp *trace.Span, op func() error) error {
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = op()
@@ -562,11 +604,15 @@ func (s *Server) withRetry(ctx context.Context, op func() error) error {
 		d := s.backoff(attempt)
 		s.reg.Counter("serve.retries").Inc()
 		s.reg.Histogram("serve.retry_backoff_ms").Record(float64(d.Microseconds()) / 1000)
+		sp.Annotate("attempt %d failed (%v); retrying after %s", attempt+1, err, d)
+		bs := sp.Child("retry-backoff")
 		timer := time.NewTimer(d)
 		select {
 		case <-timer.C:
+			bs.End()
 		case <-ctx.Done():
 			timer.Stop()
+			bs.End()
 			return fmt.Errorf("serve: retry abandoned: %w", ctx.Err())
 		}
 	}
@@ -657,6 +703,8 @@ func (s *Server) dispatch() {
 				return
 			}
 			s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake)))
+			p.queueSpan.End()
+			s.reg.Histogram("serve.queue_wait_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
 			if err := p.ctx.Err(); err != nil {
 				s.finish(p, Response{}, fmt.Errorf("serve: dropped before dispatch: %w", err))
 				continue
@@ -683,6 +731,9 @@ func (s *Server) dispatch() {
 				cur = &batch{table: p.req.Table, rel: rel}
 				window = time.After(s.opts.BatchWindow)
 			}
+			// The batch-assembly span covers the wait from joining the batch
+			// until the shared pass starts (window + core reservation).
+			p.batchSpan = p.span.Child("batch-assembly")
 			cur.reqs = append(cur.reqs, p)
 			if len(cur.reqs) >= s.opts.MaxBatch {
 				flush()
@@ -705,6 +756,7 @@ func (s *Server) runBatch(b *batch) {
 
 	live := make([]*pending, 0, len(b.reqs))
 	for _, p := range b.reqs {
+		p.batchSpan.End() // assembly is over: the pass has its cores
 		if err := p.ctx.Err(); err != nil {
 			s.finish(p, Response{}, fmt.Errorf("serve: dropped from batch: %w", err))
 			continue
@@ -727,12 +779,28 @@ func (s *Server) runBatch(b *batch) {
 	// the batch — the amortized cost reports what the request actually cost,
 	// not just its final successful pass.
 	var burned float64
-	err := s.withRetry(context.Background(), func() error {
+	// One member — the first — is the trace leader: its per-attempt "execute"
+	// span hosts the shared pass's full span tree (clock scan, per-worker
+	// breakdown) and carries the whole batch makespan. The other members get
+	// one "execute" span bracketing the shared execution (their request IS
+	// waiting on that pass, retries included) with their amortized share of
+	// the cycles — every trace decomposes, without N copies of the subtree.
+	leader := live[0]
+	execs := make([]*trace.Span, len(live))
+	for i, p := range live {
+		if p != leader {
+			execs[i] = p.span.Child("execute")
+		}
+	}
+	err := s.withRetry(context.Background(), leader.span, func() error {
 		sch, err := s.newSched(b.workers)
 		if err != nil {
 			return err
 		}
-		sums, schedRes, err = scan.ParallelShared(context.Background(), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
+		exec := leader.span.Child("execute")
+		sums, schedRes, err = scan.ParallelShared(trace.NewContext(context.Background(), exec), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
+		exec.AddCycles(schedRes.MakespanCycles)
+		exec.End()
 		s.recordSched(schedRes.FaultStats, err)
 		if err != nil {
 			burned += schedRes.MakespanCycles
@@ -744,6 +812,9 @@ func (s *Server) runBatch(b *batch) {
 		s.reg.Histogram("serve.batch_size").Record(float64(len(live)))
 		s.reg.Histogram("serve.cycles_per_query").Record(per)
 		for i, p := range live {
+			p.span.SetAttr("batch_size", fmt.Sprint(len(live)))
+			execs[i].AddCycles(per)
+			execs[i].End()
 			s.finish(p, Response{Cost: hw.Cost{SimCycles: per}, BatchSize: len(live), Sum: sums[i]}, nil)
 		}
 		return
@@ -751,7 +822,9 @@ func (s *Server) runBatch(b *batch) {
 	// Even a failed batch reports the cycles it burned, so clients (and the
 	// chaos experiment) can account the cost of failure.
 	per := burned / float64(len(live))
-	for _, p := range live {
+	for i, p := range live {
+		execs[i].AddCycles(per)
+		execs[i].End()
 		s.finish(p, Response{Cost: hw.Cost{SimCycles: per}}, err)
 	}
 }
@@ -768,9 +841,12 @@ func (s *Server) runOne(p *pending, workers int) {
 		return
 	}
 	var resp Response
-	err := s.withRetry(p.ctx, func() error {
+	err := s.withRetry(p.ctx, p.span, func() error {
+		exec := p.span.Child("execute")
 		var err error
-		resp, err = s.execute(p.ctx, p.req, workers)
+		resp, err = s.execute(trace.NewContext(p.ctx, exec), p.req, workers)
+		exec.AddCycles(resp.SimCycles)
+		exec.End()
 		return err
 	})
 	if err == nil {
@@ -845,19 +921,28 @@ func (s *Server) finish(p *pending, resp Response, err error) {
 	case err == nil:
 		s.reg.Counter("serve.completed").Inc()
 		s.reg.Histogram("serve.latency_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
+		p.span.SetAttr("status", "ok")
 		if s.brk != nil {
 			s.brk.onSuccess()
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.reg.Counter("serve.deadline_exceeded").Inc()
+		p.span.SetAttr("status", "deadline")
 	default:
 		s.reg.Counter("serve.failed").Inc()
+		p.span.SetAttr("status", "failed")
 		if s.brk != nil && retryable(err) {
 			if s.brk.onFailure(time.Now()) {
 				s.reg.Counter("serve.breaker_trips").Inc()
 			}
 		}
 	}
+	// Close out the request's trace. queueSpan/batchSpan ends are idempotent
+	// no-ops on the normal path; they matter for requests dropped before
+	// dispatch or mid-assembly.
+	p.queueSpan.End()
+	p.batchSpan.End()
+	p.span.End()
 	p.done <- outcome{resp: resp, err: err}
 }
 

@@ -1,0 +1,21 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span. Layers that cannot take a span
+// parameter (the scheduler, the operators) receive it this way.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil — and nil is a fully
+// usable no-op span, so callers chain methods without checking.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
