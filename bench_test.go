@@ -81,6 +81,7 @@ func BenchmarkE18Validation(b *testing.B)    { runExperiment(b, "E18") }
 func BenchmarkE19Serve(b *testing.B)         { runExperiment(b, "E19") }
 func BenchmarkE20Chaos(b *testing.B)         { runExperiment(b, "E20") }
 func BenchmarkE21Observe(b *testing.B)       { runExperiment(b, "E21") }
+func BenchmarkE22Memory(b *testing.B)        { runExperiment(b, "E22") }
 
 // Live microbenchmarks: the real Go implementations on the host CPU.
 

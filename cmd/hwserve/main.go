@@ -8,8 +8,9 @@
 //	hwserve [-machine name] [-clients n] [-requests n] [-rows n]
 //	        [-queue n] [-maxbatch n] [-window d] [-mix scan|mixed]
 //	        [-deadline d]
+//	        [-mem-budget bytes] [-mem-query bytes] [-oom-kill]
 //	        [-fault-seed n] [-panic-prob p] [-transient-prob p]
-//	        [-straggler-prob p] [-straggler-skew k]
+//	        [-straggler-prob p] [-straggler-skew k] [-alloc-fail-prob p]
 //	        [-retries n] [-backoff d] [-breaker n] [-cooldown d]
 //	        [-listen addr] [-trace n]
 //
@@ -22,6 +23,13 @@
 //
 // The default workload is all shared-scannable range aggregates; -mix mixed
 // adds joins and grouped aggregations that exercise the worker budget.
+//
+// -mem-budget arms the memory governor: joins and grouped aggregations
+// reserve against a server-wide byte budget at admission, charge their hash
+// tables against it, and degrade to grace-hash spill plans when the grant
+// runs out. -oom-kill switches the governor to the naive mode that allocates
+// past the budget and then kills the query. -alloc-fail-prob injects
+// allocation failures at the charge sites.
 //
 // The fault flags arm a seeded injector on the server (panics, transient
 // failures, stragglers), and the resilience flags configure how the server
@@ -63,12 +71,18 @@ type config struct {
 	deadline    time.Duration
 	mix         string // "scan" or "mixed"
 
+	// Memory governance (zero budget disables the governor).
+	memBudget int64
+	memQuery  int64
+	oomKill   bool
+
 	// Fault injection (zero probabilities disable the injector).
 	faultSeed     int64
 	panicProb     float64
 	transientProb float64
 	stragglerProb float64
 	stragglerSkew float64
+	allocFailProb float64
 
 	// Resilience policy.
 	retries  int
@@ -84,12 +98,13 @@ type config struct {
 }
 
 func (c config) faulty() bool {
-	return c.panicProb > 0 || c.transientProb > 0 || c.stragglerProb > 0
+	return c.panicProb > 0 || c.transientProb > 0 || c.stragglerProb > 0 || c.allocFailProb > 0
 }
 
 type report struct {
 	completed, rejected, deadlined int64
 	shed, failed                   int64
+	memShed, oomKilled             int64
 	elapsed                        time.Duration
 	batches                        int
 	batchP50, batchMax             float64
@@ -119,6 +134,13 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		BreakerThreshold: cfg.breaker,
 		BreakerCooldown:  cfg.cooldown,
 	}
+	if cfg.memBudget > 0 {
+		opts.Memory = hwstar.MemoryConfig{
+			BudgetBytes:   cfg.memBudget,
+			PerQueryBytes: cfg.memQuery,
+			KillOnOverage: cfg.oomKill,
+		}
+	}
 	if cfg.faulty() {
 		opts.Faults = hwstar.NewFaultInjector(hwstar.FaultConfig{
 			Seed:          cfg.faultSeed,
@@ -126,6 +148,7 @@ func run(ctx context.Context, cfg config) (*report, error) {
 			TransientProb: cfg.transientProb,
 			StragglerProb: cfg.stragglerProb,
 			StragglerSkew: cfg.stragglerSkew,
+			AllocFailProb: cfg.allocFailProb,
 		})
 		// Injected panics and stragglers are survivable only with isolation
 		// and re-dispatch armed.
@@ -169,6 +192,7 @@ func run(ctx context.Context, cfg config) (*report, error) {
 	aggVals := hwstar.GenUniform(45, 65536, 100)
 
 	var completed, rejected, deadlined, shed, failed int64
+	var memShed, oomKilled int64
 	var cycles atomicFloat
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -211,6 +235,10 @@ func run(ctx context.Context, cfg config) (*report, error) {
 					atomic.AddInt64(&rejected, 1)
 				case errors.Is(err, hwstar.ErrDegraded):
 					atomic.AddInt64(&shed, 1)
+				case errors.Is(err, hwstar.ErrOOMKilled):
+					atomic.AddInt64(&oomKilled, 1)
+				case errors.Is(err, hwstar.ErrMemoryPressure):
+					atomic.AddInt64(&memShed, 1)
 				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 					atomic.AddInt64(&deadlined, 1)
 				default:
@@ -225,6 +253,7 @@ func run(ctx context.Context, cfg config) (*report, error) {
 	r := &report{
 		completed: completed, rejected: rejected, deadlined: deadlined,
 		shed: shed, failed: failed,
+		memShed: memShed, oomKilled: oomKilled,
 		elapsed:  elapsed,
 		batches:  bs.Count(),
 		batchP50: bs.Quantile(0.5), batchMax: bs.Max(),
@@ -259,6 +288,11 @@ func (r *report) print(w io.Writer, cfg config) {
 		fmt.Fprintf(w, "  scan batches %d  (p50 size %.0f, max %.0f)\n", r.batches, r.batchP50, r.batchMax)
 	}
 	fmt.Fprintf(w, "  modeled cost %.2f Mcycles/query (amortized over shared scans)\n", r.meanMcyc)
+	if cfg.memBudget > 0 {
+		h := r.health
+		fmt.Fprintf(w, "  memory budget %d KiB  (peak %d KiB, shed at admission %d, spilled %d for %d KiB, oom kills %d)\n",
+			cfg.memBudget>>10, h.Memory.PeakBytes>>10, r.memShed, h.Spills, h.SpillBytes>>10, r.oomKilled)
+	}
 	if cfg.faulty() {
 		h := r.health
 		fmt.Fprintf(w, "  health %s  (retries %d, exhausted %d, panics recovered %d, re-dispatched %d, stragglers retired %d, breaker trips %d)\n",
@@ -306,11 +340,15 @@ func main() {
 	flag.DurationVar(&cfg.window, "window", 2*time.Millisecond, "batching window")
 	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-request deadline (0 = none)")
 	flag.StringVar(&cfg.mix, "mix", "scan", "workload mix: scan or mixed")
+	flag.Int64Var(&cfg.memBudget, "mem-budget", 0, "server-wide memory budget in bytes for joins and grouped aggregations (0 = ungoverned)")
+	flag.Int64Var(&cfg.memQuery, "mem-query", 0, "default per-query reservation in bytes (0 = budget/4)")
+	flag.BoolVar(&cfg.oomKill, "oom-kill", false, "naive mode: allocate past the budget, then kill the query (instead of spilling)")
 	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "fault injector seed")
 	flag.Float64Var(&cfg.panicProb, "panic-prob", 0, "per-task injected panic probability")
 	flag.Float64Var(&cfg.transientProb, "transient-prob", 0, "per-task injected transient-failure probability")
 	flag.Float64Var(&cfg.stragglerProb, "straggler-prob", 0, "per-worker straggler probability")
 	flag.Float64Var(&cfg.stragglerSkew, "straggler-skew", 8, "cycle multiplier for straggling workers")
+	flag.Float64Var(&cfg.allocFailProb, "alloc-fail-prob", 0, "per-charge injected allocation-failure probability")
 	flag.IntVar(&cfg.retries, "retries", 0, "morsel-level retries per request (0 = retry-free)")
 	flag.DurationVar(&cfg.backoff, "backoff", 200*time.Microsecond, "base retry backoff (doubles per attempt, jittered)")
 	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive failures tripping the circuit breaker (0 = no breaker)")

@@ -20,7 +20,8 @@
 // This package is the public façade: an Engine bound to a machine profile,
 // with high-level, context-first operations that return both real results and
 // modeled hardware costs, and a Server that multiplexes concurrent clients
-// onto the engine with shared-scan batching and admission control. The E1–E21
+// onto the engine with shared-scan batching, admission control, and
+// memory-budget governance with graceful spill. The E1–E22
 // experiment suite (internal/experiments, cmd/hwbench) reproduces the
 // behaviour the hardware-conscious database literature reports, on any host,
 // deterministically.
@@ -43,6 +44,7 @@ import (
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
 	"hwstar/internal/layout"
+	"hwstar/internal/mem"
 	"hwstar/internal/planner"
 	"hwstar/internal/queries"
 	"hwstar/internal/scan"
@@ -78,6 +80,15 @@ var (
 	// ErrDegraded reports a request shed because the Server's circuit
 	// breaker is open.
 	ErrDegraded = errs.ErrDegraded
+	// ErrMemoryPressure reports a request shed at admission or an
+	// allocation denied because the Server's memory budget is exhausted.
+	// Retryable: pressure subsides as running queries release their
+	// reservations.
+	ErrMemoryPressure = errs.ErrMemoryPressure
+	// ErrOOMKilled reports a simulated OOM kill: an ungoverned engine
+	// (MemoryConfig.KillOnOverage) allocated past its budget. Fatal, not
+	// retryable.
+	ErrOOMKilled = errs.ErrOOMKilled
 )
 
 // Cost is the modeled hardware cost shared by every result type: simulated
@@ -467,8 +478,8 @@ func NewServer(m *Machine, opts ServerOptions) (*Server, error) {
 }
 
 // FaultConfig arms a fault injector: seeded, per-class probabilities for
-// injected panics, stragglers, transient failures, and core loss. See
-// internal/fault for the full semantics.
+// injected panics, stragglers, transient failures, core loss, and allocation
+// failures. See internal/fault for the full semantics.
 type FaultConfig = fault.Config
 
 // FaultInjector produces deterministic faults and logs every firing. Arm
@@ -483,9 +494,20 @@ type FaultEvent = fault.Event
 var NewFaultInjector = fault.New
 
 // ServerHealth is the resilience snapshot returned by Server.Health():
-// breaker state, failure streak, retry/re-dispatch counters, and injected
-// fault counts.
+// breaker state, failure streak, retry/re-dispatch counters, memory-governor
+// position, and injected fault counts.
 type ServerHealth = serve.Health
+
+// MemoryConfig arms a Server's memory governor via ServerOptions.Memory: a
+// server-wide byte budget, a per-query reservation granted at admission, and
+// optionally KillOnOverage (the "naive engine" mode E22 uses as its
+// baseline, where allocation always succeeds but crossing the budget is a
+// fatal simulated OOM kill). See internal/mem for the full semantics.
+type MemoryConfig = mem.Config
+
+// MemoryStats is the governor's snapshot inside ServerHealth.Memory: budget
+// position, peak usage, live reservations, and denial/kill counters.
+type MemoryStats = mem.Stats
 
 // Tracer records query-lifecycle span trees (admit → queue → batch assembly
 // → execute → retries, down to per-worker schedules) in a bounded ring. Arm
@@ -535,7 +557,7 @@ func GenJoin(seed int64, buildRows, probeRows int, zipfS float64) JoinData {
 	})
 }
 
-// RunExperiment executes one experiment of the E1–E21 suite at the given
+// RunExperiment executes one experiment of the E1–E22 suite at the given
 // scale (1 = full size) and returns its result tables.
 func RunExperiment(id string, scale float64) ([]*ResultTable, error) {
 	exp, err := experiments.ByID(id)

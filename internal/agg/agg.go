@@ -18,6 +18,7 @@ package agg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"hwstar/internal/errs"
@@ -43,13 +44,52 @@ const groupEntryBytes = 2 * (8 + 8 + 1)
 // tupleBytes is the input width per tuple (key + value).
 const tupleBytes = 16
 
-// Serial computes the reference aggregation: SUM(vals) GROUP BY keys.
+// Serial computes the reference aggregation: SUM(vals) GROUP BY keys. The
+// table is pre-sized from a sampled cardinality estimate, so unique-heavy
+// inputs skip every incremental rehash (each of which re-inserts all live
+// groups) without low-cardinality inputs paying for a table sized to the row
+// count (see BenchmarkSerialPresized / BenchmarkSerialUnsized for the delta).
 func Serial(keys, vals []int64) map[int64]int64 {
-	out := make(map[int64]int64)
+	out := make(map[int64]int64, serialHint(keys))
 	for i, k := range keys {
 		out[k] += vals[i]
 	}
 	return out
+}
+
+// serialHint estimates a group-table capacity by counting distinct keys in a
+// strided sample. A near-all-distinct sample means a unique-heavy input:
+// presize to the row count. Otherwise presize to twice the sampled
+// cardinality — an underestimate only costs a few rehashes of a still-small
+// table, where an overestimate allocates and zeroes the worst case up front.
+func serialHint(keys []int64) int {
+	const sample = 1024
+	n := len(keys)
+	if n <= 2*sample {
+		return n
+	}
+	stride := n / sample
+	seen := make(map[int64]struct{}, sample)
+	for i := 0; i < n; i += stride {
+		seen[keys[i]] = struct{}{}
+	}
+	d := len(seen)
+	if d*8 >= sample*7 {
+		return n
+	}
+	return capHint(int64(2*d), n)
+}
+
+// capHint bounds a map capacity hint: the expected group count g, capped by
+// the rows that will actually be inserted.
+func capHint(g int64, rows int) int {
+	if g > int64(rows) {
+		g = int64(rows)
+	}
+	if g < 0 {
+		g = 0
+	}
+	return int(g)
 }
 
 // Result is a parallel aggregation outcome.
@@ -59,6 +99,11 @@ type Result struct {
 	// Phases holds the schedule of each phase; MakespanCycles their sum.
 	Phases         []sched.Result
 	MakespanCycles float64
+	// Spilled reports that the group table exceeded the query's memory
+	// reservation and the aggregation degraded to the partitioned spill
+	// path; SpillBytes is the simulated traffic written to the spill tier.
+	Spilled    bool
+	SpillBytes int64
 }
 
 func (r *Result) addPhase(s sched.Result) {
@@ -80,23 +125,45 @@ func (r *Result) runPhase(ctx context.Context, name string, s *sched.Scheduler, 
 }
 
 // Parallel aggregates keys/vals with the given strategy on scheduler s.
-// numGroups is the (approximate) group cardinality used for cost modelling;
-// pass 0 to have it estimated from the data (exact, via a counting pass that
-// is not charged — a real system would use a sketch). Cancellation is
-// checked at every morsel boundary.
+// Group cardinality is estimated from the data up front (exact, via one
+// uncharged counting pass — a real system would use a sketch) and shared by
+// the cost model, the map capacity hints, and the memory governor.
+//
+// When the scheduler carries a memory reservation, the group-table footprint
+// is charged before execution. A denial (budget pressure or an injected
+// allocation fault) degrades the aggregation to the partitioned spill path
+// regardless of the requested strategy; only a simulated OOM kill (naive
+// mode) or an unspillable budget aborts. Cancellation is checked at every
+// morsel boundary.
 func Parallel(ctx context.Context, keys, vals []int64, strat Strategy, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
 	if len(keys) != len(vals) {
 		return Result{}, fmt.Errorf("agg: keys/vals length mismatch: %d vs %d: %w", len(keys), len(vals), errs.ErrInvalidInput)
 	}
 	switch strat {
-	case StrategyGlobal:
-		return globalAtomic(ctx, keys, vals, s, m, morsel)
-	case StrategyLocalMerge:
-		return localMerge(ctx, keys, vals, s, m, morsel)
-	case StrategyRadix:
-		return radixPartitioned(ctx, keys, vals, s, m, morsel)
+	case StrategyGlobal, StrategyLocalMerge, StrategyRadix:
 	default:
 		return Result{}, fmt.Errorf("agg: unknown strategy %q: %w", strat, errs.ErrInvalidInput)
+	}
+	g := distinct(keys)
+	if g == 0 {
+		g = 1
+	}
+	resv := s.Mem()
+	tableBytes := g * groupEntryBytes
+	if err := resv.Charge("agg-table", -1, tableBytes); err != nil {
+		if errors.Is(err, errs.ErrMemoryPressure) {
+			return spilledAgg(ctx, keys, vals, g, s, morsel, tableBytes, err)
+		}
+		return Result{}, fmt.Errorf("agg: group table: %w", err)
+	}
+	defer resv.Uncharge(tableBytes)
+	switch strat {
+	case StrategyGlobal:
+		return globalAtomic(ctx, keys, vals, g, s, morsel)
+	case StrategyLocalMerge:
+		return localMerge(ctx, keys, vals, g, s, morsel)
+	default:
+		return radixPartitioned(ctx, keys, vals, g, s, m, morsel)
 	}
 }
 
@@ -121,13 +188,9 @@ func distinct(keys []int64) int64 {
 // the number of cores hammering the same lines: with G groups and P active
 // cores, the probability of a concurrent update to the same entry scales
 // with P/G, and each conflict costs a cache-line transfer.
-func globalAtomic(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+func globalAtomic(ctx context.Context, keys, vals []int64, g int64, s *sched.Scheduler, morsel int) (Result, error) {
 	var res Result
-	groups := make(map[int64]int64)
-	g := distinct(keys)
-	if g == 0 {
-		g = 1
-	}
+	groups := make(map[int64]int64, capHint(g, len(keys)))
 	tableBytes := g * groupEntryBytes
 	// A conflicting atomic update pays a cross-core line transfer plus
 	// serialization on the hot line.
@@ -162,19 +225,15 @@ func globalAtomic(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m
 }
 
 // localMerge: per-morsel private tables, then a serial-per-partition merge.
-func localMerge(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+func localMerge(ctx context.Context, keys, vals []int64, g int64, s *sched.Scheduler, morsel int) (Result, error) {
 	var res Result
 	msz := morselOrDefault(morsel)
 	nChunks := (len(keys) + msz - 1) / msz
 	locals := make([]map[int64]int64, nChunks)
-	g := distinct(keys)
-	if g == 0 {
-		g = 1
-	}
 	localBytes := g * groupEntryBytes // worst case: every group in every local table
 
 	tasks := sched.Morsels(len(keys), msz, "agg-local", func(start, end int, w *sched.Worker) {
-		local := make(map[int64]int64, 256)
+		local := make(map[int64]int64, capHint(g, end-start))
 		for i := start; i < end; i++ {
 			local[keys[i]] += vals[i]
 		}
@@ -223,12 +282,8 @@ func localMerge(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *
 // radixPartitioned: partition input by group-key hash so each partition's
 // groups are disjoint; one task aggregates each partition into a private,
 // cache-sized table; results concatenate without merging.
-func radixPartitioned(ctx context.Context, keys, vals []int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
+func radixPartitioned(ctx context.Context, keys, vals []int64, g int64, s *sched.Scheduler, m *hw.Machine, morsel int) (Result, error) {
 	var res Result
-	g := distinct(keys)
-	if g == 0 {
-		g = 1
-	}
 	// Fan-out chosen so a partition's group state fits in half the L2 AND
 	// phase 2 has enough tasks to occupy (and balance across) all workers.
 	target := int64(128 << 10)
@@ -282,8 +337,8 @@ func radixPartitioned(ctx context.Context, keys, vals []int64, s *sched.Schedule
 	aggTasks := make([]sched.Task, fanout)
 	for p := 0; p < fanout; p++ {
 		p := p
-		aggTasks[p] = sched.Task{Name: fmt.Sprintf("agg-p%d", p), Socket: -1, Run: func(w *sched.Worker) {
-			local := make(map[int64]int64, 256)
+		aggTasks[p] = sched.Task{Name: fmt.Sprintf("agg-p%d", p), Site: "agg-reduce", Socket: -1, Run: func(w *sched.Worker) {
+			local := make(map[int64]int64, capHint(g/int64(fanout)+16, len(keys)))
 			var n int64
 			for _, cp := range chunkParts {
 				if p >= len(cp) {

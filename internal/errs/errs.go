@@ -39,4 +39,14 @@ var (
 	// the server is failing, not merely busy; scan requests are still served
 	// from a reduced worker budget instead of being shed.
 	ErrDegraded = errors.New("server degraded")
+	// ErrMemoryPressure reports that a memory request could not be granted
+	// under the engine's byte budget: admission shed the query, an operator's
+	// reservation could not grow, or an injected allocation fault fired.
+	// Retryable — pressure subsides as concurrent queries release memory.
+	ErrMemoryPressure = errors.New("memory pressure")
+	// ErrOOMKilled reports the simulated out-of-memory kill an ungoverned
+	// engine suffers when its total footprint exceeds physical memory. Unlike
+	// ErrMemoryPressure it is fatal, not retryable: the naive engine in E22
+	// dies this way, the governed engine never does.
+	ErrOOMKilled = errors.New("oom killed")
 )

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"hwstar/internal/errs"
+)
+
+func TestAllocErrorWrapsMemoryPressure(t *testing.T) {
+	in := New(Config{Seed: 7, AllocFailProb: 1})
+	err := in.AllocError("join-build", 2)
+	if !errors.Is(err, errs.ErrMemoryPressure) {
+		t.Fatalf("err = %v, want ErrMemoryPressure", err)
+	}
+	if got := in.Counts()[ClassAllocFail]; got != 1 {
+		t.Fatalf("alloc-fail count = %d, want 1", got)
+	}
+}
+
+func TestAllocSitesOverrideDefault(t *testing.T) {
+	in := New(Config{Seed: 7, AllocFailProb: 1, AllocFailSites: map[string]float64{"agg-table": 0}})
+	if err := in.AllocError("agg-table", 0); err != nil {
+		t.Fatalf("shielded site fired: %v", err)
+	}
+	if err := in.AllocError("join-build", 0); err == nil {
+		t.Fatal("unshielded site did not fire")
+	}
+}
+
+func TestAllocFailArmsEnabled(t *testing.T) {
+	if in := New(Config{AllocFailProb: 0.5}); !in.Enabled() {
+		t.Fatal("AllocFailProb should enable the injector")
+	}
+	if in := New(Config{AllocFailSites: map[string]float64{"x": 1}}); !in.Enabled() {
+		t.Fatal("AllocFailSites should enable the injector")
+	}
+	if in := New(Config{}); in.Enabled() {
+		t.Fatal("zero config should be inert")
+	}
+}
+
+func TestAllocErrorDeterministicReplay(t *testing.T) {
+	run := func() []Event {
+		in := New(Config{Seed: 42, AllocFailProb: 0.3})
+		for i := 0; i < 100; i++ {
+			in.AllocError("site", i%4)
+		}
+		return in.Log()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no faults fired at p=0.3 over 100 draws")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay diverged: %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAllocErrorHonoursMaxFaults(t *testing.T) {
+	in := New(Config{Seed: 1, AllocFailProb: 1, MaxFaults: 2})
+	var fired int
+	for i := 0; i < 10; i++ {
+		if in.AllocError("site", 0) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (budget)", fired)
+	}
+}

@@ -3,14 +3,16 @@
 // machines run hot and slow down, tasks die — and a parallel design is only
 // trustworthy when exactly those modes are exercised deliberately. An
 // Injector is armed on a scheduler run (sched.Options.Inject) or a server
-// (serve.Options.Faults) and produces four fault classes at configurable,
+// (serve.Options.Faults) and produces five fault classes at configurable,
 // reproducible probabilities:
 //
 //   - panics: a scheduled task panics before its body runs;
 //   - stragglers: a worker's cycle charges are multiplied by a skew factor,
 //     modelling a thermally throttled or contended core;
 //   - transient errors: a task fails with errs.ErrTransient, retryable;
-//   - core loss: a worker disappears at the start of a run.
+//   - core loss: a worker disappears at the start of a run;
+//   - allocation failures: a memory-reservation charge fails with
+//     errs.ErrMemoryPressure before any bytes are accounted.
 //
 // Injected panics and transient errors fire at the morsel boundary, BEFORE
 // the task body executes, so a re-dispatched or retried morsel never
@@ -40,6 +42,7 @@ const (
 	ClassStraggler Class = "straggler"
 	ClassTransient Class = "transient"
 	ClassCoreLoss  Class = "core-loss"
+	ClassAllocFail Class = "alloc-fail"
 )
 
 // Config arms an Injector. Probabilities are in [0,1]; zero disables the
@@ -70,11 +73,20 @@ type Config struct {
 	StragglerWorkers []int
 	LostCores        []int
 
-	// PanicSites and TransientSites override the class probability for
-	// specific sites (a site is the morsel family name, e.g. "clock-scan" or
-	// "agg-part"). An entry of 0 shields that site entirely.
+	// AllocFailProb is the per-allocation-request probability that a memory
+	// reservation charge fails with errs.ErrMemoryPressure, modelling a
+	// governor denial (or, on real hardware, an mmap/brk failure) without
+	// the budget actually being exhausted. Charges fail BEFORE any bytes are
+	// accounted, so a retried allocation never double-charges.
+	AllocFailProb float64
+
+	// PanicSites, TransientSites and AllocFailSites override the class
+	// probability for specific sites (a site is the morsel family name, e.g.
+	// "clock-scan" or "agg-part"; allocation sites are charge labels like
+	// "join-build" or "agg-table"). An entry of 0 shields that site entirely.
 	PanicSites     map[string]float64
 	TransientSites map[string]float64
+	AllocFailSites map[string]float64
 
 	// MaxFaults, when positive, caps the total number of injected faults:
 	// after the budget is spent the injector goes quiet. Tests use it to
@@ -123,7 +135,8 @@ func (in *Injector) Enabled() bool {
 	}
 	c := in.cfg
 	return c.PanicProb > 0 || c.TransientProb > 0 || c.StragglerProb > 0 ||
-		c.CoreLossProb > 0 || len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0
+		c.CoreLossProb > 0 || c.AllocFailProb > 0 ||
+		len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0 || len(c.AllocFailSites) > 0
 }
 
 // fire draws one fault with the given probability, honouring the fault
@@ -177,6 +190,20 @@ func (in *Injector) TaskError(site string, worker int) error {
 		return nil
 	}
 	return fmt.Errorf("fault: injected transient at %s on worker %d: %w", site, worker, errs.ErrTransient)
+}
+
+// AllocError returns an injected allocation failure for the reservation
+// charge at site on the given worker, or nil. The error wraps
+// errs.ErrMemoryPressure; it fires before any bytes are accounted, so the
+// caller's budget is untouched and a retry is safe.
+func (in *Injector) AllocError(site string, worker int) error {
+	if in == nil {
+		return nil
+	}
+	if !in.fire(ClassAllocFail, siteProb(in.cfg.AllocFailSites, site, in.cfg.AllocFailProb), site, worker) {
+		return nil
+	}
+	return fmt.Errorf("fault: injected alloc failure at %s on worker %d: %w", site, worker, errs.ErrMemoryPressure)
 }
 
 // WorkerSkew returns the cycle multiplier for the given worker in one run:

@@ -38,6 +38,12 @@ type Work struct {
 	SeqWriteBytes  int64
 	RemoteSeqBytes int64
 
+	// SpillWriteBytes and SpillReadBytes are bytes streamed to and from the
+	// simulated spill tier (see Machine.SpillBandwidth) when a governed
+	// operator's working set exceeds its memory reservation.
+	SpillWriteBytes int64
+	SpillReadBytes  int64
+
 	// RandomReads are dependent random accesses into a working set of
 	// RandomWS bytes (which determines the cache level that services them).
 	// RemoteRandomReads are random accesses to memory on another socket.
@@ -78,6 +84,8 @@ func (w Work) Add(o Work) Work {
 		SeqReadBytes:      w.SeqReadBytes + o.SeqReadBytes,
 		SeqWriteBytes:     w.SeqWriteBytes + o.SeqWriteBytes,
 		RemoteSeqBytes:    w.RemoteSeqBytes + o.RemoteSeqBytes,
+		SpillWriteBytes:   w.SpillWriteBytes + o.SpillWriteBytes,
+		SpillReadBytes:    w.SpillReadBytes + o.SpillReadBytes,
 		RandomReads:       w.RandomReads + o.RandomReads,
 		RemoteRandomReads: w.RemoteRandomReads + o.RemoteRandomReads,
 		BranchMisses:      w.BranchMisses + o.BranchMisses,
@@ -103,17 +111,23 @@ type CostBreakdown struct {
 	Streaming    float64
 	RandomAccess float64
 	Branches     float64
+	// Spill is the cycle cost of traffic to and from the spill tier.
+	Spill float64
 }
 
 // Total returns the sum of all components.
 func (c CostBreakdown) Total() float64 {
-	return c.Compute + c.Streaming + c.RandomAccess + c.Branches
+	return c.Compute + c.Streaming + c.RandomAccess + c.Branches + c.Spill
 }
 
 // String renders the breakdown for experiment logs.
 func (c CostBreakdown) String() string {
-	return fmt.Sprintf("total=%.0f (compute=%.0f stream=%.0f random=%.0f branch=%.0f)",
+	s := fmt.Sprintf("total=%.0f (compute=%.0f stream=%.0f random=%.0f branch=%.0f",
 		c.Total(), c.Compute, c.Streaming, c.RandomAccess, c.Branches)
+	if c.Spill > 0 {
+		s += fmt.Sprintf(" spill=%.0f", c.Spill)
+	}
+	return s + ")"
 }
 
 // ExecContext tells the cost model under which conditions work executes:
@@ -160,6 +174,14 @@ func (m *Machine) Cost(w Work, ctx ExecContext) CostBreakdown {
 	if w.RemoteSeqBytes > 0 {
 		remoteBW := m.RemoteStreamBandwidth(ctx.ActiveCoresOnSocket) / ctx.InterferenceFactor
 		c.Streaming += float64(w.RemoteSeqBytes) / remoteBW
+	}
+
+	// Spill-tier traffic: streamed sequentially against the (much slower)
+	// spill device, shared among the spilling cores and degraded by
+	// interference like any other bandwidth.
+	if spill := w.SpillWriteBytes + w.SpillReadBytes; spill > 0 {
+		spillBW := m.SpillBandwidth(ctx.ActiveCoresOnSocket) / ctx.InterferenceFactor
+		c.Spill = float64(spill) / spillBW
 	}
 
 	// Random accesses: base latency for the working set, inflated by
@@ -243,6 +265,7 @@ func (a *Account) Charge(w Work) float64 {
 	a.total.Streaming += c.Streaming
 	a.total.RandomAccess += c.RandomAccess
 	a.total.Branches += c.Branches
+	a.total.Spill += c.Spill
 	return c.Total()
 }
 

@@ -83,6 +83,11 @@ type Machine struct {
 	CoreStreamBW   float64
 	// InterconnectBW is the cross-socket link bandwidth in bytes per cycle.
 	InterconnectBW float64
+	// SpillBWPerSocket is the streaming bandwidth of the spill tier — the
+	// slower memory a governed operator overflows to when its working set
+	// exceeds its budget (NVMe, CXL-attached memory, a fast network drive).
+	// Zero means "an order of magnitude below DRAM": MemBWPerSocket/8.
+	SpillBWPerSocket float64
 
 	// MLP is the memory-level parallelism: how many independent random
 	// misses a core can keep in flight. Effective random-access latency is
@@ -242,6 +247,24 @@ func (m *Machine) RemoteStreamBandwidth(activeCores int) float64 {
 	local := m.StreamBandwidth(activeCores)
 	link := m.InterconnectBW / float64(activeCores)
 	return math.Min(local, link)
+}
+
+// SpillBandwidth returns the per-core spill-tier streaming bandwidth in
+// bytes/cycle when activeCores cores on the same socket spill concurrently.
+// The tier's socket bandwidth (SpillBWPerSocket, defaulting to an eighth of
+// DRAM bandwidth) is shared evenly — spilling cores queue on the same device.
+func (m *Machine) SpillBandwidth(activeCores int) float64 {
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	if activeCores > m.CoresPerSocket {
+		activeCores = m.CoresPerSocket
+	}
+	bw := m.SpillBWPerSocket
+	if bw <= 0 {
+		bw = m.MemBWPerSocket / 8
+	}
+	return bw / float64(activeCores)
 }
 
 // ContentionFactor models DRAM latency inflation under load: when many cores

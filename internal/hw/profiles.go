@@ -27,6 +27,7 @@ func Laptop() *Machine {
 		MemBWPerSocket:      8, // ~20 GB/s at 2.6 GHz
 		CoreStreamBW:        4, // ~10 GB/s single core
 		InterconnectBW:      0, // single socket
+		SpillBWPerSocket:    1, // ~2.6 GB/s SATA-SSD-class spill tier
 		MLP:                 4,
 		BranchMissCycles:    15,
 		WattsPerCoreActive:  8,
@@ -57,6 +58,7 @@ func Server2S() *Machine {
 		MemBWPerSocket:      14, // ~34 GB/s per socket
 		CoreStreamBW:        5,
 		InterconnectBW:      5, // ~12 GB/s QPI-class link
+		SpillBWPerSocket:    2, // ~5 GB/s NVMe-class spill tier
 		MLP:                 4,
 		BranchMissCycles:    17,
 		WattsPerCoreActive:  10,
@@ -87,6 +89,7 @@ func NUMA4S() *Machine {
 		MemBWPerSocket:      18,
 		CoreStreamBW:        5,
 		InterconnectBW:      4,
+		SpillBWPerSocket:    2, // ~4.4 GB/s NVMe-class spill tier
 		MLP:                 6,
 		BranchMissCycles:    18,
 		WattsPerCoreActive:  9,
@@ -118,6 +121,7 @@ func Manycore() *Machine {
 		MemBWPerSocket:      24,
 		CoreStreamBW:        3,
 		InterconnectBW:      0,
+		SpillBWPerSocket:    3, // ~4.8 GB/s NVMe-class spill tier
 		MLP:                 4,
 		BranchMissCycles:    12,
 		WattsPerCoreActive:  3,

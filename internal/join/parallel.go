@@ -2,8 +2,10 @@ package join
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"hwstar/internal/errs"
 	"hwstar/internal/hw"
 	"hwstar/internal/sched"
 	"hwstar/internal/trace"
@@ -16,6 +18,11 @@ type ParallelResult struct {
 	Result
 	Phases         []sched.Result
 	MakespanCycles float64
+	// Spilled reports that the join exceeded its memory reservation and
+	// degraded to the grace-hash spill path; SpillBytes is the simulated
+	// traffic written to the spill tier.
+	Spilled    bool
+	SpillBytes int64
 }
 
 // addPhase appends a phase schedule and extends the makespan (phases are
@@ -43,11 +50,26 @@ func runPhaseTraced(ctx context.Context, s *sched.Scheduler, name string, tasks 
 // every worker random-accessing the same DRAM-resident table. Cancellation
 // is checked at every morsel boundary; a cancelled context returns the
 // context's error with the partial schedule already accounted.
+//
+// When the scheduler carries a memory reservation, the table footprint is
+// charged before building. A denial (budget pressure or an injected
+// allocation fault) degrades the join to the grace-hash spill path instead
+// of growing unbounded; only a simulated OOM kill (naive mode) or an
+// unspillable budget aborts.
 func ParallelNPO(ctx context.Context, in Input, s *sched.Scheduler, morsel int) (ParallelResult, error) {
 	if err := in.Validate(); err != nil {
 		return ParallelResult{}, err
 	}
 	var out ParallelResult
+	resv := s.Mem()
+	tableBytes := hashTableBytes(len(in.BuildKeys))
+	if err := resv.Charge("join-build", -1, tableBytes); err != nil {
+		if errors.Is(err, errs.ErrMemoryPressure) {
+			return graceHashJoin(ctx, in, s, morsel, tableBytes, err)
+		}
+		return out, fmt.Errorf("join: build table: %w", err)
+	}
+	defer resv.Uncharge(tableBytes)
 	ht := newHashTable(len(in.BuildKeys))
 
 	buildTasks := sched.Morsels(len(in.BuildKeys), morsel, "npo-build", func(start, end int, w *sched.Worker) {
@@ -151,13 +173,18 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 		return out, err
 	}
 
-	// Phase 2: one task per partition.
+	// Phase 2: one task per partition. Partition tables are cache-sized by
+	// construction, so a reservation denial here (budget exhausted, injected
+	// allocation fault) fails the partition cleanly instead of spilling —
+	// there is nothing smaller to degrade to.
 	partials := make([]Result, fanout)
+	chargeErrs := make([]error, fanout)
 	tasks := make([]sched.Task, 0, fanout)
 	for p := 0; p < fanout; p++ {
 		p := p
 		tasks = append(tasks, sched.Task{
 			Name:   fmt.Sprintf("radix-join-p%d", p),
+			Site:   "radix-join",
 			Socket: -1,
 			Run: func(w *sched.Worker) {
 				part := &partials[p]
@@ -169,6 +196,12 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 				if buildRows == 0 {
 					return
 				}
+				htBytes := hashTableBytes(int(buildRows))
+				if err := w.Mem().Charge("radix-join", w.ID, htBytes); err != nil {
+					chargeErrs[p] = err
+					return
+				}
+				defer w.Mem().Uncharge(htBytes)
 				ht := newHashTable(int(buildRows))
 				for _, c := range buildChunks {
 					bk, bv := c.partition(p)
@@ -196,6 +229,9 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 	out.addPhase(phase)
 	if err != nil {
 		return out, err
+	}
+	if err := firstChargeErr(chargeErrs); err != nil {
+		return out, fmt.Errorf("join: radix partition table denied: %w", err)
 	}
 
 	for _, p := range partials {

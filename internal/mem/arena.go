@@ -26,6 +26,7 @@ type Arena struct {
 	cur       []byte
 	off       int
 	chunks    [][]byte
+	free      [][]byte // standard-size chunks retained by Reset for reuse
 	allocated int64
 }
 
@@ -50,7 +51,13 @@ func (a *Arena) Alloc(n int) []byte {
 		return big
 	}
 	if a.cur == nil || a.off+n > len(a.cur) {
-		a.cur = make([]byte, a.chunkSize)
+		if l := len(a.free); l > 0 {
+			a.cur = a.free[l-1]
+			a.free[l-1] = nil
+			a.free = a.free[:l-1]
+		} else {
+			a.cur = make([]byte, a.chunkSize)
+		}
 		a.chunks = append(a.chunks, a.cur)
 		a.off = 0
 	}
@@ -62,10 +69,14 @@ func (a *Arena) Alloc(n int) []byte {
 // AllocatedBytes returns the total bytes handed out (not chunk capacity).
 func (a *Arena) AllocatedBytes() int64 { return a.allocated }
 
-// FootprintBytes returns the total capacity of all chunks held by the arena.
+// FootprintBytes returns the total capacity of all chunks held by the arena,
+// including chunks kept for reuse by Reset.
 func (a *Arena) FootprintBytes() int64 {
 	var t int64
 	for _, c := range a.chunks {
+		t += int64(len(c))
+	}
+	for _, c := range a.free {
 		t += int64(len(c))
 	}
 	return t
@@ -75,6 +86,29 @@ func (a *Arena) FootprintBytes() int64 {
 func (a *Arena) Release() {
 	a.cur = nil
 	a.chunks = nil
+	a.free = nil
+	a.off = 0
+	a.allocated = 0
+}
+
+// Reset makes the arena empty but keeps its standard-size chunks for reuse,
+// so per-morsel arenas stop churning the runtime allocator. Dedicated
+// big-allocation chunks are dropped (they are sized to one request and
+// unlikely to recur). Retained chunks are zeroed here so Alloc's "zeroed
+// slice" contract holds without per-allocation clears. All slices handed out
+// before Reset are invalid afterwards.
+func (a *Arena) Reset() {
+	for i, c := range a.chunks {
+		if len(c) == a.chunkSize {
+			for j := range c {
+				c[j] = 0
+			}
+			a.free = append(a.free, c)
+		}
+		a.chunks[i] = nil // let dropped big chunks go to the GC now
+	}
+	a.cur = nil
+	a.chunks = a.chunks[:0]
 	a.off = 0
 	a.allocated = 0
 }
@@ -122,6 +156,18 @@ func (a *TypedArena[T]) AllocatedElems() int64 { return a.allocated }
 // Release drops the current chunk reference.
 func (a *TypedArena[T]) Release() {
 	a.cur = nil
+	a.off = 0
+	a.allocated = 0
+}
+
+// Reset rewinds the arena over its current chunk instead of dropping it,
+// zeroing the used prefix so Alloc's contract holds. Slices handed out
+// before Reset are invalid afterwards.
+func (a *TypedArena[T]) Reset() {
+	var zero T
+	for i := 0; i < a.off; i++ {
+		a.cur[i] = zero
+	}
 	a.off = 0
 	a.allocated = 0
 }

@@ -1,0 +1,108 @@
+package mem
+
+import "testing"
+
+func TestArenaBigAllocGetsDedicatedChunk(t *testing.T) {
+	a := NewArena(64)
+	small := a.Alloc(10)
+	big := a.Alloc(500) // larger than the chunk size: dedicated chunk
+	if len(big) != 500 {
+		t.Fatalf("big len = %d", len(big))
+	}
+	if a.AllocatedBytes() != 510 {
+		t.Fatalf("allocated = %d, want 510", a.AllocatedBytes())
+	}
+	if a.FootprintBytes() != 64+500 {
+		t.Fatalf("footprint = %d, want one standard + one dedicated chunk", a.FootprintBytes())
+	}
+	// The bump cursor must survive the big detour: the next small allocation
+	// comes from the original chunk, not a fresh one.
+	small2 := a.Alloc(10)
+	if len(small2) != 10 || a.FootprintBytes() != 64+500 {
+		t.Fatalf("small alloc after big grew footprint to %d", a.FootprintBytes())
+	}
+	_ = small
+}
+
+func TestArenaZeroSizeAlloc(t *testing.T) {
+	a := NewArena(64)
+	s := a.Alloc(0)
+	if len(s) != 0 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if a.AllocatedBytes() != 0 {
+		t.Fatalf("allocated = %d, want 0", a.AllocatedBytes())
+	}
+}
+
+func TestArenaResetReusesChunks(t *testing.T) {
+	a := NewArena(128)
+	a.Alloc(100)
+	a.Alloc(100) // second standard chunk
+	a.Alloc(400) // dedicated big chunk
+	if a.FootprintBytes() != 128*2+400 {
+		t.Fatalf("footprint = %d", a.FootprintBytes())
+	}
+	a.Reset()
+	if a.AllocatedBytes() != 0 {
+		t.Fatalf("allocated after reset = %d", a.AllocatedBytes())
+	}
+	// Standard chunks are retained for reuse; the big chunk is dropped.
+	if a.FootprintBytes() != 128*2 {
+		t.Fatalf("footprint after reset = %d, want 256 (retained chunks only)", a.FootprintBytes())
+	}
+	// Allocating again consumes the free list instead of growing.
+	a.Alloc(100)
+	a.Alloc(100)
+	if a.FootprintBytes() != 128*2 {
+		t.Fatalf("footprint after reuse = %d, want 256 (no new chunks)", a.FootprintBytes())
+	}
+	if a.AllocatedBytes() != 200 {
+		t.Fatalf("allocated after reuse = %d", a.AllocatedBytes())
+	}
+}
+
+func TestArenaResetZeroesReusedChunks(t *testing.T) {
+	a := NewArena(64)
+	s := a.Alloc(64)
+	for i := range s {
+		s[i] = 0xFF
+	}
+	a.Reset()
+	s2 := a.Alloc(64)
+	for i, b := range s2 {
+		if b != 0 {
+			t.Fatalf("reused chunk not zeroed at %d", i)
+		}
+	}
+}
+
+func TestArenaReleaseAfterReset(t *testing.T) {
+	a := NewArena(64)
+	a.Alloc(10)
+	a.Reset()
+	a.Release()
+	if a.AllocatedBytes() != 0 || a.FootprintBytes() != 0 {
+		t.Fatalf("release should drop retained chunks: allocated=%d footprint=%d",
+			a.AllocatedBytes(), a.FootprintBytes())
+	}
+	if s := a.Alloc(5); len(s) != 5 {
+		t.Fatal("arena should be reusable after release")
+	}
+}
+
+func TestTypedArenaReset(t *testing.T) {
+	a := NewTypedArena[int64](8)
+	s := a.Alloc(4)
+	s[0], s[3] = 7, 9
+	a.Reset()
+	if a.AllocatedElems() != 0 {
+		t.Fatalf("allocated after reset = %d", a.AllocatedElems())
+	}
+	s2 := a.Alloc(4)
+	for i, v := range s2 {
+		if v != 0 {
+			t.Fatalf("reused prefix not zeroed at %d: %d", i, v)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"hwstar/internal/errs"
 	"hwstar/internal/fault"
 	"hwstar/internal/hw"
+	"hwstar/internal/mem"
 	"hwstar/internal/trace"
 )
 
@@ -58,7 +59,14 @@ type Worker struct {
 	skew    float64
 	claimed []claimedTask
 	retired bool
+
+	// resv is the query's memory reservation (nil = ungoverned).
+	resv *mem.Reservation
 }
+
+// Mem returns the memory reservation of the query this worker executes. A
+// nil reservation grants every charge, so operators call it unconditionally.
+func (w *Worker) Mem() *mem.Reservation { return w.resv }
 
 // TotalWorkers returns the number of workers participating in the current
 // run — the "P" that contention formulas need.
@@ -135,6 +143,11 @@ type Options struct {
 	// transient errors at morsel boundaries, straggler skew and core loss
 	// per worker. Nil injects nothing.
 	Inject *fault.Injector
+
+	// Mem is the memory reservation the scheduled query charges its operator
+	// state against (hash tables, partition buffers). Nil runs ungoverned:
+	// every charge is granted, matching the pre-governor behaviour.
+	Mem *mem.Reservation
 
 	// IsolatePanics, when true, turns a task panic into worker retirement:
 	// the panicking core is removed from the run and its morsels (the
@@ -242,6 +255,10 @@ type Scheduler struct {
 // Workers returns the number of simulated cores the scheduler uses.
 func (s *Scheduler) Workers() int { return s.opts.Workers }
 
+// Mem returns the memory reservation scheduled queries charge against (nil =
+// ungoverned).
+func (s *Scheduler) Mem() *mem.Reservation { return s.opts.Mem }
+
 // Machine returns the machine the scheduler simulates.
 func (s *Scheduler) Machine() *hw.Machine { return s.machine }
 
@@ -337,7 +354,7 @@ func (s *Scheduler) RunContext(ctx context.Context, tasks []Task) (Result, error
 			socket = m.Sockets - 1
 		}
 		perSocket[socket]++
-		workers[i] = &Worker{ID: i, Socket: socket, machine: m, totalWorkers: nw, skew: 1}
+		workers[i] = &Worker{ID: i, Socket: socket, machine: m, totalWorkers: nw, skew: 1, resv: s.opts.Mem}
 	}
 	for _, w := range workers {
 		ctx := hw.ExecContext{

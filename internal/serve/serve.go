@@ -35,6 +35,15 @@
 //   - Health() snapshots the breaker, retry, re-dispatch, and fault-log
 //     state.
 //
+// With Options.Memory armed the server also governs memory (see
+// internal/mem): join/aggregate requests win a reservation at admission or
+// are shed with ErrMemoryPressure, operators charge hash-table state against
+// the reservation and degrade to a grace-hash spill plan when a charge is
+// denied, and finish() settles spill and peak-footprint accounting before
+// releasing the reservation. Memory pressure deliberately does NOT feed the
+// circuit breaker: a full budget is relieved by completions, not by shedding
+// into degraded mode.
+//
 // Per-server metrics (queue depth, batch sizes, latencies, modeled cycles
 // per query, admission and resilience counters) are recorded in a
 // metrics.Registry.
@@ -53,6 +62,7 @@ import (
 	"hwstar/internal/fault"
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
+	"hwstar/internal/mem"
 	"hwstar/internal/metrics"
 	"hwstar/internal/queries"
 	"hwstar/internal/scan"
@@ -109,6 +119,12 @@ type Response struct {
 	// (1 for unbatched operations).
 	BatchSize int
 
+	// Spilled reports that the operation degraded to the simulated spill
+	// tier because its table state did not fit the memory reservation;
+	// SpillBytes is the simulated traffic written to that tier.
+	Spilled    bool
+	SpillBytes int64
+
 	// Sum is the scan result (OpScan).
 	Sum int64
 
@@ -153,6 +169,17 @@ type Options struct {
 	// Faults arms a fault injector on every scheduled operation. Nil (the
 	// default) injects nothing.
 	Faults *fault.Injector
+
+	// Memory arms the memory governor: admission reserves
+	// Memory.PerQueryBytes for every join/aggregate request against the
+	// server-wide Memory.BudgetBytes, operators charge their hash-table
+	// state against the reservation and degrade to the spill tier when it
+	// cannot grow, and requests that cannot reserve at all are shed with
+	// ErrMemoryPressure. The zero value disables governance. When
+	// Memory.Faults is nil the server's own Faults injector drives
+	// allocation-failure injection, so one seed replays compute and memory
+	// chaos together.
+	Memory mem.Config
 
 	// RequestDeadline bounds requests whose context carries no deadline of
 	// its own; 0 leaves them unbounded.
@@ -253,6 +280,11 @@ type pending struct {
 	enq  time.Time
 	done chan outcome
 
+	// resv is the request's memory reservation (nil when ungoverned or for
+	// scans, which carry no operator table state). Released in finish — the
+	// single point every admitted request converges on.
+	resv *mem.Reservation
+
 	span      *trace.Span
 	queueSpan *trace.Span
 	batchSpan *trace.Span
@@ -269,6 +301,7 @@ type Server struct {
 	machine *hw.Machine
 	opts    Options
 	reg     *metrics.Registry
+	gov     *mem.Governor // nil when memory governance is off
 
 	intake chan *pending
 	sem    chan struct{} // simulated-core tokens; capacity = opts.Workers
@@ -323,6 +356,17 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 	}
 	if opts.BreakerThreshold > 0 {
 		s.brk = &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
+	}
+	// Arm the memory governor when a budget is set or allocation faults are
+	// requested (an unlimited governor still injects). The server's compute
+	// fault injector doubles as the allocation injector unless the memory
+	// config brings its own.
+	mc := opts.Memory
+	if mc.Faults == nil {
+		mc.Faults = opts.Faults
+	}
+	if mc.BudgetBytes > 0 || mc.Faults != nil {
+		s.gov = mem.NewGovernor(mc)
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.sem <- struct{}{}
@@ -419,6 +463,21 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 		s.reg.Counter("serve.shed").Inc()
 		return Response{}, fmt.Errorf("serve: circuit open, %s shed: %w", req.Op, errs.ErrDegraded)
 	}
+	// Memory admission: a join/aggregate request must win its reservation
+	// before it may queue — admission considers memory, not just queue
+	// depth. A budget too full to grant one sheds the request with
+	// ErrMemoryPressure (retryable: pressure subsides as running queries
+	// release). Scans reserve nothing: their state is streaming, not a
+	// table. Q1/Q6 run single-threaded engines with no governed state.
+	var resv *mem.Reservation
+	if s.gov != nil && (req.Op == OpJoin || req.Op == OpGroupSum) {
+		var err error
+		resv, err = s.gov.Reserve(0)
+		if err != nil {
+			s.reg.Counter("serve.mem_shed").Inc()
+			return Response{}, fmt.Errorf("serve: %s shed at admission: %w", req.Op, err)
+		}
+	}
 	if d := s.opts.RequestDeadline; d > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -426,7 +485,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 			defer cancel()
 		}
 	}
-	p := &pending{ctx: ctx, req: req, enq: time.Now(), done: make(chan outcome, 1)}
+	p := &pending{ctx: ctx, req: req, enq: time.Now(), done: make(chan outcome, 1), resv: resv}
 	// The trace (if this request is sampled) must be rooted before the
 	// request enters the intake queue: the dispatcher reads the spans
 	// concurrently the moment the send succeeds.
@@ -436,6 +495,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		p.resv.Release()
 		p.span.SetAttr("status", "closed")
 		p.queueSpan.End()
 		p.span.End()
@@ -448,6 +508,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 		s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake)))
 	default:
 		s.mu.RUnlock()
+		p.resv.Release()
 		s.reg.Counter("serve.rejected").Inc()
 		p.span.SetAttr("status", "rejected")
 		p.queueSpan.End()
@@ -557,23 +618,26 @@ func (b *breaker) snapshot() (consec int, open bool, trips int64) {
 }
 
 // newSched builds one scheduler for one operation, carrying the server's
-// fault injector and resilience policy.
-func (s *Server) newSched(workers int) (*sched.Scheduler, error) {
+// fault injector, resilience policy, and the request's memory reservation.
+func (s *Server) newSched(workers int, resv *mem.Reservation) (*sched.Scheduler, error) {
 	return sched.New(s.machine, sched.Options{
 		Workers:            workers,
 		Stealing:           true,
 		Inject:             s.opts.Faults,
+		Mem:                resv,
 		IsolatePanics:      s.opts.IsolatePanics,
 		StragglerThreshold: s.opts.StragglerThreshold,
 		BlockSize:          s.opts.SchedBlockSize,
 	})
 }
 
-// retryable classifies errors the retry loop and the breaker act on:
-// transient morsel failures and worker panics. Validation and context
-// errors are the client's problem, not the machine's.
+// retryable classifies errors the retry loop acts on: transient morsel
+// failures, worker panics, and memory pressure (which subsides as concurrent
+// queries release their reservations). Validation and context errors are the
+// client's problem; a simulated OOM kill is fatal by definition.
 func retryable(err error) bool {
-	return errors.Is(err, errs.ErrTransient) || errors.Is(err, errs.ErrWorkerPanic)
+	return errors.Is(err, errs.ErrTransient) || errors.Is(err, errs.ErrWorkerPanic) ||
+		errors.Is(err, errs.ErrMemoryPressure)
 }
 
 // backoff returns the sleep before retry attempt+1: exponential in the
@@ -793,7 +857,7 @@ func (s *Server) runBatch(b *batch) {
 		}
 	}
 	err := s.withRetry(context.Background(), leader.span, func() error {
-		sch, err := s.newSched(b.workers)
+		sch, err := s.newSched(b.workers, nil) // scans are streaming: no governed state
 		if err != nil {
 			return err
 		}
@@ -844,7 +908,7 @@ func (s *Server) runOne(p *pending, workers int) {
 	err := s.withRetry(p.ctx, p.span, func() error {
 		exec := p.span.Child("execute")
 		var err error
-		resp, err = s.execute(trace.NewContext(p.ctx, exec), p.req, workers)
+		resp, err = s.execute(trace.NewContext(p.ctx, exec), p.req, workers, p.resv)
 		exec.AddCycles(resp.SimCycles)
 		exec.End()
 		return err
@@ -856,10 +920,13 @@ func (s *Server) runOne(p *pending, workers int) {
 }
 
 // execute runs one join/aggregate/query request under the client's context.
-func (s *Server) execute(ctx context.Context, req Request, workers int) (Response, error) {
+// resv is the request's memory reservation (nil when ungoverned); join and
+// aggregate operators charge their table state against it and spill when a
+// charge is denied.
+func (s *Server) execute(ctx context.Context, req Request, workers int, resv *mem.Reservation) (Response, error) {
 	switch req.Op {
 	case OpJoin:
-		sch, err := s.newSched(workers)
+		sch, err := s.newSched(workers, resv)
 		if err != nil {
 			return Response{}, err
 		}
@@ -881,9 +948,9 @@ func (s *Server) execute(ctx context.Context, req Request, workers int) (Respons
 		if err != nil {
 			return Response{}, err
 		}
-		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Matches: res.Matches, Checksum: res.Checksum}, nil
+		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Matches: res.Matches, Checksum: res.Checksum, Spilled: res.Spilled, SpillBytes: res.SpillBytes}, nil
 	case OpGroupSum:
-		sch, err := s.newSched(workers)
+		sch, err := s.newSched(workers, resv)
 		if err != nil {
 			return Response{}, err
 		}
@@ -892,7 +959,7 @@ func (s *Server) execute(ctx context.Context, req Request, workers int) (Respons
 		if err != nil {
 			return Response{}, err
 		}
-		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Groups: res.Groups}, nil
+		return Response{Cost: hw.Cost{SimCycles: res.MakespanCycles}, BatchSize: 1, Groups: res.Groups, Spilled: res.Spilled, SpillBytes: res.SpillBytes}, nil
 	case OpQ1:
 		acct := hw.NewAccount(s.machine, hw.DefaultContext())
 		rows, err := queries.Q1(req.Engine, req.Lineitem, queries.DefaultQ1(), acct)
@@ -915,7 +982,9 @@ func (s *Server) execute(ctx context.Context, req Request, workers int) (Respons
 // finish delivers the outcome and accounts it: context-terminated requests
 // count as deadline-exceeded, successful ones record completion latency and
 // close the breaker's failure streak, machine-level failures feed the
-// breaker.
+// breaker. It is the single convergence point for admitted requests, so it
+// also settles the memory reservation: spill and peak-footprint accounting,
+// then release back to the governor.
 func (s *Server) finish(p *pending, resp Response, err error) {
 	switch {
 	case err == nil:
@@ -931,11 +1000,29 @@ func (s *Server) finish(p *pending, resp Response, err error) {
 	default:
 		s.reg.Counter("serve.failed").Inc()
 		p.span.SetAttr("status", "failed")
-		if s.brk != nil && retryable(err) {
+		if errors.Is(err, errs.ErrOOMKilled) {
+			s.reg.Counter("serve.oom_killed").Inc()
+		}
+		// Memory pressure is the governor's domain, not the machine's: it
+		// does not feed the breaker. Tripping into degraded mode over a full
+		// budget would shed the very load whose completion frees it.
+		if s.brk != nil && retryable(err) && !errors.Is(err, errs.ErrMemoryPressure) {
 			if s.brk.onFailure(time.Now()) {
 				s.reg.Counter("serve.breaker_trips").Inc()
 			}
 		}
+	}
+	if p.resv != nil {
+		if spills, spillB := p.resv.Spills(); spills > 0 {
+			s.reg.Counter("serve.spills").Add(spills)
+			s.reg.Counter("serve.spill_bytes").Add(spillB)
+			p.span.SetAttr("spilled", "true")
+		}
+		p.span.AddBytes(p.resv.PeakBytes())
+		p.resv.Release()
+		gs := s.gov.Stats()
+		s.reg.Gauge("serve.mem_in_use").Set(gs.InUseBytes)
+		s.reg.Gauge("serve.mem_reservations").Set(int64(gs.Reservations))
 	}
 	// Close out the request's trace. queueSpan/batchSpan ends are idempotent
 	// no-ops on the normal path; they matter for requests dropped before
@@ -965,6 +1052,14 @@ type Health struct {
 	Redispatched, PanicsRecovered               int64
 	StragglersRetired, CoresLost, DegradedScans int64
 
+	// Memory-governance counters: requests shed at admission for lack of
+	// budget, operator spill decisions and simulated spill-tier bytes, and
+	// simulated OOM kills (KillOnOverage mode only).
+	MemShed, Spills, SpillBytes, OOMKilled int64
+
+	// Memory is the governor's snapshot (zero when governance is off).
+	Memory mem.Stats
+
 	// Faults counts injected faults by class, from the armed injector's log
 	// (nil when no injector is armed).
 	Faults map[string]int64
@@ -991,6 +1086,11 @@ func (s *Server) Health() Health {
 		StragglersRetired: c["serve.stragglers_retired"],
 		CoresLost:         c["serve.cores_lost"],
 		DegradedScans:     c["serve.degraded_scans"],
+		MemShed:           c["serve.mem_shed"],
+		Spills:            c["serve.spills"],
+		SpillBytes:        c["serve.spill_bytes"],
+		OOMKilled:         c["serve.oom_killed"],
+		Memory:            s.gov.Stats(),
 		Faults:            s.opts.Faults.CountsInt64(),
 	}
 	if s.brk != nil {

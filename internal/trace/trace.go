@@ -102,6 +102,7 @@ type Span struct {
 	start  time.Time
 	wall   time.Duration
 	cycles float64
+	bytes  int64
 	attrs  []Attr
 	events []string
 	ended  bool
@@ -191,6 +192,19 @@ func (s *Span) AddCycles(c float64) {
 	s.lt.mu.Unlock()
 }
 
+// AddBytes attributes simulated memory bytes to the span — the peak operator
+// state a governed request charged against its reservation, plus any spill
+// traffic. Traces then show WHERE a request's footprint went, the way
+// AddCycles shows where its time went.
+func (s *Span) AddBytes(n int64) {
+	if s == nil {
+		return
+	}
+	s.lt.mu.Lock()
+	s.bytes += n
+	s.lt.mu.Unlock()
+}
+
 // SetAttr attaches a key=value annotation.
 func (s *Span) SetAttr(key, value string) {
 	if s == nil {
@@ -246,6 +260,9 @@ type SpanData struct {
 	Wall  time.Duration
 	// Cycles is the simulated-machine cost attributed to this span.
 	Cycles float64
+	// Bytes is the simulated memory footprint attributed to this span (0
+	// for ungoverned requests).
+	Bytes int64
 	// Attrs and Events carry annotations recorded on the span.
 	Attrs  []Attr
 	Events []string
@@ -290,6 +307,7 @@ func (lt *liveTrace) snapshot() TraceData {
 			Start:  s.start,
 			Wall:   s.wall,
 			Cycles: s.cycles,
+			Bytes:  s.bytes,
 			Attrs:  append([]Attr(nil), s.attrs...),
 			Events: append([]string(nil), s.events...),
 		}
@@ -348,6 +366,9 @@ func (td TraceData) Render() string {
 		fmt.Fprintf(&b, "%s%s  wall=%.3fms", indent, s.Name, float64(s.Wall.Microseconds())/1000)
 		if s.Cycles > 0 {
 			fmt.Fprintf(&b, " sim=%.3fMcyc", s.Cycles/1e6)
+		}
+		if s.Bytes > 0 {
+			fmt.Fprintf(&b, " mem=%.1fKiB", float64(s.Bytes)/1024)
 		}
 		for _, a := range s.Attrs {
 			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
