@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench experiments clean
+# STRICT=1 (set in CI) turns missing optional analyzers (staticcheck,
+# govulncheck) into hard failures instead of skips, so the CI gate can never
+# silently narrow. hwlint is never optional: it is built from this tree with
+# no dependencies beyond the toolchain.
+STRICT ?=
+
+.PHONY: all build vet hwlint lint lint-report test race race-core check bench experiments clean
 
 all: check
 
@@ -10,14 +16,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint is the static-analysis gate: go vet always, staticcheck and
-# govulncheck when installed. Missing tools are reported and skipped, not
-# fetched, so offline builds and hermetic CI runners both pass.
-lint: vet
+# hwlint is the house-rule gate: the internal/analysis suite (ctxfirst,
+# seededrand, senterr, pairedresource, nolockcopy, hotalloc) over every
+# package. Non-zero on any violation.
+hwlint:
+	$(GO) run ./cmd/hwlint
+
+# lint is the full static-analysis gate: go vet and hwlint always;
+# staticcheck and govulncheck when installed (always, under STRICT=1).
+lint: vet hwlint
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	elif [ -n "$(STRICT)" ]; then echo "lint: staticcheck required under STRICT but not installed" >&2; exit 1; \
 	else echo "lint: staticcheck not installed, skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	elif [ -n "$(STRICT)" ]; then echo "lint: govulncheck required under STRICT but not installed" >&2; exit 1; \
 	else echo "lint: govulncheck not installed, skipped (go install golang.org/x/vuln/cmd/govulncheck@latest)"; fi
+
+# lint-report prints every hwlint diagnostic as file:line:col (editor-
+# jumpable) and always exits 0: the editor-loop companion to the hard gate.
+lint-report:
+	@$(GO) run ./cmd/hwlint || true
 
 test:
 	$(GO) test ./...
@@ -25,11 +43,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-core re-runs the concurrency-heavy layers race-enabled and uncached:
+# the serving, scheduling, and memory-governance suites are where a data
+# race would land first, so they get a fresh pass even when the full race
+# target is cache-warm.
+race-core:
+	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem
+
 # check is the full verification gate: compile everything, run the static
-# analyzers, and run the whole suite under the race detector.
+# analyzers, and run the whole suite under the race detector (core
+# concurrency packages uncached).
 check:
 	$(GO) build ./...
 	$(MAKE) lint
+	$(MAKE) race-core
 	$(GO) test -race ./...
 
 bench:

@@ -1,0 +1,94 @@
+// Command hwlint is hwstar's house-rule multichecker: it loads every package
+// of the module, runs the internal/analysis suite, and prints one
+// file:line:col diagnostic per violation — editor-jumpable — exiting 1 if
+// anything is found. It is the hard gate `make lint` and CI run; it needs
+// nothing beyond the Go toolchain (the analyzers are stdlib-only), so it
+// cannot be skipped for want of a network.
+//
+// Usage:
+//
+//	hwlint [-checks ctxfirst,senterr,...] [-list] [-root dir]
+//
+// Reviewed exemptions are written in the source, with the reason on the
+// record:
+//
+//	//hwlint:ignore ctxfirst Run is the documented no-context bridge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"hwstar/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hwlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checks = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list   = fs.Bool("list", false, "list analyzers and the invariants they guard, then exit")
+		root   = fs.String("root", "", "module root to analyze (default: the module containing the working directory)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, "hwlint:", err)
+			return 2
+		}
+	}
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintln(stderr, "hwlint:", err)
+			return 2
+		}
+	}
+	pkgs, err := analysis.Load(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "hwlint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "hwlint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "hwlint: %d violation(s) across %d package(s) checked\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "", fmt.Errorf("not inside a Go module (go list -m: %w)", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"hwstar/internal/analysis"
+)
+
+// TestRepoIsLintClean IS the gate, enforced from inside the test suite as
+// well as from make lint: every package of the module passes every hwlint
+// analyzer. If this fails, the tree has a house-rule violation — fix it or
+// put a reviewed //hwlint:ignore with a reason next to it.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("moduleRoot: %v", err)
+	}
+	pkgs, err := analysis.Load(root)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded (%d): the gate is not covering the tree", len(pkgs))
+	}
+	diags, err := analysis.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("hwlint -list exited %d: %s", code, errOut.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestChecksSelection(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "senterr,ctxfirst"}, &out, &errOut); code != 0 {
+		t.Fatalf("hwlint -checks senterr,ctxfirst exited %d: %s\n%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestUnknownCheckFailsLoudly(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "nosuchcheck"}, &out, &errOut); code != 2 {
+		t.Fatalf("hwlint -checks nosuchcheck exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing explanation: %s", errOut.String())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"hwstar/internal/errs"
 	"hwstar/internal/hw"
@@ -337,7 +338,7 @@ func radixPartitioned(ctx context.Context, keys, vals []int64, g int64, s *sched
 	aggTasks := make([]sched.Task, fanout)
 	for p := 0; p < fanout; p++ {
 		p := p
-		aggTasks[p] = sched.Task{Name: fmt.Sprintf("agg-p%d", p), Site: "agg-reduce", Socket: -1, Run: func(w *sched.Worker) {
+		aggTasks[p] = sched.Task{Name: "agg-p" + strconv.Itoa(p), Site: "agg-reduce", Socket: -1, Run: func(w *sched.Worker) {
 			local := make(map[int64]int64, capHint(g/int64(fanout)+16, len(keys)))
 			var n int64
 			for _, cp := range chunkParts {

@@ -3,6 +3,7 @@ package agg
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"hwstar/internal/hw"
 	"hwstar/internal/mem"
@@ -64,7 +65,7 @@ func spilledAgg(ctx context.Context, keys, vals []int64, g int64, s *sched.Sched
 	aggTasks := make([]sched.Task, K)
 	for p := 0; p < K; p++ {
 		p := p
-		aggTasks[p] = sched.Task{Name: fmt.Sprintf("agg-spill-p%d", p), Site: "agg-spill-reduce", Socket: -1, Run: func(w *sched.Worker) {
+		aggTasks[p] = sched.Task{Name: "agg-spill-p" + strconv.Itoa(p), Site: "agg-spill-reduce", Socket: -1, Run: func(w *sched.Worker) {
 			pt := &parts[p]
 			if len(pt.keys) == 0 {
 				return

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces hwstar's context discipline, the house rule PR 1
+// established when the public API went context-first:
+//
+//  1. An exported function or method that takes a context.Context takes it
+//     as its first parameter. Mid-signature contexts invite call sites that
+//     forget to thread cancellation.
+//  2. Library code never manufactures context.Background() or context.TODO():
+//     a fresh root context severs cancellation and trace propagation from
+//     the caller (dropping deadlines, values, and spans on the floor).
+//     Detaching from cancellation deliberately is what context.WithoutCancel
+//     is for — it keeps the values. Binaries (cmd/..., examples/...) and the
+//     experiment/bench drivers own their root contexts and are exempt.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "exported functions take context.Context first; library code never calls context.Background()",
+	Run:  runCtxFirst,
+}
+
+// backgroundExempt lists hwstar packages that own their root contexts: the
+// experiment and benchmark drivers are mains in spirit, invoked at the top
+// of a process, not from request paths.
+var backgroundExempt = []string{
+	"hwstar/internal/experiments",
+	"hwstar/internal/bench",
+}
+
+func ctxBackgroundBanned(path string) bool {
+	if !PathHasPrefix(path, "hwstar") || PathHasPrefix(path, "hwstar/cmd") || PathHasPrefix(path, "hwstar/examples") {
+		return false
+	}
+	for _, p := range backgroundExempt {
+		if PathHasPrefix(path, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func runCtxFirst(pass *Pass) error {
+	banBackground := ctxBackgroundBanned(pass.Path)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Name.IsExported() && n.Type.Params != nil {
+					checkCtxPosition(pass, n)
+				}
+			case *ast.CallExpr:
+				if !banBackground {
+					return true
+				}
+				if obj := pass.Callee(n); obj != nil {
+					if IsPkgFunc(obj, "context", "Background") || IsPkgFunc(obj, "context", "TODO") {
+						pass.Reportf(n.Pos(),
+							"context.%s in library code severs cancellation and trace propagation: thread the caller's ctx (or context.WithoutCancel to detach deliberately)",
+							obj.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxPosition(pass *Pass, fn *ast.FuncDecl) {
+	// Flatten the parameter list: one entry per declared name (or per
+	// anonymous field).
+	idx := 0
+	for _, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if NamedType(pass.TypeOf(field.Type), "context", "Context") && idx != 0 {
+			pass.Reportf(field.Pos(),
+				"%s: context.Context must be the first parameter (found at position %d)",
+				fn.Name.Name, idx+1)
+			return
+		}
+		idx += n
+	}
+}

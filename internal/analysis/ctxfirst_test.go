@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxfirst", "hwstar/internal/serve", analysis.CtxFirst)
+}
+
+// TestCtxFirstDriverExemption: the experiment drivers own their root
+// contexts, so the same file judged as internal/experiments keeps only the
+// signature-order diagnostics.
+func TestCtxFirstDriverExemption(t *testing.T) {
+	diags := runOn(t, "testdata/ctxfirst", "hwstar/internal/experiments", analysis.CtxFirst)
+	for _, d := range diags {
+		if want := "context.Context must be the first parameter"; !contains(d.Message, want) {
+			t.Errorf("unexpected diagnostic outside the order rule: %s", d)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatalf("expected signature-order diagnostics to survive the driver exemption")
+	}
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc polices the morsel-processing packages — scan, join, agg,
+// vecexec — for per-iteration interface boxing. The keynote's discipline is
+// that the inner loop tracks the hardware: a fmt.Sprintf per partition (or
+// worse, per row) boxes its operands onto the heap, and the allocation +
+// format-parse cost dwarfs the arithmetic the loop exists to do. PR 4's
+// presize work bought 1.6x on exactly this class of waste.
+//
+// Flagged: inside any for/range loop in a hot package, a call whose final
+// parameter is variadic ...interface{} receiving at least one non-interface
+// argument (fmt.Sprintf, fmt.Errorf, Span.Annotate, log.Printf, ...).
+//
+// Exempt: calls that terminate the loop — the whole call is an argument to
+// panic, or part of a return statement — because they run at most once.
+// Function literals *defined* in a loop are analyzed on their own schedule,
+// not the loop's: a task body built per partition runs once per task, and
+// its own loops are checked when the literal is visited.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no interface-boxing calls (fmt and friends) inside loops in scan/join/agg/vecexec",
+	Run:  runHotAlloc,
+}
+
+var hotAllocScope = []string{
+	"hwstar/internal/scan",
+	"hwstar/internal/join",
+	"hwstar/internal/agg",
+	"hwstar/internal/vecexec",
+}
+
+func runHotAlloc(pass *Pass) error {
+	inScope := false
+	for _, p := range hotAllocScope {
+		if PathHasPrefix(pass.Path, p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				hotWalk(pass, fd.Body, 0, false)
+			}
+		}
+	}
+	return nil
+}
+
+// hotWalk tracks loop depth and whether the current expression terminates
+// the iteration (return/panic), descending into function literals with a
+// fresh loop depth.
+func hotWalk(pass *Pass, n ast.Node, loopDepth int, terminal bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			// Init runs once; Cond and Post run per iteration.
+			hotWalkParts(pass, loopDepth, []ast.Node{m.Init})
+			hotWalkParts(pass, loopDepth+1, []ast.Node{m.Cond, m.Post})
+			hotWalk(pass, m.Body, loopDepth+1, false)
+			return false
+		case *ast.RangeStmt:
+			hotWalk(pass, m.X, loopDepth, false)
+			hotWalk(pass, m.Body, loopDepth+1, false)
+			return false
+		case *ast.FuncLit:
+			hotWalk(pass, m.Body, 0, false)
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				hotWalk(pass, r, loopDepth, true)
+			}
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "panic" && pass.ObjectOf(id) == types.Universe.Lookup("panic") {
+				for _, a := range m.Args {
+					hotWalk(pass, a, loopDepth, true)
+				}
+				return false
+			}
+			if loopDepth > 0 && !terminal {
+				checkBoxingCall(pass, m, loopDepth)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+func hotWalkParts(pass *Pass, loopDepth int, parts []ast.Node) {
+	for _, p := range parts {
+		if p != nil {
+			hotWalk(pass, p, loopDepth, false)
+		}
+	}
+}
+
+func checkBoxingCall(pass *Pass, call *ast.CallExpr, depth int) {
+	sig, ok := types.Unalias(pass.TypeOf(call.Fun)).(*types.Signature)
+	if !ok || !sig.Variadic() || call.Ellipsis.IsValid() {
+		return
+	}
+	last := sig.Params().At(sig.Params().Len() - 1)
+	slice, ok := last.Type().(*types.Slice)
+	if !ok {
+		return
+	}
+	iface, ok := types.Unalias(slice.Elem()).Underlying().(*types.Interface)
+	if !ok || !iface.Empty() {
+		return
+	}
+	fixed := sig.Params().Len() - 1
+	for i := fixed; i < len(call.Args); i++ {
+		t := pass.TypeOf(call.Args[i])
+		if t == nil {
+			continue
+		}
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			name := "call"
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.SelectorExpr:
+				name = fun.Sel.Name
+			case *ast.Ident:
+				name = fun.Name
+			}
+			pass.Reportf(call.Pos(),
+				"%s boxes its arguments to interface{} inside a loop (depth %d) in a morsel-processing package: hoist it, precompute, or use strconv",
+				name, depth)
+			return
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hotalloc", "hwstar/internal/join", analysis.HotAlloc)
+}
+
+// TestHotAllocScope: the serving layer formats error messages and trace
+// attributes at will; the boxing rule binds only the morsel-processing
+// packages.
+func TestHotAllocScope(t *testing.T) {
+	if diags := runOn(t, "testdata/hotalloc", "hwstar/internal/serve", analysis.HotAlloc); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}

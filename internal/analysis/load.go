@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// A Package is one loaded, parsed, type-checked package of the module under
+// analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// An exportSet maps import paths to compiled export-data files, plus the
+// shared importer that reads them. One export set (and its type cache) is
+// shared by every package load rooted at the same module directory, so the
+// whole lint run and the whole analysistest suite pay for `go list -export`
+// and std-library import loading once.
+type exportSet struct {
+	fset    *token.FileSet
+	imp     types.Importer
+	mu      sync.Mutex // the stdlib gc importer is not concurrency-safe
+	exports map[string]string
+	roots   []listPkg
+}
+
+var (
+	exportSetsMu sync.Mutex
+	exportSets   = map[string]*exportSet{}
+)
+
+// loadExportSet runs `go list -export -deps` once per module root and caches
+// the result for the life of the process. The toolchain compiles anything
+// stale, so the export data always matches the current tree.
+func loadExportSet(root string) (*exportSet, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	exportSetsMu.Lock()
+	defer exportSetsMu.Unlock()
+	if es, ok := exportSets[abs]; ok {
+		return es, nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error", "./...")
+	cmd.Dir = abs
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list -export in %s: %w\n%s", abs, err, stderr.String())
+	}
+	es := &exportSet{fset: token.NewFileSet(), exports: map[string]string{}}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			es.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			es.roots = append(es.roots, p)
+		}
+	}
+	es.imp = importer.ForCompiler(es.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := es.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	exportSets[abs] = es
+	return es, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// typecheck parses and checks one package's files under the shared export
+// set. asPath is the import path the package is checked (and scoped) as.
+func (es *exportSet) typecheck(asPath, dir string, goFiles []string) (*Package, error) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(es.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: es.imp}
+	tpkg, err := conf.Check(asPath, es.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", asPath, err)
+	}
+	return &Package{
+		Path:  asPath,
+		Dir:   dir,
+		Fset:  es.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load parses and type-checks every package of the module rooted at root
+// (the directory holding go.mod, or any directory inside the module).
+// Test files are not analyzed: the invariants hwlint guards are
+// production-code invariants, and tests legitimately pin seeds, compare
+// errors structurally, and allocate freely.
+func Load(root string) ([]*Package, error) {
+	es, err := loadExportSet(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range es.roots {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := es.typecheck(p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single directory dir — typically an
+// analysistest testdata package, which the go tool itself never sees — as if
+// its import path were asPath. Imports of module-internal packages resolve
+// against the export data of the module rooted at root.
+func LoadDir(root, dir, asPath string) (*Package, error) {
+	es, err := loadExportSet(root)
+	if err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var goFiles []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	return es.typecheck(asPath, dir, goFiles)
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoLockCopy reports copies of mutex-bearing values. hwstar's hot shared
+// state — the metrics registry, the memory governor, tracer rings, the
+// scheduler — guards itself with embedded sync primitives; copying such a
+// value forks the lock from the state it guards, and the copy "works" until
+// two goroutines disagree about which lock covers which data. go vet's
+// copylocks catches many of these, but this check runs in the same gate as
+// the house-rule analyzers and extends to sync/atomic value types, whose
+// copies tear the same way.
+//
+// Flagged: by-value receivers and parameters of lock-bearing types, plain
+// assignments that copy a lock-bearing value (including *p dereferences),
+// and range clauses whose element copies one. Construction via composite
+// literal and pointer use are fine.
+var NoLockCopy = &Analyzer{
+	Name: "nolockcopy",
+	Doc:  "values of mutex-bearing types (metrics registry, governor, ...) are never copied",
+	Run:  runNoLockCopy,
+}
+
+var lockPkgs = map[string]bool{"sync": true, "sync/atomic": true}
+
+type lockCache map[types.Type]bool
+
+// lockBearing reports whether a value of type t transitively contains a
+// sync or sync/atomic primitive by value.
+func (c lockCache) lockBearing(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if v, ok := c[t]; ok {
+		return v
+	}
+	c[t] = false // cut recursion; self-referential structs do so via pointers
+	v := c.lockBearing1(t)
+	c[t] = v
+	return v
+}
+
+func (c lockCache) lockBearing1(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() != nil && lockPkgs[obj.Pkg().Path()] {
+			// Every struct type in sync and sync/atomic is copy-hostile
+			// (Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map, atomic.*).
+			_, isStruct := t.Underlying().(*types.Struct)
+			return isStruct
+		}
+		return c.lockBearing(t.Underlying())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if c.lockBearing(t.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return c.lockBearing(t.Elem())
+	}
+	return false
+}
+
+func runNoLockCopy(pass *Pass) error {
+	if !PathHasPrefix(pass.Path, "hwstar") {
+		return nil
+	}
+	cache := lockCache{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFuncSig(pass, cache, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkFuncSig(pass, cache, nil, n.Type)
+			case *ast.AssignStmt:
+				// `_ = v` discards the value: no copy survives.
+				if allBlank(n.Lhs) {
+					return true
+				}
+				for _, r := range n.Rhs {
+					checkCopyExpr(pass, cache, r)
+				}
+			case *ast.ValueSpec:
+				for _, r := range n.Values {
+					checkCopyExpr(pass, cache, r)
+				}
+			case *ast.RangeStmt:
+				checkRangeCopy(pass, cache, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFuncSig(pass *Pass, cache lockCache, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := pass.TypeOf(field.Type)
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr || t == nil {
+				continue
+			}
+			if cache.lockBearing(t) {
+				pass.Reportf(field.Pos(),
+					"by-value %s of type %s copies the locks it contains: use a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+}
+
+// checkCopyExpr reports value-copying expressions: a dereference, variable,
+// selector, or index of lock-bearing type on the right of an assignment.
+// Composite literals (construction) and calls (the callee's concern) pass.
+func checkCopyExpr(pass *Pass, cache lockCache, e ast.Expr) {
+	switch ast.Unparen(e).(type) {
+	case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return
+	}
+	if cache.lockBearing(t) {
+		pass.Reportf(e.Pos(),
+			"assignment copies lock-bearing value of type %s: the copy's locks no longer guard the original's state",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+func checkRangeCopy(pass *Pass, cache lockCache, r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	t := pass.TypeOf(r.Value)
+	if t == nil {
+		return
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return
+	}
+	if cache.lockBearing(t) {
+		pass.Reportf(r.Value.Pos(),
+			"range copies lock-bearing value of type %s per iteration: range over indexes or pointers",
+			types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+}

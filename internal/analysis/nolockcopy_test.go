@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestNoLockCopy(t *testing.T) {
+	analysistest.Run(t, "testdata/nolockcopy", "hwstar/internal/metrics", analysis.NoLockCopy)
+}

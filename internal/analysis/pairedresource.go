@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PairedResource enforces hwstar's paired lifecycles, lostcancel-style:
+// a trace.Span that is Started or Child-ed must reach End, and a granted
+// mem.Reservation must reach Release. An un-Ended span corrupts the trace
+// tree's attribution (PR 3's whole point); an unreleased reservation leaks
+// budget until the governor wedges every later query into ErrMemoryPressure
+// (PR 4's whole point).
+//
+// The check is intraprocedural and deliberately conservative: a resource
+// that escapes the function — returned, stored in a struct or slice,
+// passed to another call — is assumed to transfer ownership and is skipped.
+// For locals it reports two defects:
+//
+//   - no End/Release call at all, and
+//   - a release that only happens late in the straight-line body while an
+//     early `return` sits between acquisition and release: the error path
+//     leaks. `defer` is the fix the message suggests.
+var PairedResource = &Analyzer{
+	Name: "pairedresource",
+	Doc:  "trace.Span reaches End and mem.Reservation reaches Release on every path",
+	Run:  runPairedResource,
+}
+
+type resourceKind struct {
+	pkg, typ, release string
+}
+
+var pairedResources = []resourceKind{
+	{"hwstar/internal/trace", "Span", "End"},
+	{"hwstar/internal/mem", "Reservation", "Release"},
+}
+
+func resourceFor(t types.Type) (resourceKind, bool) {
+	for _, rk := range pairedResources {
+		if NamedType(t, rk.pkg, rk.typ) {
+			return rk, true
+		}
+	}
+	return resourceKind{}, false
+}
+
+func runPairedResource(pass *Pass) error {
+	if !PathHasPrefix(pass.Path, "hwstar") || pass.Path == "hwstar/internal/trace" || pass.Path == "hwstar/internal/mem" {
+		// The implementing packages manipulate their own internals freely.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkPairedIn(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkPairedIn(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// creatingNames are the method names that mint a tracked resource; every
+// other producer of a resource-typed value is a borrow.
+var creatingNames = map[string]bool{"Start": true, "Child": true, "Reserve": true}
+
+func isCreatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return creatingNames[fun.Sel.Name]
+	case *ast.Ident:
+		return creatingNames[fun.Name]
+	}
+	return false
+}
+
+type acquisition struct {
+	obj  types.Object
+	kind resourceKind
+	pos  token.Pos
+}
+
+// checkPairedIn analyzes one function body. Nested function literals are
+// analyzed separately (runPairedResource visits them too); here they matter
+// only as capture sites.
+func checkPairedIn(pass *Pass, body *ast.BlockStmt) {
+	// Find acquisitions: `v := expr` / `v, err := expr` where the assigned
+	// value's static type is a tracked resource.
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		// Only *creating* calls acquire: Start/Child mint a span, Reserve
+		// grants a reservation. A define from anything else (FromContext,
+		// a getter, another variable) borrows a resource someone else owns.
+		if len(as.Rhs) != 1 || !isCreatingCall(as.Rhs[0]) {
+			return true
+		}
+		for _, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if kind, ok := resourceFor(obj.Type()); ok {
+				acqs = append(acqs, acquisition{obj: obj, kind: kind, pos: id.Pos()})
+			}
+		}
+		return true
+	})
+	for _, acq := range acqs {
+		checkAcquisition(pass, body, acq)
+	}
+}
+
+func checkAcquisition(pass *Pass, body *ast.BlockStmt, acq acquisition) {
+	var (
+		escapes      bool
+		releases     []token.Pos
+		hasDefer     bool
+		returnsAfter []token.Pos
+	)
+	// isUse reports whether expr is exactly our variable.
+	isUse := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := pass.ObjectOf(id)
+		return obj == acq.obj
+	}
+	// A use as the receiver of the release method is the pairing; as a
+	// receiver of any other method it is neutral (AddCycles, SetAttr,
+	// Charge); any other appearance is an escape.
+	var walk func(n ast.Node, inDefer, inFuncLit bool)
+	walk = func(n ast.Node, inDefer, inFuncLit bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				walk(m.Call, true, inFuncLit)
+				return false
+			case *ast.FuncLit:
+				// The literal's body runs at an unknown time; a release
+				// inside a *deferred* literal still pairs. Any other use
+				// inside a literal is treated as an escape.
+				walk(m.Body, inDefer, true)
+				return false
+			case *ast.ReturnStmt:
+				if !inFuncLit && m.Pos() > acq.pos {
+					returnsAfter = append(returnsAfter, m.Pos())
+				}
+				for _, r := range m.Results {
+					if isUse(r) {
+						escapes = true
+					}
+				}
+				// Still inspect children for calls like `return f(v)`.
+				return true
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && isUse(sel.X) {
+					if sel.Sel.Name == acq.kind.release {
+						releases = append(releases, m.Pos())
+						if inDefer {
+							hasDefer = true
+						}
+					}
+					// Receiver use: walk only the arguments.
+					for _, a := range m.Args {
+						walk(a, inDefer, inFuncLit)
+					}
+					return false
+				}
+				for _, a := range m.Args {
+					if isUse(a) {
+						escapes = true
+					}
+				}
+				return true
+			case *ast.AssignStmt:
+				// v on an RHS (aliasing/storing) escapes; v reassigned on
+				// the LHS makes tracking unsound, treat as escape too.
+				for _, r := range m.Rhs {
+					if isUse(r) {
+						escapes = true
+					}
+				}
+				for _, l := range m.Lhs {
+					if l.Pos() != acq.pos && isUse(l) {
+						escapes = true
+					}
+				}
+				return true
+			case *ast.CompositeLit:
+				for _, el := range m.Elts {
+					e := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						e = kv.Value
+					}
+					if isUse(e) {
+						escapes = true
+					}
+				}
+				return true
+			case *ast.SendStmt:
+				if isUse(m.Value) {
+					escapes = true
+				}
+				return true
+			case *ast.IndexExpr:
+				// v used as a map/slice index is neutral; v being indexed
+				// cannot happen for these pointer types.
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, false, false)
+	if escapes {
+		return
+	}
+	short := acq.kind.typ + "." + acq.kind.release
+	if len(releases) == 0 {
+		pass.Reportf(acq.pos,
+			"%s acquired here never reaches %s: the %s leaks on every path",
+			acq.obj.Name(), short, acq.kind.typ)
+		return
+	}
+	if hasDefer {
+		return
+	}
+	first := releases[0]
+	for _, r := range releases[1:] {
+		if r < first {
+			first = r
+		}
+	}
+	for _, ret := range returnsAfter {
+		if ret < first {
+			pass.Reportf(acq.pos,
+				"%s does not reach %s on the early-return path at line %d: defer the release",
+				acq.obj.Name(), short, pass.Fset.Position(ret).Line)
+			return
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestPairedResource(t *testing.T) {
+	analysistest.Run(t, "testdata/pairedresource", "hwstar/internal/serve", analysis.PairedResource)
+}
+
+// TestPairedResourceImplementorExemption: internal/trace manipulates its
+// own spans freely (the ring recycles them); the check must not fire there.
+func TestPairedResourceImplementorExemption(t *testing.T) {
+	if diags := runOn(t, "testdata/pairedresource", "hwstar/internal/trace", analysis.PairedResource); len(diags) != 0 {
+		t.Fatalf("implementing package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,44 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata/seededrand", "hwstar/internal/sched", analysis.SeededRand)
+}
+
+// TestSeededRandScope: the same code judged as a package outside the
+// determinism-critical set produces no diagnostics — workload generators
+// and table tooling may keep their own conventions.
+func TestSeededRandScope(t *testing.T) {
+	if diags := runOn(t, "testdata/seededrand", "hwstar/internal/workload", analysis.SeededRand); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}
+
+// runOn loads a testdata dir under an arbitrary import path and returns raw
+// diagnostics, for tests that assert on scoping rather than want comments.
+func runOn(t *testing.T, dir, asPath string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	pkg, err := analysis.LoadDir(strings.TrimSpace(string(root)), dir, asPath)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return diags
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentErr enforces the sentinel-error contract internal/errs documents:
+// layers wrap sentinels with fmt.Errorf("...: %w", errs.ErrX) and callers
+// classify with errors.Is. Two failure modes break the contract silently:
+//
+//   - `err == errs.ErrOverloaded` works until any layer adds wrapping, then
+//     admission-control classification quietly stops matching.
+//   - fmt.Errorf("...: %v", err) stringifies the chain: errors.Is on the
+//     result no longer sees the sentinel at all.
+//
+// Both are invisible in review once the code is a few layers away from the
+// comparison site, which is exactly when they bite.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "sentinel errors are classified with errors.Is (never ==/!=) and wrapped with %w (never %v)",
+	Run:  runSentErr,
+}
+
+func runSentErr(pass *Pass) error {
+	if !PathHasPrefix(pass.Path, "hwstar") {
+		return nil
+	}
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, n)
+				}
+			case *ast.CallExpr:
+				if obj := pass.Callee(n); obj != nil && IsPkgFunc(obj, "fmt", "Errorf") {
+					checkErrorfWrap(pass, n, errIface)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSentinel reports whether e refers to a package-level exported error
+// variable named Err* — internal/errs sentinels, their façade re-exports,
+// and any future sentinel following the convention.
+func isSentinel(pass *Pass, e ast.Expr) (types.Object, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, false
+	}
+	obj := pass.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || !strings.HasPrefix(v.Name(), "Err") {
+		return nil, false
+	}
+	// Package-level, of interface type error.
+	if v.Parent() != v.Pkg().Scope() {
+		return nil, false
+	}
+	if named, ok := types.Unalias(v.Type()).(*types.Named); !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return nil, false
+	}
+	return v, true
+}
+
+func checkSentinelCompare(pass *Pass, b *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		if obj, ok := isSentinel(pass, side); ok {
+			op := "=="
+			if b.Op == token.NEQ {
+				op = "!="
+			}
+			pass.Reportf(b.Pos(),
+				"%s compared with %s: breaks once any layer wraps the sentinel — use errors.Is(err, %s)",
+				obj.Name(), op, obj.Name())
+			return
+		}
+	}
+}
+
+// checkErrorfWrap maps fmt.Errorf verbs to arguments and reports error-typed
+// arguments formatted with %v/%s: the error chain is flattened to a string
+// and errors.Is stops matching.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr, errIface *types.Interface) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			return
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		t := pass.TypeOf(call.Args[argIdx])
+		if t == nil {
+			continue
+		}
+		if types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface) {
+			pass.Reportf(call.Args[argIdx].Pos(),
+				"error formatted with %%%c flattens the chain and hides sentinels from errors.Is — wrap with %%w", verb)
+		}
+	}
+}
+
+// formatVerbs returns one entry per argument the format string consumes:
+// the verb rune, or '*' for a width/precision argument. It reports ok=false
+// for explicit argument indexes (%[1]d), which it does not model.
+func formatVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+	scan:
+		for i < len(format) {
+			c := format[i]
+			switch {
+			case c == '%':
+				i++
+				break scan
+			case strings.ContainsRune("+-# 0.", rune(c)) || c >= '0' && c <= '9':
+				i++
+			case c == '*':
+				verbs = append(verbs, '*')
+				i++
+			case c == '[':
+				return nil, false
+			default:
+				verbs = append(verbs, rune(c))
+				i++
+				break scan
+			}
+		}
+	}
+	return verbs, true
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestSentErr(t *testing.T) {
+	analysistest.Run(t, "testdata/senterr", "hwstar/internal/serve", analysis.SentErr)
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression comments let a reviewed exemption live next to the code it
+// exempts, with the reason on the record:
+//
+//	//hwlint:ignore ctxfirst compat shim: Run is the documented no-context bridge
+//
+// The form is `//hwlint:ignore name[,name...] reason`. The reason is
+// mandatory — a suppression without one is itself a violation, as is one
+// naming an unknown analyzer. A suppression covers its own line and the
+// line below it, so it works both trailing a statement and standing above
+// one.
+const ignorePrefix = "//hwlint:ignore"
+
+type suppression struct {
+	names   map[string]bool
+	file    string
+	line    int
+	comment *ast.Comment
+}
+
+// applySuppressions filters pkg's suppressed diagnostics out of diags and
+// appends a diagnostic for every malformed suppression in pkg. Names are
+// validated against the full registry, not the analyzers selected for this
+// run: a comment suppressing an unselected analyzer is still well-formed.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var sups []suppression
+	report := func(c *ast.Comment, msg string) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "hwlint",
+			Pos:      pkg.Fset.Position(c.Pos()),
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c, "malformed //hwlint:ignore: want \"//hwlint:ignore analyzer[,analyzer] reason\"")
+					continue
+				}
+				names := map[string]bool{}
+				bad := false
+				for _, n := range strings.Split(fields[0], ",") {
+					if !known[n] {
+						report(c, "//hwlint:ignore names unknown analyzer "+n)
+						bad = true
+						break
+					}
+					names[n] = true
+				}
+				if bad {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sups = append(sups, suppression{names: names, file: pos.Filename, line: pos.Line, comment: c})
+			}
+		}
+	}
+	if len(sups) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.names[d.Analyzer] && d.Pos.Filename == s.file &&
+				(d.Pos.Line == s.line || d.Pos.Line == s.line+1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"hwstar/internal/analysis"
+)
+
+// TestSuppressions drives the //hwlint:ignore machinery end to end:
+// well-formed suppressions (trailing or stand-alone) silence the named
+// analyzer; a suppression without a reason or with an unknown name is
+// itself a diagnostic AND fails to suppress.
+func TestSuppressions(t *testing.T) {
+	diags := runOn(t, "testdata/suppress", "hwstar/internal/serve", analysis.CtxFirst)
+	type expect struct {
+		substr string
+		count  int
+	}
+	expects := []expect{
+		{"malformed //hwlint:ignore", 1},
+		{"unknown analyzer nosuchanalyzer", 1},
+		// MissingReason, UnknownName, and OtherAnalyzerName each leave
+		// their context.Background unsuppressed; SameLine and LineAbove
+		// suppress theirs.
+		{"context.Background in library code", 3},
+	}
+	for _, e := range expects {
+		n := 0
+		for _, d := range diags {
+			if strings.Contains(d.Message, e.substr) {
+				n++
+			}
+		}
+		if n != e.count {
+			t.Errorf("want %d diagnostic(s) containing %q, got %d in %v", e.count, e.substr, n, diags)
+		}
+	}
+	if want := 5; len(diags) != want {
+		t.Errorf("want %d total diagnostics, got %d: %v", want, len(diags), diags)
+	}
+}

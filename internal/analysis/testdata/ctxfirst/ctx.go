@@ -1,0 +1,60 @@
+// Testdata for the ctxfirst analyzer, judged as hwstar/internal/serve
+// (library code: context.Background is banned, exported signatures are
+// context-first).
+package serve
+
+import "context"
+
+// Good is the house shape: ctx first, threaded onward.
+func Good(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func BadOrder(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return work(ctx, n)
+}
+
+func BadOrderVariadic(name string, n int, ctx context.Context, rest ...int) error { // want "context.Context must be the first parameter"
+	return work(ctx, n)
+}
+
+// helper is unexported: signature shape is its caller's business.
+func helper(n int, ctx context.Context) error {
+	return work(ctx, n)
+}
+
+type Engine struct{}
+
+func (e *Engine) BadMethod(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return work(ctx, n)
+}
+
+func (e *Engine) GoodMethod(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+func MakeRoot() context.Context {
+	return context.Background() // want "context.Background in library code"
+}
+
+func Todo() error {
+	ctx := context.TODO() // want "context.TODO in library code"
+	return work(ctx, 0)
+}
+
+// Detach is the sanctioned way to outlive a caller: values survive, only
+// cancellation is severed.
+func Detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// Shim shows the reviewed-exemption escape hatch.
+func Shim() error {
+	return work(context.Background(), 0) //hwlint:ignore ctxfirst reviewed: testdata exercises the documented no-context bridge shape
+}
+
+func work(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}

@@ -1,0 +1,91 @@
+// Testdata for the hotalloc analyzer, judged as hwstar/internal/join — a
+// morsel-processing package where per-iteration interface boxing is banned.
+package join
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+func TaskNames(n int) []string {
+	names := make([]string, 0, n)
+	for p := 0; p < n; p++ {
+		names = append(names, fmt.Sprintf("join-p%d", p)) // want "Sprintf boxes its arguments"
+	}
+	return names
+}
+
+// HoistedOK is the fix: strconv builds strings without boxing.
+func HoistedOK(n int) []string {
+	names := make([]string, 0, n)
+	for p := 0; p < n; p++ {
+		names = append(names, "join-p"+strconv.Itoa(p))
+	}
+	return names
+}
+
+func NestedLoops(a, b int) int {
+	total := 0
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			total += len(fmt.Sprint(i, j)) // want "Sprint boxes its arguments"
+		}
+	}
+	return total
+}
+
+func RangeLoop(rows []int64) []string {
+	out := make([]string, 0, len(rows))
+	for i, r := range rows {
+		out = append(out, fmt.Sprintf("%d=%d", i, r)) // want "Sprintf boxes its arguments"
+	}
+	return out
+}
+
+// ErrorPathOK: a return terminates the iteration, so the format runs at
+// most once per call.
+func ErrorPathOK(rows []int64) error {
+	for i, r := range rows {
+		if r < 0 {
+			return fmt.Errorf("row %d negative: %w", i, errors.New("bad"))
+		}
+	}
+	return nil
+}
+
+// PanicPathOK: same for panic.
+func PanicPathOK(rows []int64) {
+	for i, r := range rows {
+		if r < 0 {
+			panic(fmt.Sprintf("row %d negative", i))
+		}
+	}
+}
+
+// OutsideLoopOK: once per call is not a hot path.
+func OutsideLoopOK(n int) string {
+	return fmt.Sprintf("fanout-%d", n)
+}
+
+// TaskBodyOK: a literal built per iteration runs on its own schedule (once
+// per task), not the loop's; its own loops are checked independently.
+func TaskBodyOK(n int) []func() string {
+	fns := make([]func() string, 0, n)
+	for p := 0; p < n; p++ {
+		p := p
+		fns = append(fns, func() string {
+			return fmt.Sprint(p)
+		})
+	}
+	return fns
+}
+
+// PreboxedOK: forwarding an existing []any slice boxes nothing per call.
+func PreboxedOK(rows []any) int {
+	n := 0
+	for range rows {
+		n += len(fmt.Sprintln(rows...))
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+// Testdata for the nolockcopy analyzer: mutex-bearing values are never
+// copied.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type registry struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// nested embeds a lock two levels down; the check is transitive.
+type nested struct {
+	inner registry
+	name  string
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+func ByValueParam(r registry) int { // want "by-value parameter"
+	return len(r.counts)
+}
+
+func (r registry) ByValueReceiver() int { // want "by-value receiver"
+	return len(r.counts)
+}
+
+func NestedParam(n nested) string { // want "by-value parameter"
+	return n.name
+}
+
+func AtomicParam(g gauge) int64 { // want "by-value parameter"
+	return g.v.Load()
+}
+
+func Deref(p *registry) int {
+	r := *p // want "assignment copies lock-bearing value"
+	return len(r.counts)
+}
+
+func RangeCopy(rs []registry) int {
+	n := 0
+	for _, r := range rs { // want "range copies lock-bearing value"
+		n += len(r.counts)
+	}
+	return n
+}
+
+// PointerOK: pointers share the lock instead of copying it.
+func PointerOK(p *registry) *registry {
+	q := p
+	return q
+}
+
+// ConstructOK: composite literals build the value in place.
+func ConstructOK() *registry {
+	r := registry{counts: map[string]int64{}}
+	return &r
+}
+
+// RangeIndexOK: ranging over indexes touches no value copy.
+func RangeIndexOK(rs []registry) int {
+	n := 0
+	for i := range rs {
+		n += len(rs[i].counts)
+	}
+	return n
+}
+
+// PlainStructOK: no locks anywhere, copy freely.
+type point struct{ x, y int }
+
+func PlainStructOK(p point) point {
+	q := p
+	return q
+}

@@ -1,0 +1,48 @@
+// Testdata for the seededrand analyzer, judged as hwstar/internal/sched —
+// a determinism-critical package where randomness must thread a seed.
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+func GlobalDraw() int {
+	return rand.Intn(10) // want "global math/rand"
+}
+
+func GlobalFloat() float64 {
+	return rand.Float64() // want "global math/rand"
+}
+
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand"
+}
+
+func TimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from time.Now"
+}
+
+// Laundered hides the time seed behind a local: the PR 2/3 bug shape, where
+// the seed variable is computed lines before the source is built.
+func Laundered() *rand.Rand {
+	seed := time.Now().UnixNano()
+	seed ^= 0x5DEECE66D
+	return rand.New(rand.NewSource(seed)) // want "seeded from time.Now"
+}
+
+// Threaded is the house shape: the seed is a parameter, replay works.
+func Threaded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func ZipfOK(seed int64) *rand.Zipf {
+	rng := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(rng, 1.1, 1, 100)
+}
+
+// MethodsOK draws from a threaded generator, which is always fine: the
+// rule is about *sources*, not use.
+func MethodsOK(rng *rand.Rand) int {
+	return rng.Intn(10)
+}

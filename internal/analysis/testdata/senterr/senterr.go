@@ -1,0 +1,67 @@
+// Testdata for the senterr analyzer: sentinels classified with errors.Is,
+// wrapped with %w.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"hwstar/internal/errs"
+)
+
+func CompareEq(err error) bool {
+	return err == errs.ErrOverloaded // want "ErrOverloaded compared with =="
+}
+
+func CompareNeq(err error) bool {
+	return err != errs.ErrClosed // want "ErrClosed compared with !="
+}
+
+func CompareFlipped(err error) bool {
+	return errs.ErrDegraded == err // want "ErrDegraded compared with =="
+}
+
+// ClassifyOK is the contract: errors.Is survives wrapping.
+func ClassifyOK(err error) bool {
+	return errors.Is(err, errs.ErrTransient)
+}
+
+// NilOK: comparing to nil is not a sentinel comparison.
+func NilOK(err error) bool {
+	return err == nil
+}
+
+// EOFOK: io.EOF does not follow the Err* naming convention and is compared
+// with == across the stdlib; the analyzer leaves it alone.
+func EOFOK(err error) bool {
+	return err == io.EOF
+}
+
+func WrapV(err error) error {
+	return fmt.Errorf("serve: submit failed: %v", err) // want "formatted with %v"
+}
+
+func WrapS(err error) error {
+	return fmt.Errorf("serve: submit failed: %s", err) // want "formatted with %s"
+}
+
+func WrapMixed(n int, err error) error {
+	return fmt.Errorf("serve: %d requests dropped: %v", n, err) // want "formatted with %v"
+}
+
+// WrapOK is the contract: %w keeps the chain intact.
+func WrapOK(err error) error {
+	return fmt.Errorf("serve: submit failed: %w", err)
+}
+
+// NonErrorOK: %v on a non-error operand is ordinary formatting.
+func NonErrorOK(n int) error {
+	return fmt.Errorf("serve: bad worker count %v", n)
+}
+
+// WidthOK: width/precision stars consume arguments; the error is still
+// found at the right position.
+func WidthStar(width int, err error) error {
+	return fmt.Errorf("serve: %*d %v", width, 7, err) // want "formatted with %v"
+}

@@ -1,0 +1,31 @@
+// Testdata for //hwlint:ignore handling, judged as hwstar/internal/serve so
+// the ctxfirst background rule fires without a suppression. Checked
+// programmatically by suppress_test.go (the malformed-suppression
+// diagnostics land on comment lines, where a want comment cannot sit).
+package serve
+
+import "context"
+
+func SameLine() context.Context {
+	return context.Background() //hwlint:ignore ctxfirst reviewed: exercises the trailing-comment suppression
+}
+
+func LineAbove() context.Context {
+	//hwlint:ignore ctxfirst reviewed: exercises the stand-alone suppression
+	return context.Background()
+}
+
+func MissingReason() context.Context {
+	//hwlint:ignore ctxfirst
+	return context.Background()
+}
+
+func UnknownName() context.Context {
+	//hwlint:ignore nosuchanalyzer reviewed: the name does not exist
+	return context.Background()
+}
+
+func OtherAnalyzerName() context.Context {
+	//hwlint:ignore seededrand reviewed: well-formed, but names an analyzer that did not fire here
+	return context.Background()
+}

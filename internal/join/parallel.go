@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
 	"hwstar/internal/errs"
 	"hwstar/internal/hw"
@@ -157,7 +158,7 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 			chunks[start/msz] = radixPartition(keys[start:end], vals[start:end], opts.TotalBits, 0)
 			n := int64(end - start)
 			for pi, bits := range passes {
-				w.Charge(partitionPassWork(fmt.Sprintf("%s-pass%d", label, pi+1), n, 1<<bits, m, opts.SWBuffers))
+				w.Charge(partitionPassWork(label+"-pass"+strconv.Itoa(pi+1), n, 1<<bits, m, opts.SWBuffers))
 			}
 		})
 		phase, err := runPhaseTraced(ctx, s, label, tasks)
@@ -183,7 +184,7 @@ func ParallelRadix(ctx context.Context, in Input, opts RadixOptions, s *sched.Sc
 	for p := 0; p < fanout; p++ {
 		p := p
 		tasks = append(tasks, sched.Task{
-			Name:   fmt.Sprintf("radix-join-p%d", p),
+			Name:   "radix-join-p" + strconv.Itoa(p),
 			Site:   "radix-join",
 			Socket: -1,
 			Run: func(w *sched.Worker) {

@@ -1,7 +1,7 @@
 package join
 
 import (
-	"fmt"
+	"strconv"
 
 	"hwstar/internal/hw"
 )
@@ -167,9 +167,9 @@ func Radix(in Input, opts RadixOptions, machine *hw.Machine, acct *hw.Account) (
 		probe = repartition(probe, bits, shift)
 		if acct != nil {
 			fanout := 1 << bits
-			acct.Charge(partitionPassWork(fmt.Sprintf("radix-pass%d-build", pi+1),
+			acct.Charge(partitionPassWork("radix-pass"+strconv.Itoa(pi+1)+"-build",
 				int64(len(build.keys)), fanout, machine, opts.SWBuffers))
-			acct.Charge(partitionPassWork(fmt.Sprintf("radix-pass%d-probe", pi+1),
+			acct.Charge(partitionPassWork("radix-pass"+strconv.Itoa(pi+1)+"-probe",
 				int64(len(probe.keys)), fanout, machine, opts.SWBuffers))
 		}
 		shift += bits

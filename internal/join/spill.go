@@ -3,6 +3,7 @@ package join
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"hwstar/internal/hw"
 	"hwstar/internal/mem"
@@ -93,7 +94,7 @@ func graceHashJoin(ctx context.Context, in Input, s *sched.Scheduler, morsel int
 	for p := 0; p < K; p++ {
 		p := p
 		tasks = append(tasks, sched.Task{
-			Name:   fmt.Sprintf("grace-join-p%d", p),
+			Name:   "grace-join-p" + strconv.Itoa(p),
 			Site:   "grace-join",
 			Socket: -1,
 			Run: func(w *sched.Worker) {

@@ -307,6 +307,7 @@ func (h *workerHeap) Pop() any {
 // round-robin. Execution order is deterministic. A task panic that the run
 // cannot absorb re-panics here (there is no error return to carry it).
 func (s *Scheduler) Run(tasks []Task) Result {
+	//hwlint:ignore ctxfirst Run is the documented no-context bridge; callers that can cancel use RunContext
 	res, err := s.RunContext(context.Background(), tasks)
 	if err != nil && errors.Is(err, errs.ErrWorkerPanic) {
 		panic(err)

@@ -51,10 +51,13 @@ package serve
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hwstar/internal/agg"
@@ -324,6 +327,24 @@ type Server struct {
 	testHold chan struct{}
 }
 
+// seedFallback distinguishes servers within one process if the entropy pool
+// is somehow unreadable.
+var seedFallback atomic.Int64
+
+// entropySeed derives a per-instance jitter seed from the OS entropy pool.
+// Jitter wants identity, not reproducibility: distinct servers — including
+// ones in separate processes started the same instant — must not share a
+// backoff phase. Reading crypto/rand once at construction is the
+// seededrand-sanctioned way to get that; anything reproducible should
+// thread Options.JitterSeed instead.
+func entropySeed() int64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return int64(uint64(0x9E3779B97F4A7C15) ^ uint64(seedFallback.Add(1)))
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
 // New starts a server on the given machine profile. The returned server is
 // running; stop it with Close.
 func New(m *hw.Machine, opts Options) (*Server, error) {
@@ -339,11 +360,14 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 	}
 	// Backoff jitter must differ between server instances: a shared constant
 	// seed makes concurrent servers draw identical jitter and synchronize
-	// their retry storms, defeating the jitter's purpose. Default to a
-	// varied seed; tests pin JitterSeed for reproducibility.
+	// their retry storms, defeating the jitter's purpose (the PR 2 bug). A
+	// time.Now seed is the opposite failure — servers started in the same
+	// instant still collide, and chaos runs become unreproducible — so the
+	// default seed comes from the OS entropy pool instead. Tests pin
+	// JitterSeed for reproducibility.
 	seed := opts.JitterSeed
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = entropySeed()
 	}
 	s := &Server{
 		machine: m,
@@ -856,13 +880,18 @@ func (s *Server) runBatch(b *batch) {
 			execs[i] = p.span.Child("execute")
 		}
 	}
-	err := s.withRetry(context.Background(), leader.span, func() error {
+	// The shared pass serves every member of the batch, so it must not die
+	// with any single member's context — but severing it from the leader
+	// entirely (context.Background) would also drop the leader's values.
+	// WithoutCancel keeps the values and detaches only cancellation.
+	passCtx := context.WithoutCancel(leader.ctx)
+	err := s.withRetry(passCtx, leader.span, func() error {
 		sch, err := s.newSched(b.workers, nil) // scans are streaming: no governed state
 		if err != nil {
 			return err
 		}
 		exec := leader.span.Child("execute")
-		sums, schedRes, err = scan.ParallelShared(trace.NewContext(context.Background(), exec), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
+		sums, schedRes, err = scan.ParallelShared(trace.NewContext(passCtx, exec), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
 		exec.AddCycles(schedRes.MakespanCycles)
 		exec.End()
 		s.recordSched(schedRes.FaultStats, err)
