@@ -6,7 +6,7 @@ GO ?= go
 # no dependencies beyond the toolchain.
 STRICT ?=
 
-.PHONY: all build vet hwlint lint lint-report test race race-core check bench experiments clean
+.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend experiments clean
 
 all: check
 
@@ -44,11 +44,11 @@ race:
 	$(GO) test -race ./...
 
 # race-core re-runs the concurrency-heavy layers race-enabled and uncached:
-# the serving, scheduling, and memory-governance suites are where a data
-# race would land first, so they get a fresh pass even when the full race
-# target is cache-warm.
+# the serving, scheduling, memory-governance, and network-frontend suites are
+# where a data race would land first, so they get a fresh pass even when the
+# full race target is cache-warm.
 race-core:
-	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem
+	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend
 
 # check is the full verification gate: compile everything, run the static
 # analyzers, and run the whole suite under the race detector (core
@@ -61,6 +61,11 @@ check:
 
 bench:
 	$(GO) test -bench=BenchmarkE -benchtime=1x .
+
+# bench-frontend runs E23 (multi-tenant isolation over the HTTP API) at full
+# scale and regenerates the committed BENCH_frontend.json artifact.
+bench-frontend:
+	$(GO) run ./cmd/hwbench -scale 1 -frontend-json BENCH_frontend.json E23
 
 experiments:
 	$(GO) run ./cmd/hwbench

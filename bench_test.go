@@ -82,6 +82,7 @@ func BenchmarkE19Serve(b *testing.B)         { runExperiment(b, "E19") }
 func BenchmarkE20Chaos(b *testing.B)         { runExperiment(b, "E20") }
 func BenchmarkE21Observe(b *testing.B)       { runExperiment(b, "E21") }
 func BenchmarkE22Memory(b *testing.B)        { runExperiment(b, "E22") }
+func BenchmarkE23Tenants(b *testing.B)       { runExperiment(b, "E23") }
 
 // Live microbenchmarks: the real Go implementations on the host CPU.
 

@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	hwbench [-scale f] [-csv dir] [-list] [experiment ids...]
+//	hwbench [-scale f] [-csv dir] [-frontend-json file] [-list] [experiment ids...]
 //
 // With no ids, the full suite runs. Scale 1 is the full configuration;
 // smaller values shrink data sizes proportionally for quick runs.
+// -frontend-json runs E23 (the multi-tenant frontend isolation experiment)
+// and writes its structured result — per-tenant p50/p99, throughput, and
+// shed/rate-limited counts — as JSON, the BENCH_frontend.json artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,15 +26,51 @@ import (
 	"hwstar/internal/experiments"
 )
 
+// writeFrontendBench runs E23 and writes its structured result as indented
+// JSON to path.
+func writeFrontendBench(path string, cfg experiments.Config) error {
+	b, tables, err := experiments.RunE23(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return err
+	}
+	fmt.Printf("    wrote %s (interactive p99 %.2fms solo vs %.2fms contended, %.2fx)\n\n",
+		path, b.SoloP99Ms, b.DuoP99Ms, b.P99Ratio)
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment size multiplier (1 = full size)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	frontendJSON := flag.String("frontend-json", "", "run E23 and write its per-tenant bench result to this JSON file, then exit")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-5s %s\n      claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	if *frontendJSON != "" {
+		if err := writeFrontendBench(*frontendJSON, experiments.Config{Scale: *scale}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"hwstar"
+)
+
+// serveAPI is server mode: one Server fronted by the multi-tenant /v1 API,
+// with the debug endpoints on the same address, serving until ctx is
+// cancelled. The server boots with a registered "facts" relation (for
+// op=scan) and a "lineitem" table (for op=q1/q6) generated at cfg.Rows, so
+// a fresh instance is immediately queryable.
+func serveAPI(ctx context.Context, cfg Config, out io.Writer) error {
+	srv, _, err := buildServer(cfg)
+	if err != nil {
+		return err
+	}
+	cols := [][]int64{
+		hwstar.GenUniform(41, cfg.Rows, 100000),
+		hwstar.GenUniform(42, cfg.Rows, 1000),
+	}
+	if err := srv.Register("facts", cols); err != nil {
+		return err
+	}
+	lineitem := hwstar.GenLineItem(46, cfg.Rows)
+
+	fe, err := hwstar.NewFrontend(hwstar.FrontendConfig{
+		Server:       srv,
+		Tenants:      cfg.Tenants,
+		SessionTTL:   time.Duration(cfg.SessionTTL),
+		QueryTimeout: time.Duration(cfg.QueryTimeout),
+		Lineitems:    map[string]*hwstar.Table{"lineitem": lineitem},
+	})
+	if err != nil {
+		return err
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", fe.Handler())
+	debug := newDebugMux(srv.Metrics())
+	mux.Handle("/metrics", debug)
+	mux.Handle("/debug/", debug)
+
+	ln, err := net.Listen("tcp", cfg.ServeAPI)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hwserve: /v1 API on %s (%d tenants, tables: facts, lineitem; /metrics, /debug/pprof)\n",
+		ln.Addr(), len(cfg.Tenants))
+
+	hs := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shutdownCtx)
+	}()
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "hwserve: draining admitted work")
+	return srv.Close()
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hwstar"
+	v1 "hwstar/internal/frontend/v1"
+)
+
+// syncBuffer is a bytes.Buffer safe for the serveAPI goroutine to write
+// while the test polls it for the bound address.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var apiAddrRe = regexp.MustCompile(`/v1 API on (\S+)`)
+
+// TestServeAPISmoke is the CI boot smoke: start hwserve in server mode with
+// two tenants — one interactive, one burst-capped batch — then assert over
+// real HTTP that the interactive tenant completes all its work while the
+// noisy tenant is deterministically rate-limited, and that the governance
+// split shows up in /v1/health and /metrics.
+func TestServeAPISmoke(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows = 1 << 14
+	cfg.ServeAPI = "127.0.0.1:0"
+	cfg.Tenants = []hwstar.TenantConfig{
+		{ID: "int-a", Key: "ka"},
+		{ID: "noisy-b", Key: "kb", Priority: "batch", Burst: 3, MaxConcurrent: 1},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- serveAPI(ctx, cfg, &out) }()
+	defer func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("serveAPI returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("serveAPI did not shut down")
+		}
+	}()
+
+	// Wait for the listener line to learn the bound port.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := apiAddrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	openSession := func(tenant, key string) string {
+		t.Helper()
+		body, _ := json.Marshal(v1.SessionRequest{Tenant: tenant, Key: key})
+		resp, err := http.Post(base+"/v1/session", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr v1.SessionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || resp.StatusCode != 200 {
+			t.Fatalf("session open for %s: HTTP %d (err %v)", tenant, resp.StatusCode, err)
+		}
+		return sr.Token
+	}
+	query := func(token string) int {
+		t.Helper()
+		body, _ := json.Marshal(v1.QueryRequest{
+			Op: v1.OpScan, Table: "facts",
+			Scan: &v1.ScanArgs{FilterCol: 0, Lo: 0, Hi: 50000, AggCol: 1},
+		})
+		req, _ := http.NewRequest("POST", base+"/v1/query", bytes.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sink json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&sink)
+		return resp.StatusCode
+	}
+
+	intTok := openSession("int-a", "ka")
+	noisyTok := openSession("noisy-b", "kb")
+
+	// The noisy tenant floods: exactly Burst=3 queries are admitted, the
+	// rest refused with 429 — while every interactive query keeps landing.
+	const noisyFlood = 10
+	noisyOK, noisyLimited := 0, 0
+	for i := 0; i < noisyFlood; i++ {
+		switch status := query(noisyTok); status {
+		case 200:
+			noisyOK++
+		case http.StatusTooManyRequests:
+			noisyLimited++
+		default:
+			t.Fatalf("noisy query %d: HTTP %d", i, status)
+		}
+		if status := query(intTok); status != 200 {
+			t.Fatalf("interactive query %d refused alongside the flood: HTTP %d", i, status)
+		}
+	}
+	if noisyOK != 3 || noisyLimited != noisyFlood-3 {
+		t.Fatalf("noisy governance: %d ok, %d limited; want exactly 3 and %d", noisyOK, noisyLimited, noisyFlood-3)
+	}
+
+	// The isolation is visible in the health breakdown...
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h v1.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("health: HTTP %d (err %v)", resp.StatusCode, err)
+	}
+	if got := h.Tenants["int-a"]; got.Completed != noisyFlood || got.RateLimited != 0 {
+		t.Fatalf("interactive tenant health: %+v", got)
+	}
+	if got := h.Tenants["noisy-b"]; got.Completed != 3 || got.RateLimited != int64(noisyFlood-3) {
+		t.Fatalf("noisy tenant health: %+v", got)
+	}
+
+	// ...and in the Prometheus exposition (names normalized: '.'/'-' → '_').
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mbuf bytes.Buffer
+	if _, err := mbuf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("frontend_tenant_noisy_b_rate_limited %d", noisyFlood-3)
+	if !strings.Contains(mbuf.String(), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+}

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"hwstar"
+)
+
+// TestDurationJSON pins the Duration wire forms: string in, string out,
+// nanosecond numbers accepted, junk rejected.
+func TestDurationJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+		bad  bool
+	}{
+		{"string form", `"2ms"`, 2 * time.Millisecond, false},
+		{"composite string", `"1.5s"`, 1500 * time.Millisecond, false},
+		{"nanosecond number", `2000000`, 2 * time.Millisecond, false},
+		{"zero", `"0s"`, 0, false},
+		{"bad string", `"fortnight"`, 0, true},
+		{"bad type", `{"ns": 5}`, 0, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var d Duration
+			err := json.Unmarshal([]byte(c.in), &d)
+			if c.bad {
+				if err == nil {
+					t.Fatalf("unmarshal %s succeeded as %v", c.in, time.Duration(d))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if time.Duration(d) != c.want {
+				t.Fatalf("unmarshal %s = %v, want %v", c.in, time.Duration(d), c.want)
+			}
+			// Round-trip: the marshaled form re-parses to the same value.
+			out, err := json.Marshal(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var d2 Duration
+			if err := json.Unmarshal(out, &d2); err != nil || d2 != d {
+				t.Fatalf("round-trip %s -> %s -> %v (err %v)", c.in, out, time.Duration(d2), err)
+			}
+		})
+	}
+}
+
+// writeConfig drops a JSON config file into a test temp dir.
+func writeConfig(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "server.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestParseConfigFlagsOnly pins the no-file path: defaults plus explicit
+// flags, including the legacy alias names.
+func TestParseConfigFlagsOnly(t *testing.T) {
+	cfg, printOnly, err := parseConfig([]string{
+		"-clients", "8", "-maxbatch", "32", "-trace", "5", "-window", "3ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if printOnly {
+		t.Fatal("printOnly without -print-config")
+	}
+	want := DefaultConfig()
+	want.Clients = 8
+	want.MaxBatch = 32
+	want.TraceEvery = 5
+	want.Window = Duration(3 * time.Millisecond)
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("cfg = %+v\nwant %+v", cfg, want)
+	}
+}
+
+// TestParseConfigPrecedence pins defaults < file < explicit flags, with
+// aliases overriding the canonical field they share.
+func TestParseConfigPrecedence(t *testing.T) {
+	path := writeConfig(t, `{
+		"clients": 16,
+		"rows": 4096,
+		"max_batch": 64,
+		"window": "4ms",
+		"deadline": 2000000,
+		"tenants": [{"id": "a", "key": "ka"}]
+	}`)
+	cfg, _, err := parseConfig([]string{
+		"-config", path,
+		"-clients", "99", // explicit flag beats the file
+		"-maxbatch", "128", // alias beats the file's canonical field
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Clients != 99 {
+		t.Fatalf("Clients = %d, want flag override 99", cfg.Clients)
+	}
+	if cfg.MaxBatch != 128 {
+		t.Fatalf("MaxBatch = %d, want alias override 128", cfg.MaxBatch)
+	}
+	if cfg.Rows != 4096 {
+		t.Fatalf("Rows = %d, want file value 4096", cfg.Rows)
+	}
+	if cfg.Window != Duration(4*time.Millisecond) {
+		t.Fatalf("Window = %v, want file value 4ms", time.Duration(cfg.Window))
+	}
+	if cfg.Deadline != Duration(2*time.Millisecond) {
+		t.Fatalf("Deadline = %v, want numeric-ns file value 2ms", time.Duration(cfg.Deadline))
+	}
+	if cfg.Queue != DefaultConfig().Queue {
+		t.Fatalf("Queue = %d, want untouched default %d", cfg.Queue, DefaultConfig().Queue)
+	}
+	if len(cfg.Tenants) != 1 || cfg.Tenants[0].ID != "a" {
+		t.Fatalf("Tenants = %+v, want the file's tenant a", cfg.Tenants)
+	}
+}
+
+// TestLoadConfigFileStrict pins typo-catching: unknown fields are errors,
+// not silently dropped.
+func TestLoadConfigFileStrict(t *testing.T) {
+	path := writeConfig(t, `{"cleints": 8}`)
+	c := DefaultConfig()
+	if err := loadConfigFile(path, &c); err == nil {
+		t.Fatal("misspelled field accepted")
+	}
+	if _, _, err := parseConfig([]string{"-config", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing config file accepted")
+	}
+}
+
+// TestPrintConfigRoundTrips pins the -print-config contract: the printed
+// JSON is exactly the format -config accepts, and re-loading it reproduces
+// the same effective Config.
+func TestPrintConfigRoundTrips(t *testing.T) {
+	cfg, printOnly, err := parseConfig([]string{
+		"-print-config",
+		"-clients", "3",
+		"-window", "7ms",
+		"-serve-api", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !printOnly {
+		t.Fatal("-print-config not reported")
+	}
+	cfg.Tenants = []hwstar.TenantConfig{{ID: "a", Key: "ka", Priority: "batch", Burst: 4}}
+
+	var buf bytes.Buffer
+	if err := cfg.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := writeConfig(t, buf.String())
+	reloaded := DefaultConfig()
+	if err := loadConfigFile(path, &reloaded); err != nil {
+		t.Fatalf("printed config does not re-load: %v\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(cfg, reloaded) {
+		t.Fatalf("round-trip drift:\nprinted  %+v\nreloaded %+v", cfg, reloaded)
+	}
+}
+
+// TestValidate pins the rejection rules the run loop depends on.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"defaults", func(c *Config) {}, true},
+		{"unknown machine", func(c *Config) { c.Machine = "abacus" }, false},
+		{"bad mix", func(c *Config) { c.Mix = "shaken" }, false},
+		{"zero clients", func(c *Config) { c.Clients = 0 }, false},
+		{"zero rows", func(c *Config) { c.Rows = 0 }, false},
+		{"serve_api without tenants", func(c *Config) { c.ServeAPI = ":0" }, false},
+		{"serve_api with tenants", func(c *Config) {
+			c.ServeAPI = ":0"
+			c.Tenants = []hwstar.TenantConfig{{ID: "a", Key: "k"}}
+		}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			c.mutate(&cfg)
+			err := cfg.Validate()
+			if c.ok && err != nil {
+				t.Fatalf("valid config rejected: %v", err)
+			}
+			if !c.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

@@ -99,13 +99,13 @@ func TestDebugEndpoints(t *testing.T) {
 // rendered span trees with the lifecycle stages.
 func TestRunWithTracing(t *testing.T) {
 	cfg := smallConfig()
-	cfg.traceEvery = 1
+	cfg.TraceEvery = 1
 	r, err := run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.tracesStarted != uint64(cfg.clients*cfg.requests) {
-		t.Fatalf("traced %d requests, want %d", r.tracesStarted, cfg.clients*cfg.requests)
+	if r.tracesStarted != uint64(cfg.Clients*cfg.Requests) {
+		t.Fatalf("traced %d requests, want %d", r.tracesStarted, cfg.Clients*cfg.Requests)
 	}
 	if len(r.traces) == 0 {
 		t.Fatal("no traces retained")
@@ -124,7 +124,7 @@ func TestRunWithTracing(t *testing.T) {
 // port, serves during the run, and reports the address.
 func TestRunListen(t *testing.T) {
 	cfg := smallConfig()
-	cfg.listen = "127.0.0.1:0"
+	cfg.Listen = "127.0.0.1:0"
 	r, err := run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)

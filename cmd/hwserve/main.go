@@ -1,25 +1,44 @@
-// Command hwserve drives the hwstar concurrent query service: it starts a
-// Server on a machine profile, fires a cohort of concurrent clients at it,
-// and reports what the serving layer did — throughput, admission decisions,
-// batch-size distribution, and the modeled cycles each query paid.
+// Command hwserve drives the hwstar concurrent query service in one of two
+// modes:
 //
-// Usage:
+//   - Load-generator mode (the default): start a Server on a machine
+//     profile, fire a cohort of concurrent clients at it, and report what
+//     the serving layer did — throughput, admission decisions, batch-size
+//     distribution, and the modeled cycles each query paid.
+//   - Server mode (-serve-api addr): mount the multi-tenant /v1 HTTP API
+//     (sessions, per-tenant rate limits and quotas, priority classes; see
+//     internal/frontend) plus the debug endpoints on addr and serve until
+//     SIGINT/SIGTERM. Server mode needs at least one tenant, so it is
+//     normally started from a config file.
 //
-//	hwserve [-machine name] [-clients n] [-requests n] [-rows n]
-//	        [-queue n] [-maxbatch n] [-window d] [-mix scan|mixed]
-//	        [-deadline d]
-//	        [-mem-budget bytes] [-mem-query bytes] [-oom-kill]
-//	        [-fault-seed n] [-panic-prob p] [-transient-prob p]
-//	        [-straggler-prob p] [-straggler-skew k] [-alloc-fail-prob p]
-//	        [-retries n] [-backoff d] [-breaker n] [-cooldown d]
-//	        [-listen addr] [-trace n]
+// Configuration is one Config struct. Every field can be set from a JSON
+// file (-config server.json) or from flags; flags set explicitly on the
+// command line override file values, and -print-config dumps the effective
+// configuration in the exact format -config accepts:
 //
-// -listen mounts the observability endpoints for the run's duration:
+//	hwserve -print-config > server.json   # capture defaults
+//	hwserve -config server.json           # run them
+//	hwserve -config server.json -clients 128   # file + one override
+//
+// A minimal server-mode config:
+//
+//	{
+//	  "serve_api": "127.0.0.1:8080",
+//	  "tenants": [
+//	    {"id": "alice", "key": "alice-key", "priority": "interactive"},
+//	    {"id": "bob",   "key": "bob-key",   "priority": "batch",
+//	     "rate_per_sec": 50, "burst": 10, "max_concurrent": 4}
+//	  ]
+//	}
+//
+// The pre-Config flag names (-maxbatch, -trace) remain as aliases for one
+// release; prefer -max-batch and -trace-every.
+//
+// -listen mounts the observability endpoints for a load-generator run:
 // Prometheus-text metrics on /metrics, expvar JSON on /debug/vars, and the
-// standard pprof profiles on /debug/pprof/. -trace n samples every nth
-// request into a span tree (queue → batch assembly → execute → retries,
-// with wall time and simulated cycles per stage) and dumps the last few
-// trees after the report.
+// standard pprof profiles on /debug/pprof/ (server mode serves them on the
+// API address automatically). -trace-every n samples every nth request into
+// a span tree dumped after the report.
 //
 // The default workload is all shared-scannable range aggregates; -mix mixed
 // adds joins and grouped aggregations that exercise the worker budget.
@@ -42,7 +61,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"math/rand"
@@ -60,47 +78,6 @@ import (
 	"hwstar/internal/hw"
 )
 
-type config struct {
-	machineName string
-	clients     int
-	requests    int // per client
-	rows        int
-	queueDepth  int
-	maxBatch    int
-	window      time.Duration
-	deadline    time.Duration
-	mix         string // "scan" or "mixed"
-
-	// Memory governance (zero budget disables the governor).
-	memBudget int64
-	memQuery  int64
-	oomKill   bool
-
-	// Fault injection (zero probabilities disable the injector).
-	faultSeed     int64
-	panicProb     float64
-	transientProb float64
-	stragglerProb float64
-	stragglerSkew float64
-	allocFailProb float64
-
-	// Resilience policy.
-	retries  int
-	backoff  time.Duration
-	breaker  int
-	cooldown time.Duration
-
-	// Observability: listen mounts /metrics, /debug/vars, and /debug/pprof
-	// on the given address for the run's duration; traceEvery samples every
-	// Nth request into span trees dumped after the report (0 = off).
-	listen     string
-	traceEvery int
-}
-
-func (c config) faulty() bool {
-	return c.panicProb > 0 || c.transientProb > 0 || c.stragglerProb > 0 || c.allocFailProb > 0
-}
-
 type report struct {
 	completed, rejected, deadlined int64
 	shed, failed                   int64
@@ -117,38 +94,36 @@ type report struct {
 	listenAddr                     string
 }
 
-func run(ctx context.Context, cfg config) (*report, error) {
-	m, ok := hw.Profiles()[cfg.machineName]
+// buildServer assembles the Server (and optional Tracer) both modes share.
+func buildServer(cfg Config) (*hwstar.Server, *hwstar.Tracer, error) {
+	m, ok := hw.Profiles()[cfg.Machine]
 	if !ok {
-		return nil, fmt.Errorf("unknown machine %q", cfg.machineName)
-	}
-	if cfg.mix != "scan" && cfg.mix != "mixed" {
-		return nil, fmt.Errorf("unknown mix %q (want scan or mixed)", cfg.mix)
+		return nil, nil, fmt.Errorf("unknown machine %q", cfg.Machine)
 	}
 	opts := hwstar.ServerOptions{
-		QueueDepth:       cfg.queueDepth,
-		MaxBatch:         cfg.maxBatch,
-		BatchWindow:      cfg.window,
-		MaxRetries:       cfg.retries,
-		RetryBackoff:     cfg.backoff,
-		BreakerThreshold: cfg.breaker,
-		BreakerCooldown:  cfg.cooldown,
+		QueueDepth:       cfg.Queue,
+		MaxBatch:         cfg.MaxBatch,
+		BatchWindow:      time.Duration(cfg.Window),
+		MaxRetries:       cfg.Retries,
+		RetryBackoff:     time.Duration(cfg.Backoff),
+		BreakerThreshold: cfg.Breaker,
+		BreakerCooldown:  time.Duration(cfg.Cooldown),
 	}
-	if cfg.memBudget > 0 {
+	if cfg.MemBudget > 0 {
 		opts.Memory = hwstar.MemoryConfig{
-			BudgetBytes:   cfg.memBudget,
-			PerQueryBytes: cfg.memQuery,
-			KillOnOverage: cfg.oomKill,
+			BudgetBytes:   cfg.MemBudget,
+			PerQueryBytes: cfg.MemQuery,
+			KillOnOverage: cfg.OOMKill,
 		}
 	}
 	if cfg.faulty() {
 		opts.Faults = hwstar.NewFaultInjector(hwstar.FaultConfig{
-			Seed:          cfg.faultSeed,
-			PanicProb:     cfg.panicProb,
-			TransientProb: cfg.transientProb,
-			StragglerProb: cfg.stragglerProb,
-			StragglerSkew: cfg.stragglerSkew,
-			AllocFailProb: cfg.allocFailProb,
+			Seed:          cfg.FaultSeed,
+			PanicProb:     cfg.PanicProb,
+			TransientProb: cfg.TransientProb,
+			StragglerProb: cfg.StragglerProb,
+			StragglerSkew: cfg.StragglerSkew,
+			AllocFailProb: cfg.AllocFailProb,
 		})
 		// Injected panics and stragglers are survivable only with isolation
 		// and re-dispatch armed.
@@ -156,17 +131,25 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		opts.StragglerThreshold = 3
 	}
 	var tracer *hwstar.Tracer
-	if cfg.traceEvery > 0 {
-		tracer = hwstar.NewTracer(hwstar.TraceConfig{Capacity: 16, SampleEvery: cfg.traceEvery})
+	if cfg.TraceEvery > 0 {
+		tracer = hwstar.NewTracer(hwstar.TraceConfig{Capacity: 16, SampleEvery: cfg.TraceEvery})
 		opts.Trace = tracer
 	}
 	srv, err := hwstar.NewServer(m, opts)
 	if err != nil {
+		return nil, nil, err
+	}
+	return srv, tracer, nil
+}
+
+func run(ctx context.Context, cfg Config) (*report, error) {
+	srv, tracer, err := buildServer(cfg)
+	if err != nil {
 		return nil, err
 	}
 	var listenAddr string
-	if cfg.listen != "" {
-		ln, err := net.Listen("tcp", cfg.listen)
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
 		if err != nil {
 			return nil, err
 		}
@@ -176,8 +159,8 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		defer hs.Close()
 	}
 	cols := [][]int64{
-		hwstar.GenUniform(41, cfg.rows, 100000),
-		hwstar.GenUniform(42, cfg.rows, 1000),
+		hwstar.GenUniform(41, cfg.Rows, 100000),
+		hwstar.GenUniform(42, cfg.Rows, 1000),
 	}
 	if err := srv.Register("facts", cols); err != nil {
 		return nil, err
@@ -196,13 +179,13 @@ func run(ctx context.Context, cfg config) (*report, error) {
 	var cycles atomicFloat
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < cfg.clients; c++ {
+	for c := 0; c < cfg.Clients; c++ {
 		c := c
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(1000 + c)))
-			for i := 0; i < cfg.requests; i++ {
+			for i := 0; i < cfg.Requests; i++ {
 				if ctx.Err() != nil {
 					return // interrupted: stop submitting, let Close drain
 				}
@@ -212,7 +195,7 @@ func run(ctx context.Context, cfg config) (*report, error) {
 					Query: hwstar.ScanQuery{FilterCol: 0, Lo: int64(rng.Intn(90000)), AggCol: 1},
 				}
 				req.Query.Hi = req.Query.Lo + 5000
-				if cfg.mix == "mixed" {
+				if cfg.Mix == "mixed" {
 					switch rng.Intn(4) {
 					case 1:
 						req = joinReq
@@ -222,8 +205,8 @@ func run(ctx context.Context, cfg config) (*report, error) {
 				}
 				reqCtx := ctx
 				cancel := func() {}
-				if cfg.deadline > 0 {
-					reqCtx, cancel = context.WithTimeout(reqCtx, cfg.deadline)
+				if cfg.Deadline > 0 {
+					reqCtx, cancel = context.WithTimeout(reqCtx, time.Duration(cfg.Deadline))
 				}
 				resp, err := srv.Submit(reqCtx, req)
 				cancel()
@@ -257,7 +240,7 @@ func run(ctx context.Context, cfg config) (*report, error) {
 		elapsed:  elapsed,
 		batches:  bs.Count(),
 		batchP50: bs.Quantile(0.5), batchMax: bs.Max(),
-		queueDepth:  cfg.queueDepth,
+		queueDepth:  cfg.Queue,
 		interrupted: ctx.Err() != nil,
 	}
 	if completed > 0 {
@@ -275,9 +258,9 @@ func run(ctx context.Context, cfg config) (*report, error) {
 	return r, nil
 }
 
-func (r *report) print(w io.Writer, cfg config) {
-	total := int64(cfg.clients) * int64(cfg.requests)
-	fmt.Fprintf(w, "%d clients x %d requests on %s (%s mix)\n", cfg.clients, cfg.requests, cfg.machineName, cfg.mix)
+func (r *report) print(w io.Writer, cfg Config) {
+	total := int64(cfg.Clients) * int64(cfg.Requests)
+	fmt.Fprintf(w, "%d clients x %d requests on %s (%s mix)\n", cfg.Clients, cfg.Requests, cfg.Machine, cfg.Mix)
 	if r.interrupted {
 		fmt.Fprintf(w, "  interrupted: clients stopped, admitted work drained\n")
 	}
@@ -288,10 +271,10 @@ func (r *report) print(w io.Writer, cfg config) {
 		fmt.Fprintf(w, "  scan batches %d  (p50 size %.0f, max %.0f)\n", r.batches, r.batchP50, r.batchMax)
 	}
 	fmt.Fprintf(w, "  modeled cost %.2f Mcycles/query (amortized over shared scans)\n", r.meanMcyc)
-	if cfg.memBudget > 0 {
+	if cfg.MemBudget > 0 {
 		h := r.health
 		fmt.Fprintf(w, "  memory budget %d KiB  (peak %d KiB, shed at admission %d, spilled %d for %d KiB, oom kills %d)\n",
-			cfg.memBudget>>10, h.Memory.PeakBytes>>10, r.memShed, h.Spills, h.SpillBytes>>10, r.oomKilled)
+			cfg.MemBudget>>10, h.Memory.PeakBytes>>10, r.memShed, h.Spills, h.SpillBytes>>10, r.oomKilled)
 	}
 	if cfg.faulty() {
 		h := r.health
@@ -330,38 +313,34 @@ func (a *atomicFloat) add(v float64) { a.mu.Lock(); a.sum += v; a.mu.Unlock() }
 func (a *atomicFloat) load() float64 { a.mu.Lock(); defer a.mu.Unlock(); return a.sum }
 
 func main() {
-	cfg := config{}
-	flag.StringVar(&cfg.machineName, "machine", "server-2s8c", "machine profile name")
-	flag.IntVar(&cfg.clients, "clients", 64, "concurrent clients")
-	flag.IntVar(&cfg.requests, "requests", 10, "requests per client")
-	flag.IntVar(&cfg.rows, "rows", 1<<20, "fact table rows")
-	flag.IntVar(&cfg.queueDepth, "queue", 256, "intake queue depth")
-	flag.IntVar(&cfg.maxBatch, "maxbatch", 1024, "max queries per shared scan")
-	flag.DurationVar(&cfg.window, "window", 2*time.Millisecond, "batching window")
-	flag.DurationVar(&cfg.deadline, "deadline", 0, "per-request deadline (0 = none)")
-	flag.StringVar(&cfg.mix, "mix", "scan", "workload mix: scan or mixed")
-	flag.Int64Var(&cfg.memBudget, "mem-budget", 0, "server-wide memory budget in bytes for joins and grouped aggregations (0 = ungoverned)")
-	flag.Int64Var(&cfg.memQuery, "mem-query", 0, "default per-query reservation in bytes (0 = budget/4)")
-	flag.BoolVar(&cfg.oomKill, "oom-kill", false, "naive mode: allocate past the budget, then kill the query (instead of spilling)")
-	flag.Int64Var(&cfg.faultSeed, "fault-seed", 1, "fault injector seed")
-	flag.Float64Var(&cfg.panicProb, "panic-prob", 0, "per-task injected panic probability")
-	flag.Float64Var(&cfg.transientProb, "transient-prob", 0, "per-task injected transient-failure probability")
-	flag.Float64Var(&cfg.stragglerProb, "straggler-prob", 0, "per-worker straggler probability")
-	flag.Float64Var(&cfg.stragglerSkew, "straggler-skew", 8, "cycle multiplier for straggling workers")
-	flag.Float64Var(&cfg.allocFailProb, "alloc-fail-prob", 0, "per-charge injected allocation-failure probability")
-	flag.IntVar(&cfg.retries, "retries", 0, "morsel-level retries per request (0 = retry-free)")
-	flag.DurationVar(&cfg.backoff, "backoff", 200*time.Microsecond, "base retry backoff (doubles per attempt, jittered)")
-	flag.IntVar(&cfg.breaker, "breaker", 0, "consecutive failures tripping the circuit breaker (0 = no breaker)")
-	flag.DurationVar(&cfg.cooldown, "cooldown", 10*time.Millisecond, "breaker cooldown before a half-open probe")
-	flag.StringVar(&cfg.listen, "listen", "", "serve /metrics, /debug/vars, and /debug/pprof on this address during the run (empty = off)")
-	flag.IntVar(&cfg.traceEvery, "trace", 0, "trace every Nth request and dump span trees after the report (0 = off)")
-	flag.Parse()
+	cfg, printOnly, err := parseConfig(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if printOnly {
+		if err := cfg.Print(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
-	// SIGINT/SIGTERM stops the client cohort; admitted work still drains
-	// through Server.Close before the report prints.
+	// SIGINT/SIGTERM stops the client cohort (or the API server); admitted
+	// work still drains through Server.Close before the process exits.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if cfg.ServeAPI != "" {
+		if err := serveAPI(ctx, cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	r, err := run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -7,17 +7,15 @@ import (
 	"time"
 )
 
-func smallConfig() config {
-	return config{
-		machineName: "server-2s8c",
-		clients:     8,
-		requests:    3,
-		rows:        1 << 14,
-		queueDepth:  64,
-		maxBatch:    64,
-		window:      time.Millisecond,
-		mix:         "scan",
-	}
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clients = 8
+	cfg.Requests = 3
+	cfg.Rows = 1 << 14
+	cfg.Queue = 64
+	cfg.MaxBatch = 64
+	cfg.Window = Duration(time.Millisecond)
+	return cfg
 }
 
 func TestRunScanMix(t *testing.T) {
@@ -26,7 +24,7 @@ func TestRunScanMix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total := int64(cfg.clients * cfg.requests)
+	total := int64(cfg.Clients * cfg.Requests)
 	if r.completed != total || r.rejected != 0 || r.deadlined != 0 {
 		t.Fatalf("completed %d of %d (rejected %d, deadlined %d)", r.completed, total, r.rejected, r.deadlined)
 	}
@@ -47,27 +45,27 @@ func TestRunScanMix(t *testing.T) {
 
 func TestRunMixedMix(t *testing.T) {
 	cfg := smallConfig()
-	cfg.mix = "mixed"
-	cfg.deadline = time.Minute // generous: nothing should miss it
+	cfg.Mix = "mixed"
+	cfg.Deadline = Duration(time.Minute) // generous: nothing should miss it
 	r, err := run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.completed != int64(cfg.clients*cfg.requests) {
+	if r.completed != int64(cfg.Clients*cfg.Requests) {
 		t.Fatalf("mixed run lost requests: %+v", r)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	cfg := smallConfig()
-	cfg.machineName = "nope"
+	cfg.Machine = "nope"
 	if _, err := run(context.Background(), cfg); err == nil {
 		t.Fatal("unknown machine should fail")
 	}
 	cfg = smallConfig()
-	cfg.mix = "bogus"
-	if _, err := run(context.Background(), cfg); err == nil {
-		t.Fatal("unknown mix should fail")
+	cfg.Mix = "bogus"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown mix should fail validation")
 	}
 }
 
@@ -76,16 +74,16 @@ func TestRunErrors(t *testing.T) {
 // health summary in the report.
 func TestRunWithFaults(t *testing.T) {
 	cfg := smallConfig()
-	cfg.faultSeed = 7
-	cfg.transientProb = 0.05
-	cfg.panicProb = 0.01
-	cfg.retries = 4
-	cfg.backoff = 20 * time.Microsecond
+	cfg.FaultSeed = 7
+	cfg.TransientProb = 0.05
+	cfg.PanicProb = 0.01
+	cfg.Retries = 4
+	cfg.Backoff = Duration(20 * time.Microsecond)
 	r, err := run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.completed != int64(cfg.clients*cfg.requests) {
+	if r.completed != int64(cfg.Clients*cfg.Requests) {
 		t.Fatalf("faulty run lost requests: %+v", r)
 	}
 	var sb strings.Builder
@@ -101,7 +99,7 @@ func TestRunWithFaults(t *testing.T) {
 // submitting, Close must still drain, and the report must say so.
 func TestRunInterrupted(t *testing.T) {
 	cfg := smallConfig()
-	cfg.requests = 100
+	cfg.Requests = 100
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	r, err := run(ctx, cfg)

@@ -41,6 +41,8 @@ import (
 	"hwstar/internal/errs"
 	"hwstar/internal/experiments"
 	"hwstar/internal/fault"
+	"hwstar/internal/frontend"
+	v1 "hwstar/internal/frontend/v1"
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
 	"hwstar/internal/layout"
@@ -556,6 +558,62 @@ func GenJoin(seed int64, buildRows, probeRows int, zipfS float64) JoinData {
 		Seed: seed, BuildRows: buildRows, ProbeRows: probeRows, ZipfS: zipfS,
 	})
 }
+
+// Frontend is the multi-tenant HTTP/JSON face of a Server: sessions with
+// bearer tokens, per-tenant token-bucket rate limits and concurrency quotas,
+// priority classes, and the versioned v1 wire protocol. Mount
+// Frontend.Handler on an http.Server. See internal/frontend.
+type Frontend = frontend.Frontend
+
+// FrontendConfig assembles a Frontend: the Server it fronts, the tenant set,
+// session TTL, query timeout, and named lineitem tables for q1/q6.
+type FrontendConfig = frontend.Config
+
+// TenantConfig declares one tenant: id, API key, default priority class, and
+// its governance envelope (rate limit, concurrency quota, memory cap).
+type TenantConfig = frontend.TenantConfig
+
+// NewFrontend validates a FrontendConfig and builds the HTTP API state.
+var NewFrontend = frontend.New
+
+// Priority classifies a Server request's dispatch class; batch work is
+// core-capped and queued behind interactive work so it cannot starve
+// interactive p99.
+type Priority = serve.Priority
+
+// Priority classes.
+const (
+	PriorityInteractive = serve.PriorityInteractive
+	PriorityBatch       = serve.PriorityBatch
+)
+
+// TenantHealth is one tenant's slice of a Server's counters and latency
+// distribution, inside ServerHealth.Tenants.
+type TenantHealth = serve.TenantHealth
+
+// V1 wire protocol DTOs: the stable JSON contract of the Frontend's
+// /v1/* endpoints, decoupled from the internal Request/Response types.
+type (
+	// V1QueryRequest is the body of POST /v1/query.
+	V1QueryRequest = v1.QueryRequest
+	// V1QueryResponse is its success body (cost, spill, result).
+	V1QueryResponse = v1.QueryResponse
+	// V1SessionRequest and V1SessionResponse open sessions.
+	V1SessionRequest  = v1.SessionRequest
+	V1SessionResponse = v1.SessionResponse
+	// V1HealthResponse is the body of GET /v1/health.
+	V1HealthResponse = v1.HealthResponse
+	// V1TenantStats is the body of GET /v1/tenants/{id}/stats.
+	V1TenantStats = v1.TenantStats
+	// V1ErrorBody is the structured envelope of every non-2xx response;
+	// V1ErrorInfo its payload (stable code, retryability, retry-after).
+	V1ErrorBody = v1.ErrorBody
+	V1ErrorInfo = v1.ErrorInfo
+)
+
+// V1CodeFor classifies an error against the v1 wire error-code table,
+// returning the stable code, HTTP status, and retryability.
+var V1CodeFor = v1.CodeFor
 
 // RunExperiment executes one experiment of the E1–E22 suite at the given
 // scale (1 = full size) and returns its result tables.

@@ -1,0 +1,268 @@
+package frontend
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	v1 "hwstar/internal/frontend/v1"
+	"hwstar/internal/serve"
+)
+
+// errUnauthenticated marks frontend-origin auth failures; it never crosses
+// the package boundary (handlers map it straight to CodeUnauthenticated).
+var errUnauthenticated = errors.New("unauthenticated")
+
+// maxBodyBytes bounds request bodies; inline join/group-sum columns fit
+// comfortably, a hostile body cannot balloon the heap.
+const maxBodyBytes = 8 << 20
+
+// Handler mounts the v1 API:
+//
+//	POST   /v1/session            open a session (tenant + key → token)
+//	DELETE /v1/session            close the presented session
+//	POST   /v1/query              run one query (bearer token)
+//	GET    /v1/health             engine health, per-tenant breakdown
+//	GET    /v1/tenants/{id}/stats one tenant's stats (that tenant's token)
+func (f *Frontend) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/session", f.handleSessionOpen)
+	mux.HandleFunc("DELETE /v1/session", f.handleSessionClose)
+	mux.HandleFunc("POST /v1/query", f.handleQuery)
+	mux.HandleFunc("GET /v1/health", f.handleHealth)
+	mux.HandleFunc("GET /v1/tenants/{id}/stats", f.handleTenantStats)
+	return mux
+}
+
+// bearer extracts the Authorization bearer token.
+func bearer(r *http.Request) string {
+	h := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(h) > len(prefix) && strings.EqualFold(h[:len(prefix)], prefix) {
+		return h[len(prefix):]
+	}
+	return ""
+}
+
+func (f *Frontend) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter("frontend.requests").Inc()
+	var req v1.SessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		f.writeCode(w, v1.CodeInvalidArgument, http.StatusBadRequest, false, 0, "", err.Error())
+		return
+	}
+	token, expires, err := f.openSession(req.Tenant, req.Key)
+	if err != nil {
+		f.reg.Counter("frontend.unauthenticated").Inc()
+		f.writeCode(w, v1.CodeUnauthenticated, http.StatusUnauthorized, false, 0, "", "bad tenant or key")
+		return
+	}
+	ts, _ := f.tenant(req.Tenant)
+	writeJSON(w, http.StatusOK, v1.SessionResponse{
+		Token:         token,
+		Tenant:        req.Tenant,
+		ExpiresUnixMs: expires.UnixMilli(),
+		Priority:      ts.cfg.Priority,
+	})
+}
+
+func (f *Frontend) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter("frontend.requests").Inc()
+	if !f.closeSession(bearer(r)) {
+		f.reg.Counter("frontend.unauthenticated").Inc()
+		f.writeCode(w, v1.CodeUnauthenticated, http.StatusUnauthorized, false, 0, "", "unknown or expired session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter("frontend.requests").Inc()
+	ts, ok := f.resolveSession(bearer(r))
+	if !ok {
+		f.reg.Counter("frontend.unauthenticated").Inc()
+		f.writeCode(w, v1.CodeUnauthenticated, http.StatusUnauthorized, false, 0, "", "unknown or expired session")
+		return
+	}
+	tenant := ts.cfg.ID
+
+	// Frontend governance runs BEFORE the body is read: a rate-limited or
+	// over-quota tenant is refused for the price of a header parse, so a
+	// flood of megabyte payloads cannot buy JSON-decode time on the way to
+	// its 429. (This also means governance rejections win over body
+	// validation: a throttled tenant gets 429, not 400, for a bad body.)
+	if ok, retryAfter := ts.takeToken(f.now()); !ok {
+		f.tenantGovInc(tenant, "rate_limited")
+		f.writeCode(w, v1.CodeRateLimited, http.StatusTooManyRequests, true, retryAfter, "",
+			fmt.Sprintf("tenant %q rate limit exceeded", tenant))
+		return
+	}
+	if !ts.beginQuery() {
+		f.tenantGovInc(tenant, "quota_rejected")
+		f.writeCode(w, v1.CodeQuotaExceeded, http.StatusTooManyRequests, true, time.Second, "",
+			fmt.Sprintf("tenant %q at max %d concurrent queries", tenant, ts.cfg.MaxConcurrent))
+		return
+	}
+	defer ts.endQuery()
+
+	var q v1.QueryRequest
+	if err := decodeBody(r, &q); err != nil {
+		f.tenantGovInc(tenant, "invalid")
+		f.writeCode(w, v1.CodeInvalidArgument, http.StatusBadRequest, false, 0, "", err.Error())
+		return
+	}
+	sreq, err := q.ToServe()
+	if err != nil {
+		f.tenantGovInc(tenant, "invalid")
+		f.writeCode(w, v1.CodeInvalidArgument, http.StatusBadRequest, false, 0, q.TraceID, err.Error())
+		return
+	}
+	if q.Priority == "" {
+		sreq.Priority = serve.Priority(ts.cfg.Priority)
+	}
+
+	if sreq.Op == serve.OpQ1 || sreq.Op == serve.OpQ6 {
+		li, found := f.lineitems[q.Table]
+		if !found {
+			f.tenantGovInc(tenant, "invalid")
+			f.writeCode(w, v1.CodeInvalidArgument, http.StatusBadRequest, false, 0, q.TraceID,
+				fmt.Sprintf("unknown lineitem table %q", q.Table))
+			return
+		}
+		sreq.Lineitem = li
+	}
+	sreq.Tenant = tenant
+
+	ctx := r.Context()
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	start := f.now()
+	resp, err := f.srv.Submit(ctx, sreq)
+	wallMs := float64(f.now().Sub(start).Microseconds()) / 1000
+	if err != nil {
+		f.reg.Counter("frontend.queries_failed").Inc()
+		f.writeError(w, q.TraceID, err)
+		return
+	}
+	f.reg.Counter("frontend.queries_ok").Inc()
+	writeJSON(w, http.StatusOK, v1.ResponseFrom(&q, tenant, string(sreq.Priority.Lane()), wallMs, resp))
+}
+
+func (f *Frontend) handleHealth(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter("frontend.requests").Inc()
+	h := f.srv.Health()
+	out := v1.HealthResponse{
+		Status:         h.State,
+		QueueDepth:     h.QueueDepth,
+		Workers:        f.srv.Workers(),
+		Admitted:       h.Admitted,
+		Completed:      h.Completed,
+		Failed:         h.Failed,
+		Shed:           h.Shed + h.MemShed,
+		MemInUseBytes:  h.Memory.InUseBytes,
+		MemBudgetBytes: h.Memory.BudgetBytes,
+	}
+	if len(h.Tenants) > 0 {
+		out.Tenants = make(map[string]v1.TenantStats, len(h.Tenants))
+		for id, th := range h.Tenants {
+			out.Tenants[id] = f.wireTenantStats(id, th)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (f *Frontend) handleTenantStats(w http.ResponseWriter, r *http.Request) {
+	f.reg.Counter("frontend.requests").Inc()
+	ts, ok := f.resolveSession(bearer(r))
+	if !ok {
+		f.reg.Counter("frontend.unauthenticated").Inc()
+		f.writeCode(w, v1.CodeUnauthenticated, http.StatusUnauthorized, false, 0, "", "unknown or expired session")
+		return
+	}
+	id := r.PathValue("id")
+	// A tenant may read only its own stats; anything else is indistinguishable
+	// from a tenant that does not exist.
+	if id != ts.cfg.ID {
+		f.writeCode(w, v1.CodeNotFound, http.StatusNotFound, false, 0, "", fmt.Sprintf("no tenant %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, f.wireTenantStats(id, f.srv.TenantHealth(id)))
+}
+
+// wireTenantStats merges the engine's per-tenant health with the frontend's
+// governance counters onto the wire DTO.
+func (f *Frontend) wireTenantStats(id string, th serve.TenantHealth) v1.TenantStats {
+	out := v1.TenantStats{
+		Tenant:           id,
+		Admitted:         th.Admitted,
+		Completed:        th.Completed,
+		Failed:           th.Failed,
+		Rejected:         th.Rejected,
+		Shed:             th.Shed,
+		MemShed:          th.MemShed,
+		DeadlineExceeded: th.DeadlineExceeded,
+		Spills:           th.Spills,
+		SpillBytes:       th.SpillBytes,
+		LatencyP50Ms:     th.LatencyMs.P50,
+		LatencyP99Ms:     th.LatencyMs.P99,
+		MemInUseBytes:    th.MemInUseBytes,
+		MemCapBytes:      th.MemCapBytes,
+	}
+	if ts, ok := f.tenant(id); ok {
+		out.RateLimited, out.QuotaRejected, out.InFlight, out.Sessions = ts.govSnapshot()
+	}
+	return out
+}
+
+// tenantGovInc mirrors a frontend governance event into the metrics
+// registry under the tenant's dimension.
+func (f *Frontend) tenantGovInc(tenant, metric string) {
+	f.reg.Counter("frontend." + metric).Inc()
+	f.reg.Counter("frontend.tenant." + tenant + "." + metric).Inc()
+}
+
+// decodeBody strictly decodes a JSON body into dst.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("malformed JSON body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeError maps an engine error through the v1 code table. 429s carry a
+// Retry-After so well-behaved clients back off.
+func (f *Frontend) writeError(w http.ResponseWriter, traceID string, err error) {
+	code, status, retryable := v1.CodeFor(err)
+	retryAfter := time.Duration(0)
+	if status == http.StatusTooManyRequests {
+		retryAfter = time.Second
+	}
+	f.writeCode(w, code, status, retryable, retryAfter, traceID, err.Error())
+}
+
+// writeCode writes one structured error body.
+func (f *Frontend) writeCode(w http.ResponseWriter, code string, status int, retryable bool, retryAfter time.Duration, traceID, msg string) {
+	info := v1.ErrorInfo{Code: code, Message: msg, Retryable: retryable, TraceID: traceID}
+	if retryAfter > 0 {
+		info.RetryAfterMs = retryAfter.Milliseconds()
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+	}
+	writeJSON(w, status, v1.ErrorBody{Error: info})
+}

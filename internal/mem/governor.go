@@ -30,6 +30,13 @@ type Config struct {
 	// injects allocation failures into Charge: a charge fails with
 	// errs.ErrMemoryPressure before any bytes are accounted.
 	Faults *fault.Injector
+
+	// TenantCaps caps individual tenants' shares of the budget: a
+	// reservation made through ReserveFor fails with errs.ErrMemoryPressure
+	// once that tenant's in-use bytes would pass its cap, even while the
+	// global budget has headroom — one noisy tenant cannot drain the pool.
+	// Tenants absent from the map are bounded only by the global budget.
+	TenantCaps map[string]int64
 }
 
 // Stats is a point-in-time snapshot of a governor, exported through
@@ -50,6 +57,13 @@ type Stats struct {
 	Denied          int64
 	AdmissionDenied int64
 	OOMKills        int64
+
+	// TenantCaps, TenantInUse, and TenantDenied break the budget position
+	// down by tenant for every tenant with a cap or live usage. Nil when the
+	// governor carries no tenant dimension.
+	TenantCaps   map[string]int64
+	TenantInUse  map[string]int64
+	TenantDenied map[string]int64
 }
 
 // Governor tracks a server-wide memory budget and hands out per-query
@@ -69,6 +83,12 @@ type Governor struct {
 	peak  int64
 	live  int
 	stats Stats
+
+	// Tenant dimension: per-tenant caps, in-use bytes, and denial counts.
+	// All nil until a cap is set or a tenant-labelled reservation is made.
+	tenantCaps map[string]int64
+	tenantUse  map[string]int64
+	tenantDeny map[string]int64
 }
 
 // NewGovernor returns a governor armed with cfg.
@@ -76,7 +96,35 @@ func NewGovernor(cfg Config) *Governor {
 	if cfg.PerQueryBytes <= 0 && cfg.BudgetBytes > 0 {
 		cfg.PerQueryBytes = cfg.BudgetBytes / 4
 	}
-	return &Governor{cfg: cfg}
+	g := &Governor{cfg: cfg}
+	for id, cap := range cfg.TenantCaps {
+		if cap > 0 {
+			if g.tenantCaps == nil {
+				g.tenantCaps = make(map[string]int64)
+			}
+			g.tenantCaps[id] = cap
+		}
+	}
+	return g
+}
+
+// SetTenantCap caps (or, with bytes <= 0, uncaps) one tenant's share of the
+// budget. Safe to call while reservations are live: the cap applies to the
+// next reservation or grow.
+func (g *Governor) SetTenantCap(tenant string, bytes int64) {
+	if g == nil || tenant == "" {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if bytes <= 0 {
+		delete(g.tenantCaps, tenant)
+		return
+	}
+	if g.tenantCaps == nil {
+		g.tenantCaps = make(map[string]int64)
+	}
+	g.tenantCaps[tenant] = bytes
 }
 
 // Budget returns the configured budget (0 = unlimited).
@@ -101,6 +149,15 @@ func (g *Governor) PerQuery() int64 {
 // would push usage past the budget is refused with errs.ErrMemoryPressure,
 // which the serving layer turns into an admission shed.
 func (g *Governor) Reserve(n int64) (*Reservation, error) {
+	return g.ReserveFor("", n)
+}
+
+// ReserveFor is Reserve with tenant attribution: the grant is charged against
+// the tenant's cap (if one is set) before the global budget, and the tenant's
+// in-use bytes are tracked for Stats. An empty tenant is the untenanted form.
+// KillOnOverage mode ignores tenant caps — the naive engine has no
+// governance at all.
+func (g *Governor) ReserveFor(tenant string, n int64) (*Reservation, error) {
 	if g == nil {
 		return nil, nil
 	}
@@ -109,14 +166,26 @@ func (g *Governor) Reserve(n int64) (*Reservation, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.cfg.BudgetBytes > 0 && !g.cfg.KillOnOverage && g.inUse+n > g.cfg.BudgetBytes {
-		g.stats.AdmissionDenied++
-		return nil, fmt.Errorf("mem: reserve %d bytes with %d of %d in use: %w",
-			n, g.inUse, g.cfg.BudgetBytes, errs.ErrMemoryPressure)
+	if !g.cfg.KillOnOverage {
+		if cap, ok := g.tenantCaps[tenant]; ok && tenant != "" && g.tenantUse[tenant]+n > cap {
+			g.stats.AdmissionDenied++
+			g.noteTenantDenied(tenant)
+			return nil, fmt.Errorf("mem: reserve %d bytes for tenant %q with %d of %d tenant cap in use: %w",
+				n, tenant, g.tenantUse[tenant], cap, errs.ErrMemoryPressure)
+		}
+		if g.cfg.BudgetBytes > 0 && g.inUse+n > g.cfg.BudgetBytes {
+			g.stats.AdmissionDenied++
+			if tenant != "" {
+				g.noteTenantDenied(tenant)
+			}
+			return nil, fmt.Errorf("mem: reserve %d bytes with %d of %d in use: %w",
+				n, g.inUse, g.cfg.BudgetBytes, errs.ErrMemoryPressure)
+		}
 	}
 	g.grow(n)
+	g.growTenant(tenant, n)
 	g.live++
-	return &Reservation{gov: g, granted: n}, nil
+	return &Reservation{gov: g, tenant: tenant, granted: n}, nil
 }
 
 // grow adds n bytes to usage and maintains the peak. Callers hold g.mu.
@@ -127,29 +196,67 @@ func (g *Governor) grow(n int64) {
 	}
 }
 
+// growTenant adds n bytes to a tenant's usage. Callers hold g.mu.
+func (g *Governor) growTenant(tenant string, n int64) {
+	if tenant == "" {
+		return
+	}
+	if g.tenantUse == nil {
+		g.tenantUse = make(map[string]int64)
+	}
+	g.tenantUse[tenant] += n
+}
+
+// noteTenantDenied counts one denial against a tenant. Callers hold g.mu.
+func (g *Governor) noteTenantDenied(tenant string) {
+	if g.tenantDeny == nil {
+		g.tenantDeny = make(map[string]int64)
+	}
+	g.tenantDeny[tenant]++
+}
+
 // tryGrow attempts to add n bytes to usage for a reservation grow, applying
-// budget or kill semantics. Callers hold g.mu.
-func (g *Governor) tryGrow(n int64, site string) error {
+// tenant-cap, budget, and kill semantics. Callers hold g.mu.
+func (g *Governor) tryGrow(n int64, tenant, site string) error {
+	if tenant != "" && !g.cfg.KillOnOverage {
+		if cap, ok := g.tenantCaps[tenant]; ok && g.tenantUse[tenant]+n > cap {
+			g.stats.Denied++
+			g.noteTenantDenied(tenant)
+			return fmt.Errorf("mem: charge %d bytes at %s with %d of %d tenant %q cap in use: %w",
+				n, site, g.tenantUse[tenant], cap, tenant, errs.ErrMemoryPressure)
+		}
+	}
 	if g.cfg.BudgetBytes > 0 && g.inUse+n > g.cfg.BudgetBytes {
 		if g.cfg.KillOnOverage {
 			g.stats.OOMKills++
 			g.grow(n) // the naive engine allocates anyway; the kill is the consequence
+			g.growTenant(tenant, n)
 			return fmt.Errorf("mem: %s pushed usage to %d of %d budget: %w",
 				site, g.inUse, g.cfg.BudgetBytes, errs.ErrOOMKilled)
 		}
 		g.stats.Denied++
+		if tenant != "" {
+			g.noteTenantDenied(tenant)
+		}
 		return fmt.Errorf("mem: charge %d bytes at %s with %d of %d in use: %w",
 			n, site, g.inUse, g.cfg.BudgetBytes, errs.ErrMemoryPressure)
 	}
 	g.grow(n)
+	g.growTenant(tenant, n)
 	return nil
 }
 
 // release returns n bytes to the pool and, when final, retires the
 // reservation.
-func (g *Governor) release(n int64, final bool) {
+func (g *Governor) release(n int64, final bool, tenant string) {
 	g.mu.Lock()
 	g.inUse -= n
+	if tenant != "" && g.tenantUse != nil {
+		g.tenantUse[tenant] -= n
+		if g.tenantUse[tenant] <= 0 {
+			delete(g.tenantUse, tenant)
+		}
+	}
 	if final {
 		g.live--
 	}
@@ -168,7 +275,22 @@ func (g *Governor) Stats() Stats {
 	s.InUseBytes = g.inUse
 	s.PeakBytes = g.peak
 	s.Reservations = g.live
+	s.TenantCaps = copyTenantMap(g.tenantCaps)
+	s.TenantInUse = copyTenantMap(g.tenantUse)
+	s.TenantDenied = copyTenantMap(g.tenantDeny)
 	return s
+}
+
+// copyTenantMap snapshots a tenant map, preserving nil for "no dimension".
+func copyTenantMap(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // SpillFanout picks a grace-hash spill fan-out: the smallest power of two K
@@ -193,7 +315,8 @@ func SpillFanout(tableBytes, avail int64, workers int) int {
 // grants everything, so ungoverned call sites need no checks. Methods are
 // safe for concurrent use by the workers of one query.
 type Reservation struct {
-	gov *Governor
+	gov    *Governor
+	tenant string // attribution for tenant caps/usage; "" = untenanted
 
 	mu       sync.Mutex
 	granted  int64 // bytes held against the governor
@@ -225,7 +348,7 @@ func (r *Reservation) Charge(site string, worker int, n int64) error {
 	if r.used+n > r.granted {
 		need := r.used + n - r.granted
 		r.gov.mu.Lock()
-		err := r.gov.tryGrow(need, site)
+		err := r.gov.tryGrow(need, r.tenant, site)
 		r.gov.mu.Unlock()
 		if err != nil {
 			return err
@@ -267,12 +390,23 @@ func (r *Reservation) Available() int64 {
 	defer r.mu.Unlock()
 	slack := r.granted - r.used
 	g := r.gov
-	if g == nil || g.cfg.BudgetBytes <= 0 {
+	if g == nil {
 		return unbounded
 	}
 	g.mu.Lock()
-	free := g.cfg.BudgetBytes - g.inUse
+	free := unbounded
+	if g.cfg.BudgetBytes > 0 {
+		free = g.cfg.BudgetBytes - g.inUse
+	}
+	if cap, ok := g.tenantCaps[r.tenant]; ok && r.tenant != "" {
+		if tf := cap - g.tenantUse[r.tenant]; tf < free {
+			free = tf
+		}
+	}
 	g.mu.Unlock()
+	if free >= unbounded {
+		return unbounded
+	}
 	if free < 0 {
 		free = 0
 	}
@@ -339,6 +473,6 @@ func (r *Reservation) Release() {
 	r.used = 0
 	r.mu.Unlock()
 	if r.gov != nil {
-		r.gov.release(granted, true)
+		r.gov.release(granted, true, r.tenant)
 	}
 }

@@ -24,7 +24,7 @@ func TestNilGovernorGrantsEverything(t *testing.T) {
 	r.Uncharge(1)
 	r.NoteSpill(1)
 	r.Release()
-	if s := g.Stats(); s != (Stats{}) {
+	if s := g.Stats(); s.BudgetBytes != 0 || s.InUseBytes != 0 || s.Reservations != 0 || s.TenantInUse != nil {
 		t.Fatalf("nil governor Stats = %+v, want zero", s)
 	}
 }

@@ -86,10 +86,54 @@ const (
 	OpQ6       Op = "q6"        // TPC-H-Q6-shaped query over a lineitem table
 )
 
+// Priority classifies a request for the dispatch path. Interactive (the
+// zero value) is the latency-sensitive class; batch is throughput work that
+// must never starve interactive p99: batch requests queue in their own
+// intake lane that the dispatcher serves only after the interactive lane,
+// and batch operations are capped to Workers-InteractiveReserve simulated
+// cores in total, so an interactive request never waits behind the whole
+// batch backlog for a core.
+type Priority string
+
+// Priority classes. The empty string is interactive, so the zero Request
+// keeps its pre-priority behaviour.
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBatch       Priority = "batch"
+)
+
+// batchClass reports whether p is the batch (sheddable, core-capped) class.
+func (p Priority) batchClass() bool { return p == PriorityBatch }
+
+// Lane names the dispatch lane the priority maps to ("interactive" or
+// "batch"), normalizing the empty default.
+func (p Priority) Lane() string {
+	if p.batchClass() {
+		return "batch"
+	}
+	return "interactive"
+}
+
 // Request is one client query. Set Op and the fields of the matching group;
 // the rest stay zero.
 type Request struct {
 	Op Op
+
+	// Tenant labels the request with the submitting tenant's identity.
+	// Non-empty tenants get their own metric dimension (serve.tenant.<id>.*
+	// counters and histograms), a per-tenant Health breakdown, tenant
+	// attribution on trace spans, and — when the memory governor carries
+	// per-tenant caps — a tenant-scoped memory budget. Empty means
+	// unattributed (the pre-multi-tenancy behaviour).
+	Tenant string
+
+	// Priority selects the dispatch class: "" or "interactive" for the
+	// latency-sensitive lane, "batch" for the core-capped throughput lane.
+	Priority Priority
+
+	// TraceID, when non-empty, is attached to the request's trace span so a
+	// wire-level request id can be joined against the server's span trees.
+	TraceID string
 
 	// OpScan: one range-filter aggregation against the relation registered
 	// under Table. Scan requests are the batchable shape — concurrent scans
@@ -155,9 +199,20 @@ type Options struct {
 	// operations can overlap. Shared-scan batches always use the full
 	// budget: one cooperative pass should own the machine.
 	OpWorkers int
-	// QueueDepth bounds the intake queue; submissions beyond it are
-	// rejected with ErrOverloaded. Default 256.
+	// QueueDepth bounds the interactive intake queue; submissions beyond it
+	// are rejected with ErrOverloaded. Default 256.
 	QueueDepth int
+	// BatchQueueDepth bounds the batch-priority intake lane. Default
+	// QueueDepth. Batch traffic overflowing its lane is rejected with
+	// ErrOverloaded without touching the interactive lane's headroom.
+	BatchQueueDepth int
+	// InteractiveReserve is the number of simulated-core tokens batch-class
+	// work may never occupy: batch operations (and scan passes whose every
+	// member is batch-class) hold at most Workers-InteractiveReserve tokens
+	// in total, so interactive work always finds cores without waiting for
+	// the batch backlog to drain. Default Workers/4 (min 1); must leave at
+	// least one token for batch work (InteractiveReserve < Workers).
+	InteractiveReserve int
 	// BatchWindow is how long the batcher waits, after the first scan
 	// request arrives, for more scans to share the pass. Default 500µs.
 	BatchWindow time.Duration
@@ -247,6 +302,25 @@ func (o Options) withDefaults(m *hw.Machine) (Options, error) {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
 	}
+	if o.BatchQueueDepth <= 0 {
+		o.BatchQueueDepth = o.QueueDepth
+	}
+	switch {
+	case o.InteractiveReserve < 0:
+		o.InteractiveReserve = 0 // negative = explicitly no reserve
+	case o.InteractiveReserve == 0:
+		// Default: a quarter of the budget (min 1), but always leave batch
+		// work at least one token — a 1-core machine cannot reserve.
+		o.InteractiveReserve = o.Workers / 4
+		if o.InteractiveReserve < 1 {
+			o.InteractiveReserve = 1
+		}
+		if o.InteractiveReserve > o.Workers-1 {
+			o.InteractiveReserve = o.Workers - 1
+		}
+	case o.InteractiveReserve >= o.Workers:
+		return o, fmt.Errorf("serve: interactive reserve %d out of range 0..%d: %w", o.InteractiveReserve, o.Workers-1, errs.ErrWorkersOutOfRange)
+	}
 	if o.BatchWindow <= 0 {
 		o.BatchWindow = 500 * time.Microsecond
 	}
@@ -306,8 +380,12 @@ type Server struct {
 	reg     *metrics.Registry
 	gov     *mem.Governor // nil when memory governance is off
 
-	intake chan *pending
-	sem    chan struct{} // simulated-core tokens; capacity = opts.Workers
+	// intake is the interactive lane; intakeLo the batch-priority lane. The
+	// dispatcher drains intake first, so batch backlog cannot impose
+	// head-of-line latency on interactive requests.
+	intake   chan *pending
+	intakeLo chan *pending
+	cores    *coreSem // priority-aware simulated-core token pool
 
 	// brk is the circuit breaker (nil when disabled); rng feeds backoff
 	// jitter deterministically.
@@ -315,9 +393,10 @@ type Server struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mu     sync.RWMutex // guards closed and tables
-	closed bool
-	tables map[string]*scan.Relation
+	mu      sync.RWMutex // guards closed, tables, and tenants
+	closed  bool
+	tables  map[string]*scan.Relation
+	tenants map[string]struct{} // tenant ids seen, for the Health breakdown
 
 	wg sync.WaitGroup // dispatcher + in-flight executors
 
@@ -370,13 +449,15 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 		seed = entropySeed()
 	}
 	s := &Server{
-		machine: m,
-		opts:    opts,
-		reg:     metrics.NewRegistry(),
-		intake:  make(chan *pending, opts.QueueDepth),
-		sem:     make(chan struct{}, opts.Workers),
-		tables:  make(map[string]*scan.Relation),
-		rng:     rand.New(rand.NewSource(seed)),
+		machine:  m,
+		opts:     opts,
+		reg:      metrics.NewRegistry(),
+		intake:   make(chan *pending, opts.QueueDepth),
+		intakeLo: make(chan *pending, opts.BatchQueueDepth),
+		cores:    newCoreSem(opts.Workers, opts.Workers-opts.InteractiveReserve),
+		tables:   make(map[string]*scan.Relation),
+		tenants:  make(map[string]struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
 	}
 	if opts.BreakerThreshold > 0 {
 		s.brk = &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
@@ -392,9 +473,6 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 	if mc.BudgetBytes > 0 || mc.Faults != nil {
 		s.gov = mem.NewGovernor(mc)
 	}
-	for i := 0; i < opts.Workers; i++ {
-		s.sem <- struct{}{}
-	}
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
@@ -408,6 +486,9 @@ func (s *Server) Machine() *hw.Machine { return s.machine }
 // serve.deadline_exceeded. Histograms: serve.batch_size, serve.latency_ms,
 // serve.queue_wait_ms, serve.cycles_per_query. Gauge: serve.queue_depth.
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Workers returns the server's simulated-core budget.
+func (s *Server) Workers() int { return s.opts.Workers }
 
 // Register makes a columnar relation available to scan requests under the
 // given name. Registering an existing name replaces the relation (new
@@ -426,6 +507,52 @@ func (s *Server) Register(name string, cols [][]int64) error {
 	return nil
 }
 
+// tenantInc bumps one tenant-dimension counter (serve.tenant.<id>.<metric>)
+// and remembers the tenant id for the Health breakdown. No-op for the empty
+// (unattributed) tenant.
+func (s *Server) tenantInc(tenant, metric string) {
+	if tenant == "" {
+		return
+	}
+	s.noteTenant(tenant)
+	s.reg.Counter("serve.tenant." + tenant + "." + metric).Inc()
+}
+
+// noteTenant records a tenant id in the seen set (read-mostly: the common
+// case is a hit under the read lock).
+func (s *Server) noteTenant(tenant string) {
+	s.mu.RLock()
+	_, ok := s.tenants[tenant]
+	s.mu.RUnlock()
+	if ok {
+		return
+	}
+	s.mu.Lock()
+	s.tenants[tenant] = struct{}{}
+	s.mu.Unlock()
+}
+
+// tenantIDs snapshots the seen-tenant set.
+func (s *Server) tenantIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// SetTenantMemCap caps the named tenant's share of the server's memory
+// budget: reservations for that tenant's requests fail with
+// ErrMemoryPressure once the tenant's in-use bytes would pass the cap, even
+// while the global budget has headroom (see mem.Governor.SetTenantCap).
+// A zero or negative cap removes the tenant's cap. No-op when memory
+// governance is off.
+func (s *Server) SetTenantMemCap(tenant string, bytes int64) {
+	s.gov.SetTenantCap(tenant, bytes)
+}
+
 // lookup returns the relation registered under name.
 func (s *Server) lookup(name string) (*scan.Relation, bool) {
 	s.mu.RLock()
@@ -436,6 +563,11 @@ func (s *Server) lookup(name string) (*scan.Relation, bool) {
 
 // validate rejects malformed requests before they consume queue space.
 func (s *Server) validate(req Request) error {
+	switch req.Priority {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return fmt.Errorf("serve: unknown priority %q: %w", req.Priority, errs.ErrInvalidInput)
+	}
 	switch req.Op {
 	case OpScan:
 		rel, ok := s.lookup(req.Table)
@@ -479,12 +611,14 @@ func (s *Server) validate(req Request) error {
 func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	if err := s.validate(req); err != nil {
 		s.reg.Counter("serve.invalid").Inc()
+		s.tenantInc(req.Tenant, "invalid")
 		return Response{}, err
 	}
 	// Degraded mode: shed everything but scans while the breaker is open.
 	// Scans stay admitted — they run on the reduced worker budget.
 	if s.brk != nil && req.Op != OpScan && !s.brk.allow(time.Now()) {
 		s.reg.Counter("serve.shed").Inc()
+		s.tenantInc(req.Tenant, "shed")
 		return Response{}, fmt.Errorf("serve: circuit open, %s shed: %w", req.Op, errs.ErrDegraded)
 	}
 	// Memory admission: a join/aggregate request must win its reservation
@@ -493,12 +627,15 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	// ErrMemoryPressure (retryable: pressure subsides as running queries
 	// release). Scans reserve nothing: their state is streaming, not a
 	// table. Q1/Q6 run single-threaded engines with no governed state.
+	// Tenant-labelled requests reserve against their tenant's cap as well as
+	// the global budget, so one tenant cannot drain the whole pool.
 	var resv *mem.Reservation
 	if s.gov != nil && (req.Op == OpJoin || req.Op == OpGroupSum) {
 		var err error
-		resv, err = s.gov.Reserve(0)
+		resv, err = s.gov.ReserveFor(req.Tenant, 0)
 		if err != nil {
 			s.reg.Counter("serve.mem_shed").Inc()
+			s.tenantInc(req.Tenant, "mem_shed")
 			return Response{}, fmt.Errorf("serve: %s shed at admission: %w", req.Op, err)
 		}
 	}
@@ -514,8 +651,23 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	// request enters the intake queue: the dispatcher reads the spans
 	// concurrently the moment the send succeeds.
 	p.span = s.opts.Trace.Start("request:" + string(req.Op))
+	if req.Tenant != "" {
+		p.span.SetAttr("tenant", req.Tenant)
+	}
+	if req.Priority.batchClass() {
+		p.span.SetAttr("priority", "batch")
+	}
+	if req.TraceID != "" {
+		p.span.SetAttr("trace_id", req.TraceID)
+	}
 	p.queueSpan = p.span.Child("queue")
 
+	// Batch-priority requests queue in their own bounded lane; a full lane
+	// rejects without consuming interactive headroom.
+	lane, depth := s.intake, s.opts.QueueDepth
+	if req.Priority.batchClass() {
+		lane, depth = s.intakeLo, s.opts.BatchQueueDepth
+	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -526,18 +678,20 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 		return Response{}, fmt.Errorf("serve: submit: %w", errs.ErrClosed)
 	}
 	select {
-	case s.intake <- p:
+	case lane <- p:
 		s.mu.RUnlock()
 		s.reg.Counter("serve.admitted").Inc()
-		s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake)))
+		s.tenantInc(req.Tenant, "admitted")
+		s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake) + len(s.intakeLo)))
 	default:
 		s.mu.RUnlock()
 		p.resv.Release()
 		s.reg.Counter("serve.rejected").Inc()
+		s.tenantInc(req.Tenant, "rejected")
 		p.span.SetAttr("status", "rejected")
 		p.queueSpan.End()
 		p.span.End()
-		return Response{}, fmt.Errorf("serve: intake queue full (%d deep): %w", s.opts.QueueDepth, errs.ErrOverloaded)
+		return Response{}, fmt.Errorf("serve: %s intake queue full (%d deep): %w", req.Priority.Lane(), depth, errs.ErrOverloaded)
 	}
 
 	select {
@@ -561,23 +715,98 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	close(s.intake)
+	close(s.intakeLo)
 	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
 }
 
-// acquire takes n simulated-core tokens. Only the dispatcher acquires, so
-// partial acquisition cannot deadlock against another acquirer; executors
-// release as they finish.
-func (s *Server) acquire(n int) {
-	for i := 0; i < n; i++ {
-		<-s.sem
-	}
+// coreSem is the server's simulated-core token pool. Unlike the plain
+// channel semaphore it replaced, it is priority-aware: interactive
+// acquisitions may take every token, while batch-class work is capped so it
+// never holds more than batchCap tokens in total — the InteractiveReserve
+// tokens always stay reachable for interactive requests. Acquisition is
+// atomic (all tokens or none, under one lock), so concurrent acquirers
+// cannot deadlock on partial holds.
+type coreSem struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	free      int
+	batchCap  int // max tokens batch-class work may hold in total
+	batchHeld int
+
+	// freed is a capacity-1 wakeup the dispatcher selects on while batch
+	// work is parked waiting for tokens: every release pokes it, so parked
+	// work is re-tried as soon as cores come back.
+	freed chan struct{}
 }
 
-func (s *Server) release(n int) {
-	for i := 0; i < n; i++ {
-		s.sem <- struct{}{}
+func newCoreSem(total, batchCap int) *coreSem {
+	c := &coreSem{free: total, batchCap: batchCap, freed: make(chan struct{}, 1)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// acquireUpTo blocks until at least lo tokens are free, then takes every
+// free token up to hi and returns the count taken (interactive class).
+// Interactive work uses it to start on the reserved cores immediately and
+// widen opportunistically, instead of waiting for in-flight batch holds to
+// drain: with lo = InteractiveReserve, the wait is bounded by interactive
+// work ahead of it, never by the batch backlog.
+func (c *coreSem) acquireUpTo(lo, hi int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.free < lo {
+		c.cond.Wait()
+	}
+	n := c.free
+	if n > hi {
+		n = hi
+	}
+	c.free -= n
+	return n
+}
+
+// tryAcquireBatch takes n tokens for batch-class work if they are free and
+// batch work stays within its cap. It never blocks: the dispatcher parks
+// batch work it cannot place instead of stalling the interactive lane.
+func (c *coreSem) tryAcquireBatch(n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.free < n || c.batchHeld+n > c.batchCap {
+		return false
+	}
+	c.free -= n
+	c.batchHeld += n
+	return true
+}
+
+// acquireBatch is the blocking form of tryAcquireBatch, used only while
+// draining at close, when no interactive work can arrive anymore.
+func (c *coreSem) acquireBatch(n int) {
+	c.mu.Lock()
+	for c.free < n || c.batchHeld+n > c.batchCap {
+		c.cond.Wait()
+	}
+	c.free -= n
+	c.batchHeld += n
+	c.mu.Unlock()
+}
+
+// release returns n tokens, shrinking the batch hold when the releaser ran
+// as batch class, and wakes both blocking waiters and the dispatcher's
+// parked-work loop.
+func (c *coreSem) release(n int, batchClass bool) {
+	c.mu.Lock()
+	c.free += n
+	if batchClass {
+		c.batchHeld -= n
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	select {
+	case c.freed <- struct{}{}:
+	default:
 	}
 }
 
@@ -749,23 +978,74 @@ func (s *Server) recordPhases(phases []sched.Result, opErr error) {
 // batch is the scan batch under collection: requests against one relation
 // that will share a single clock-scan pass. workers is the simulated-core
 // budget reserved for it — the full budget normally, the degraded budget
-// while the breaker is open.
+// while the breaker is open, the batch-capped budget when every member is
+// batch-class (lo).
 type batch struct {
 	table   string
 	rel     *scan.Relation
 	reqs    []*pending
 	workers int
+	lo      bool // every member is batch-priority
+}
+
+// parkedWork is batch-class work the dispatcher could not place immediately:
+// one non-scan operation (p) or one all-batch scan pass (b). Parked work
+// waits, FIFO, for the core pool's freed signal. While anything is parked
+// the batch lane is not consumed, so its bounded channel stays the only
+// buffer and ErrOverloaded keeps meaning "the machine is behind" for batch
+// traffic too.
+type parkedWork struct {
+	p       *pending
+	b       *batch
+	workers int
+}
+
+// interactiveFloor is the minimum core count an interactive placement asking
+// for want cores may start with: the InteractiveReserve tokens (which batch
+// work can never hold), clamped to [1, want].
+func (s *Server) interactiveFloor(want int) int {
+	lo := s.opts.InteractiveReserve
+	if lo < 1 {
+		lo = 1
+	}
+	if lo > want {
+		lo = want
+	}
+	return lo
 }
 
 // dispatch is the server's single intake consumer: it collects scan requests
 // into batches and hands every unit of execution to a goroutine only after
-// reserving its simulated cores — while it blocks on the reservation, the
-// intake queue is the only buffer, which is what makes ErrOverloaded mean
-// "the machine is behind", not "a buffer happened to fill".
+// reserving its simulated cores. Interactive work is dispatched with a
+// blocking reservation — while the dispatcher waits, the interactive lane is
+// the only buffer. Batch-class work never blocks the dispatcher: it is
+// placed with a try-acquire against the batch core cap and parked when the
+// tokens are not there, so a batch backlog cannot add head-of-line latency
+// to the interactive lane.
 func (s *Server) dispatch() {
 	defer s.wg.Done()
 	var cur *batch
 	var window <-chan time.Time // nil when no batch is open
+	var parked []parkedWork
+	hiCh, loCh := s.intake, s.intakeLo
+
+	// tryParked re-dispatches parked batch work, oldest first, stopping at
+	// the first item the core pool still cannot take.
+	tryParked := func() {
+		for len(parked) > 0 {
+			w := parked[0]
+			if !s.cores.tryAcquireBatch(w.workers) {
+				return
+			}
+			parked = parked[1:]
+			s.wg.Add(1)
+			if w.b != nil {
+				go s.runBatch(w.b)
+			} else {
+				go s.runOne(w.p, w.workers, true)
+			}
+		}
+	}
 
 	flush := func() {
 		if cur == nil {
@@ -778,54 +1058,141 @@ func (s *Server) dispatch() {
 			b.workers = s.opts.DegradedWorkers // ...unless the server is degraded
 			s.reg.Counter("serve.degraded_scans").Inc()
 		}
-		s.acquire(b.workers)
+		if b.lo {
+			// An all-batch pass runs core-capped and never blocks the
+			// dispatcher: park it when the tokens are not there.
+			if cap := s.opts.Workers - s.opts.InteractiveReserve; b.workers > cap {
+				b.workers = cap
+			}
+			if s.cores.tryAcquireBatch(b.workers) {
+				s.wg.Add(1)
+				go s.runBatch(b)
+			} else {
+				parked = append(parked, parkedWork{b: b, workers: b.workers})
+			}
+			return
+		}
+		// An interactive pass starts as soon as the reserved cores are free
+		// and widens to whatever else is idle — waiting for the full budget
+		// would let in-flight batch holds add their entire runtime to
+		// interactive latency.
+		b.workers = s.cores.acquireUpTo(s.interactiveFloor(b.workers), b.workers)
 		s.wg.Add(1)
 		go s.runBatch(b)
 	}
 
-	for {
-		select {
-		case p, ok := <-s.intake:
-			if !ok {
-				flush()
+	// admit routes one dequeued request: non-scan operations to their own
+	// goroutine (interactive blocking, batch try-or-park), scans into the
+	// current shared batch.
+	admit := func(p *pending) {
+		s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake) + len(s.intakeLo)))
+		p.queueSpan.End()
+		s.reg.Histogram("serve.queue_wait_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
+		if err := p.ctx.Err(); err != nil {
+			s.finish(p, Response{}, fmt.Errorf("serve: dropped before dispatch: %w", err))
+			return
+		}
+		if p.req.Op != OpScan {
+			workers := s.opts.OpWorkers
+			if p.req.Op == OpQ1 || p.req.Op == OpQ6 {
+				workers = 1 // single-threaded query engines
+			}
+			if p.req.Priority.batchClass() {
+				// Cap batch-class operations at the batch core budget, or
+				// they could never be placed at all.
+				if cap := s.opts.Workers - s.opts.InteractiveReserve; workers > cap {
+					workers = cap
+				}
+				if s.cores.tryAcquireBatch(workers) {
+					s.wg.Add(1)
+					go s.runOne(p, workers, true)
+				} else {
+					parked = append(parked, parkedWork{p: p, workers: workers})
+				}
 				return
 			}
-			s.reg.Gauge("serve.queue_depth").Set(int64(len(s.intake)))
-			p.queueSpan.End()
-			s.reg.Histogram("serve.queue_wait_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
-			if err := p.ctx.Err(); err != nil {
-				s.finish(p, Response{}, fmt.Errorf("serve: dropped before dispatch: %w", err))
+			workers = s.cores.acquireUpTo(s.interactiveFloor(workers), workers)
+			s.wg.Add(1)
+			go s.runOne(p, workers, false)
+			return
+		}
+		if cur != nil && cur.table != p.req.Table {
+			flush() // a different relation cannot share the pass
+		}
+		if cur == nil {
+			rel, ok := s.lookup(p.req.Table)
+			if !ok { // table dropped since validation
+				s.finish(p, Response{}, fmt.Errorf("serve: unknown table %q: %w", p.req.Table, errs.ErrInvalidInput))
+				return
+			}
+			cur = &batch{table: p.req.Table, rel: rel, lo: true}
+			window = time.After(s.opts.BatchWindow)
+		}
+		// A single interactive member promotes the whole pass: sharing the
+		// scan with batch tenants is free, delaying an interactive member
+		// behind the batch core cap is not.
+		cur.lo = cur.lo && p.req.Priority.batchClass()
+		// The batch-assembly span covers the wait from joining the batch
+		// until the shared pass starts (window + core reservation).
+		p.batchSpan = p.span.Child("batch-assembly")
+		cur.reqs = append(cur.reqs, p)
+		if len(cur.reqs) >= s.opts.MaxBatch {
+			flush()
+		}
+	}
+
+	for {
+		// Biased drain: take everything the interactive lane has before
+		// touching the batch lane, so interactive dispatch order never
+		// depends on batch arrival order.
+		select {
+		case p, ok := <-hiCh:
+			if ok {
+				admit(p)
 				continue
 			}
-			if p.req.Op != OpScan {
-				workers := s.opts.OpWorkers
-				if p.req.Op == OpQ1 || p.req.Op == OpQ6 {
-					workers = 1 // single-threaded query engines
-				}
-				s.acquire(workers)
+			hiCh = nil
+		default:
+		}
+		if hiCh == nil && loCh == nil {
+			// Both lanes closed: drain. Parked batch work still runs — with
+			// a blocking reservation now, since nothing else can arrive.
+			flush()
+			for _, w := range parked {
+				s.cores.acquireBatch(w.workers)
 				s.wg.Add(1)
-				go s.runOne(p, workers)
+				if w.b != nil {
+					go s.runBatch(w.b)
+				} else {
+					go s.runOne(w.p, w.workers, true)
+				}
+			}
+			return
+		}
+		// While batch work is parked the batch lane is left untouched and
+		// the freed channel joins the select, so parked work resumes the
+		// moment cores free up.
+		lo := loCh
+		var freed chan struct{}
+		if len(parked) > 0 {
+			lo = nil
+			freed = s.cores.freed
+		}
+		select {
+		case p, ok := <-hiCh:
+			if !ok {
+				hiCh = nil
 				continue
 			}
-			if cur != nil && cur.table != p.req.Table {
-				flush() // a different relation cannot share the pass
+			admit(p)
+		case p, ok := <-lo:
+			if !ok {
+				loCh = nil
+				continue
 			}
-			if cur == nil {
-				rel, ok := s.lookup(p.req.Table)
-				if !ok { // table dropped since validation
-					s.finish(p, Response{}, fmt.Errorf("serve: unknown table %q: %w", p.req.Table, errs.ErrInvalidInput))
-					continue
-				}
-				cur = &batch{table: p.req.Table, rel: rel}
-				window = time.After(s.opts.BatchWindow)
-			}
-			// The batch-assembly span covers the wait from joining the batch
-			// until the shared pass starts (window + core reservation).
-			p.batchSpan = p.span.Child("batch-assembly")
-			cur.reqs = append(cur.reqs, p)
-			if len(cur.reqs) >= s.opts.MaxBatch {
-				flush()
-			}
+			admit(p)
+		case <-freed:
+			tryParked()
 		case <-window:
 			flush()
 		}
@@ -837,7 +1204,7 @@ func (s *Server) dispatch() {
 // each request is the batch makespan divided by the batch size.
 func (s *Server) runBatch(b *batch) {
 	defer s.wg.Done()
-	defer s.release(b.workers)
+	defer s.cores.release(b.workers, b.lo)
 	if c := s.testHold; c != nil {
 		<-c
 	}
@@ -923,9 +1290,11 @@ func (s *Server) runBatch(b *batch) {
 }
 
 // runOne executes one non-batchable request on its reserved cores.
-func (s *Server) runOne(p *pending, workers int) {
+// batchClass records which class the cores were acquired under, so the
+// release keeps the batch hold accounting straight.
+func (s *Server) runOne(p *pending, workers int, batchClass bool) {
 	defer s.wg.Done()
-	defer s.release(workers)
+	defer s.cores.release(workers, batchClass)
 	if c := s.testHold; c != nil {
 		<-c
 	}
@@ -1015,19 +1384,28 @@ func (s *Server) execute(ctx context.Context, req Request, workers int, resv *me
 // also settles the memory reservation: spill and peak-footprint accounting,
 // then release back to the governor.
 func (s *Server) finish(p *pending, resp Response, err error) {
+	tenant := p.req.Tenant
 	switch {
 	case err == nil:
 		s.reg.Counter("serve.completed").Inc()
-		s.reg.Histogram("serve.latency_ms").Record(float64(time.Since(p.enq).Microseconds()) / 1000)
+		lat := float64(time.Since(p.enq).Microseconds()) / 1000
+		s.reg.Histogram("serve.latency_ms").Record(lat)
+		if tenant != "" {
+			s.tenantInc(tenant, "completed")
+			s.reg.Histogram("serve.tenant."+tenant+".latency_ms").Record(lat)
+			s.reg.Histogram("serve.tenant."+tenant+".cycles_per_query").Record(resp.SimCycles)
+		}
 		p.span.SetAttr("status", "ok")
 		if s.brk != nil {
 			s.brk.onSuccess()
 		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.reg.Counter("serve.deadline_exceeded").Inc()
+		s.tenantInc(tenant, "deadline_exceeded")
 		p.span.SetAttr("status", "deadline")
 	default:
 		s.reg.Counter("serve.failed").Inc()
+		s.tenantInc(tenant, "failed")
 		p.span.SetAttr("status", "failed")
 		if errors.Is(err, errs.ErrOOMKilled) {
 			s.reg.Counter("serve.oom_killed").Inc()
@@ -1045,6 +1423,11 @@ func (s *Server) finish(p *pending, resp Response, err error) {
 		if spills, spillB := p.resv.Spills(); spills > 0 {
 			s.reg.Counter("serve.spills").Add(spills)
 			s.reg.Counter("serve.spill_bytes").Add(spillB)
+			if tenant != "" {
+				s.noteTenant(tenant)
+				s.reg.Counter("serve.tenant." + tenant + ".spills").Add(spills)
+				s.reg.Counter("serve.tenant." + tenant + ".spill_bytes").Add(spillB)
+			}
 			p.span.SetAttr("spilled", "true")
 		}
 		p.span.AddBytes(p.resv.PeakBytes())
@@ -1092,6 +1475,31 @@ type Health struct {
 	// Faults counts injected faults by class, from the armed injector's log
 	// (nil when no injector is armed).
 	Faults map[string]int64
+
+	// Tenants breaks the admission/outcome counters down by tenant id, for
+	// every tenant that has submitted at least one labelled request. Nil
+	// when no request carried a tenant.
+	Tenants map[string]TenantHealth
+}
+
+// TenantHealth is one tenant's slice of the server's counters and latency
+// distribution. It is assembled from the per-tenant metric dimension — no
+// mutexed state is copied to produce it.
+type TenantHealth struct {
+	// Admission and outcome counters for this tenant's requests.
+	Admitted, Completed, Failed, Rejected, Shed, MemShed int64
+	DeadlineExceeded, Invalid                            int64
+
+	// Spill accounting for this tenant's governed operators.
+	Spills, SpillBytes int64
+
+	// LatencyMs summarizes the tenant's completed-request latency;
+	// CyclesPerQuery the modeled cost distribution.
+	LatencyMs, CyclesPerQuery metrics.HistogramStats
+
+	// MemInUseBytes and MemCapBytes report the tenant's position against
+	// its memory cap (both 0 when the governor carries no cap for it).
+	MemInUseBytes, MemCapBytes int64
 }
 
 // Health snapshots the server's resilience state: breaker position, failure
@@ -1129,5 +1537,42 @@ func (s *Server) Health() Health {
 			h.State = "degraded"
 		}
 	}
+	if ids := s.tenantIDs(); len(ids) > 0 {
+		h.Tenants = make(map[string]TenantHealth, len(ids))
+		for _, id := range ids {
+			h.Tenants[id] = s.tenantHealth(id, c)
+		}
+	}
 	return h
+}
+
+// TenantHealth returns one tenant's Health slice (zero for a tenant the
+// server has never seen).
+func (s *Server) TenantHealth(tenant string) TenantHealth {
+	return s.tenantHealth(tenant, s.reg.Counters())
+}
+
+// tenantHealth assembles one tenant's breakdown from the counter snapshot c
+// and the per-tenant histograms.
+func (s *Server) tenantHealth(tenant string, c map[string]int64) TenantHealth {
+	p := "serve.tenant." + tenant + "."
+	th := TenantHealth{
+		Admitted:         c[p+"admitted"],
+		Completed:        c[p+"completed"],
+		Failed:           c[p+"failed"],
+		Rejected:         c[p+"rejected"],
+		Shed:             c[p+"shed"],
+		MemShed:          c[p+"mem_shed"],
+		DeadlineExceeded: c[p+"deadline_exceeded"],
+		Invalid:          c[p+"invalid"],
+		Spills:           c[p+"spills"],
+		SpillBytes:       c[p+"spill_bytes"],
+		LatencyMs:        s.reg.Histogram(p + "latency_ms").Stats(),
+		CyclesPerQuery:   s.reg.Histogram(p + "cycles_per_query").Stats(),
+	}
+	if gs := s.gov.Stats(); gs.TenantInUse != nil {
+		th.MemInUseBytes = gs.TenantInUse[tenant]
+		th.MemCapBytes = gs.TenantCaps[tenant]
+	}
+	return th
 }
