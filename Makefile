@@ -6,7 +6,7 @@ GO ?= go
 # no dependencies beyond the toolchain.
 STRICT ?=
 
-.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend experiments clean
+.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend bench-store experiments clean
 
 all: check
 
@@ -66,6 +66,12 @@ bench:
 # scale and regenerates the committed BENCH_frontend.json artifact.
 bench-frontend:
 	$(GO) run ./cmd/hwbench -scale 1 -frontend-json BENCH_frontend.json E23
+
+# bench-store runs E24 (durable tier: kill/recover schedules, recovery time
+# vs data volume, checkpoint interference) at full scale and regenerates the
+# committed BENCH_store.json artifact.
+bench-store:
+	$(GO) run ./cmd/hwbench -scale 1 -store-json BENCH_store.json E24
 
 experiments:
 	$(GO) run ./cmd/hwbench

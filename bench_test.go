@@ -83,6 +83,7 @@ func BenchmarkE20Chaos(b *testing.B)         { runExperiment(b, "E20") }
 func BenchmarkE21Observe(b *testing.B)       { runExperiment(b, "E21") }
 func BenchmarkE22Memory(b *testing.B)        { runExperiment(b, "E22") }
 func BenchmarkE23Tenants(b *testing.B)       { runExperiment(b, "E23") }
+func BenchmarkE24Store(b *testing.B)         { runExperiment(b, "E24") }
 
 // Live microbenchmarks: the real Go implementations on the host CPU.
 

@@ -1,17 +1,21 @@
-// Command hwbench runs the hwstar experiment suite (E1–E20 from DESIGN.md)
+// Command hwbench runs the hwstar experiment suite (E1–E24 from DESIGN.md)
 // and prints each experiment's result tables. Every table corresponds to one
 // claim of the ICDE 2013 keynote "Hardware killed the software star" made
 // measurable.
 //
 // Usage:
 //
-//	hwbench [-scale f] [-csv dir] [-frontend-json file] [-list] [experiment ids...]
+//	hwbench [-scale f] [-csv dir] [-frontend-json file] [-store-json file] [-list] [experiment ids...]
 //
 // With no ids, the full suite runs. Scale 1 is the full configuration;
 // smaller values shrink data sizes proportionally for quick runs.
 // -frontend-json runs E23 (the multi-tenant frontend isolation experiment)
 // and writes its structured result — per-tenant p50/p99, throughput, and
 // shed/rate-limited counts — as JSON, the BENCH_frontend.json artifact.
+// -store-json runs E24 (the durable-tier crash-recovery experiment) and
+// writes its structured result — kill/recover schedule outcomes, recovery
+// time vs data volume, and checkpoint interference on interactive p99 — as
+// JSON, the BENCH_store.json artifact.
 package main
 
 import (
@@ -53,10 +57,38 @@ func writeFrontendBench(path string, cfg experiments.Config) error {
 	return nil
 }
 
+// writeStoreBench runs E24 and writes its structured result as indented
+// JSON to path.
+func writeStoreBench(path string, cfg experiments.Config) error {
+	b, tables, err := experiments.RunE24(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return err
+	}
+	fmt.Printf("    wrote %s (%d kills over %d recoveries, 0 lost versions; checkpoint p99 %.2fx baseline)\n\n",
+		path, b.Crash.InjectedCrashes, b.Crash.Recoveries, b.Interference.P99Ratio)
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment size multiplier (1 = full size)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	frontendJSON := flag.String("frontend-json", "", "run E23 and write its per-tenant bench result to this JSON file, then exit")
+	storeJSON := flag.String("store-json", "", "run E24 and write its durability bench result to this JSON file, then exit")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -69,6 +101,14 @@ func main() {
 
 	if *frontendJSON != "" {
 		if err := writeFrontendBench(*frontendJSON, experiments.Config{Scale: *scale}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *storeJSON != "" {
+		if err := writeStoreBench(*storeJSON, experiments.Config{Scale: *scale}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -18,16 +18,21 @@ import (
 // op=scan) and a "lineitem" table (for op=q1/q6) generated at cfg.Rows, so
 // a fresh instance is immediately queryable.
 func serveAPI(ctx context.Context, cfg Config, out io.Writer) error {
-	srv, _, err := buildServer(cfg)
+	srv, _, st, err := buildServer(cfg)
 	if err != nil {
 		return err
+	}
+	if st != nil {
+		defer st.Close()
 	}
 	cols := [][]int64{
 		hwstar.GenUniform(41, cfg.Rows, 100000),
 		hwstar.GenUniform(42, cfg.Rows, 1000),
 	}
-	if err := srv.Register("facts", cols); err != nil {
-		return err
+	if st == nil {
+		if err := srv.Register("facts", cols); err != nil {
+			return err
+		}
 	}
 	lineitem := hwstar.GenLineItem(46, cfg.Rows)
 
@@ -54,6 +59,26 @@ func serveAPI(ctx context.Context, cfg Config, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "hwserve: /v1 API on %s (%d tenants, tables: facts, lineitem; /metrics, /debug/pprof)\n",
 		ln.Addr(), len(cfg.Tenants))
+
+	if st != nil {
+		// Cold start under load: the listener is already up, so while the
+		// durable hot set replays /v1 answers 503 UNAVAILABLE_RECOVERING
+		// (retryable, with Retry-After) instead of refusing connections.
+		// Once admission opens, "facts" is (re)registered so a fresh data
+		// directory is immediately queryable too.
+		go func() {
+			if err := srv.WaitRecovered(ctx); err != nil {
+				return // shutting down before replay finished
+			}
+			if err := srv.Register("facts", cols); err != nil {
+				fmt.Fprintf(out, "hwserve: register facts: %v\n", err)
+				return
+			}
+			h := srv.Health()
+			fmt.Fprintf(out, "hwserve: durable store %s ready (manifest v%d, %d tables replayed, %d hot)\n",
+				cfg.DataDir, h.StoreVersion, h.Recovery.TablesTotal, h.Recovery.TablesHot)
+		}()
+	}
 
 	hs := &http.Server{Handler: mux}
 	go func() {

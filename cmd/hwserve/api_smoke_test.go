@@ -35,7 +35,10 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
-var apiAddrRe = regexp.MustCompile(`/v1 API on (\S+)`)
+var (
+	apiAddrRe  = regexp.MustCompile(`/v1 API on (\S+)`)
+	apiReadyRe = regexp.MustCompile(`durable store \S+ ready \(manifest v(\d+)`)
+)
 
 // TestServeAPISmoke is the CI boot smoke: start hwserve in server mode with
 // two tenants — one interactive, one burst-capped batch — then assert over
@@ -170,5 +173,115 @@ func TestServeAPISmoke(t *testing.T) {
 	want := fmt.Sprintf("frontend_tenant_noisy_b_rate_limited %d", noisyFlood-3)
 	if !strings.Contains(mbuf.String(), want) {
 		t.Fatalf("/metrics missing %q", want)
+	}
+}
+
+// TestServeAPIDurableRestart boots server mode twice over one -data-dir:
+// the first instance registers and flushes its tables on shutdown, the
+// second replays them at boot and answers the same query — the operator's
+// restart story end to end, visible in the /v1 health durability fields.
+func TestServeAPIDurableRestart(t *testing.T) {
+	dataDir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.Rows = 1 << 12
+	cfg.ServeAPI = "127.0.0.1:0"
+	cfg.DataDir = dataDir
+	cfg.Tenants = []hwstar.TenantConfig{{ID: "a", Key: "ka"}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// boot starts one serveAPI instance and waits for the listener line and
+	// the durable-ready line; stop shuts it down (flushing the store).
+	boot := func() (base string, stop func()) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		var out syncBuffer
+		done := make(chan error, 1)
+		go func() { done <- serveAPI(ctx, cfg, &out) }()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			s := out.String()
+			if m := apiAddrRe.FindStringSubmatch(s); m != nil && apiReadyRe.MatchString(s) {
+				base = "http://" + m[1]
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("server never became ready; output: %q", s)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return base, func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("serveAPI returned %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Error("serveAPI did not shut down")
+			}
+		}
+	}
+	query := func(base, token string) int {
+		t.Helper()
+		body, _ := json.Marshal(v1.QueryRequest{
+			Op: v1.OpScan, Table: "facts",
+			Scan: &v1.ScanArgs{FilterCol: 0, Lo: 0, Hi: 50000, AggCol: 1},
+		})
+		req, _ := http.NewRequest("POST", base+"/v1/query", bytes.NewReader(body))
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sink json.RawMessage
+		_ = json.NewDecoder(resp.Body).Decode(&sink)
+		return resp.StatusCode
+	}
+	session := func(base string) string {
+		t.Helper()
+		body, _ := json.Marshal(v1.SessionRequest{Tenant: "a", Key: "ka"})
+		resp, err := http.Post(base+"/v1/session", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr v1.SessionResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || resp.StatusCode != 200 {
+			t.Fatalf("session open: HTTP %d (err %v)", resp.StatusCode, err)
+		}
+		return sr.Token
+	}
+
+	// First life: fresh directory, query, shut down (Close flushes).
+	base, stop := boot()
+	if status := query(base, session(base)); status != 200 {
+		t.Fatalf("first-life query: HTTP %d", status)
+	}
+	stop()
+
+	// Second life: the same directory replays; the query works again and
+	// health reports the recovery.
+	base, stop = boot()
+	defer stop()
+	if status := query(base, session(base)); status != 200 {
+		t.Fatalf("post-restart query: HTTP %d", status)
+	}
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h v1.HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("health: HTTP %d (err %v)", resp.StatusCode, err)
+	}
+	if !h.Durable || h.Recovering {
+		t.Fatalf("health durability flags: durable=%v recovering=%v", h.Durable, h.Recovering)
+	}
+	if h.StoreVersion < 1 || h.RecoveredTables < 1 {
+		t.Fatalf("health recovery: store_version=%d recovered_tables=%d, want >=1 each", h.StoreVersion, h.RecoveredTables)
 	}
 }

@@ -82,6 +82,14 @@ type Config struct {
 	Breaker  int      `json:"breaker"`
 	Cooldown Duration `json:"cooldown"`
 
+	// Durable storage (both modes): DataDir arms the checkpointed store —
+	// the server replays committed state at boot and flushes on shutdown.
+	// CheckpointInterval adds background checkpoints; HotBytes caps the
+	// DRAM-resident hot set (0 = everything hot, nothing tiered to flash).
+	DataDir            string   `json:"data_dir"`
+	CheckpointInterval Duration `json:"checkpoint_interval"`
+	HotBytes           int64    `json:"hot_bytes"`
+
 	// Observability.
 	Listen     string `json:"listen"`
 	TraceEvery int    `json:"trace_every"`
@@ -128,6 +136,17 @@ func (c *Config) Validate() error {
 	}
 	if c.ServeAPI != "" && len(c.Tenants) == 0 {
 		return fmt.Errorf("-serve-api needs at least one tenant (configure tenants in -config)")
+	}
+	if c.DataDir == "" {
+		if c.CheckpointInterval > 0 {
+			return fmt.Errorf("-checkpoint-interval needs -data-dir")
+		}
+		if c.HotBytes > 0 {
+			return fmt.Errorf("-hot-bytes needs -data-dir")
+		}
+	}
+	if c.CheckpointInterval < 0 {
+		return fmt.Errorf("negative checkpoint interval %s", time.Duration(c.CheckpointInterval))
 	}
 	return nil
 }
@@ -188,6 +207,9 @@ func bindFlags(fs *flag.FlagSet, cfg *Config) map[string]string {
 	fs.DurationVar((*time.Duration)(&cfg.Backoff), "backoff", time.Duration(cfg.Backoff), "base retry backoff (doubles per attempt, jittered)")
 	fs.IntVar(&cfg.Breaker, "breaker", cfg.Breaker, "consecutive failures tripping the circuit breaker (0 = no breaker)")
 	fs.DurationVar((*time.Duration)(&cfg.Cooldown), "cooldown", time.Duration(cfg.Cooldown), "breaker cooldown before a half-open probe")
+	fs.StringVar(&cfg.DataDir, "data-dir", cfg.DataDir, "durable store directory: replay committed state at boot, flush on shutdown (empty = memory-only)")
+	fs.DurationVar((*time.Duration)(&cfg.CheckpointInterval), "checkpoint-interval", time.Duration(cfg.CheckpointInterval), "background checkpoint period (0 = flush only on shutdown; needs -data-dir)")
+	fs.Int64Var(&cfg.HotBytes, "hot-bytes", cfg.HotBytes, "DRAM budget for the store's hot set in bytes; overflow tiers to flash, loaded on first access (0 = all hot)")
 	fs.StringVar(&cfg.Listen, "listen", cfg.Listen, "serve /metrics, /debug/vars, and /debug/pprof on this address during the run (empty = off)")
 	fs.IntVar(&cfg.TraceEvery, "trace-every", cfg.TraceEvery, "trace every Nth request and dump span trees after the report (0 = off)")
 	fs.IntVar(&cfg.TraceEvery, "trace", cfg.TraceEvery, "alias for -trace-every")

@@ -153,6 +153,9 @@ func TestPrintConfigRoundTrips(t *testing.T) {
 		"-clients", "3",
 		"-window", "7ms",
 		"-serve-api", "127.0.0.1:0",
+		"-data-dir", "/tmp/hwserve-data",
+		"-checkpoint-interval", "250ms",
+		"-hot-bytes", "1048576",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +177,40 @@ func TestPrintConfigRoundTrips(t *testing.T) {
 	if !reflect.DeepEqual(cfg, reloaded) {
 		t.Fatalf("round-trip drift:\nprinted  %+v\nreloaded %+v", cfg, reloaded)
 	}
+	if reloaded.CheckpointInterval != Duration(250*time.Millisecond) {
+		t.Fatalf("CheckpointInterval = %v after round-trip, want 250ms", time.Duration(reloaded.CheckpointInterval))
+	}
+}
+
+// TestStorageConfigPrecedence pins the storage fields through the
+// defaults < file < explicit flags chain: -data-dir on the command line
+// overrides the file's directory while the file's checkpoint interval and
+// hot budget stay in force.
+func TestStorageConfigPrecedence(t *testing.T) {
+	path := writeConfig(t, `{
+		"data_dir": "/var/lib/hwserve",
+		"checkpoint_interval": "5s",
+		"hot_bytes": 4096
+	}`)
+	cfg, _, err := parseConfig([]string{
+		"-config", path,
+		"-data-dir", "/mnt/fast/hwserve",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DataDir != "/mnt/fast/hwserve" {
+		t.Fatalf("DataDir = %q, want flag override /mnt/fast/hwserve", cfg.DataDir)
+	}
+	if cfg.CheckpointInterval != Duration(5*time.Second) {
+		t.Fatalf("CheckpointInterval = %v, want file value 5s", time.Duration(cfg.CheckpointInterval))
+	}
+	if cfg.HotBytes != 4096 {
+		t.Fatalf("HotBytes = %d, want file value 4096", cfg.HotBytes)
+	}
+	if def := DefaultConfig(); def.DataDir != "" || def.CheckpointInterval != 0 || def.HotBytes != 0 {
+		t.Fatalf("storage defaults not off: %+v", def)
+	}
 }
 
 // TestValidate pins the rejection rules the run loop depends on.
@@ -192,6 +229,19 @@ func TestValidate(t *testing.T) {
 		{"serve_api with tenants", func(c *Config) {
 			c.ServeAPI = ":0"
 			c.Tenants = []hwstar.TenantConfig{{ID: "a", Key: "k"}}
+		}, true},
+		{"checkpoint interval without data dir", func(c *Config) {
+			c.CheckpointInterval = Duration(time.Second)
+		}, false},
+		{"hot bytes without data dir", func(c *Config) { c.HotBytes = 1 }, false},
+		{"negative checkpoint interval", func(c *Config) {
+			c.DataDir = "d"
+			c.CheckpointInterval = Duration(-time.Second)
+		}, false},
+		{"data dir with interval and budget", func(c *Config) {
+			c.DataDir = "d"
+			c.CheckpointInterval = Duration(time.Second)
+			c.HotBytes = 1 << 20
 		}, true},
 	}
 	for _, c := range cases {

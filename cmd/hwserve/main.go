@@ -94,11 +94,14 @@ type report struct {
 	listenAddr                     string
 }
 
-// buildServer assembles the Server (and optional Tracer) both modes share.
-func buildServer(cfg Config) (*hwstar.Server, *hwstar.Tracer, error) {
+// buildServer assembles the Server (and optional Tracer and durable Store)
+// both modes share. When cfg.DataDir is set the store is opened — replaying
+// any committed state — before the server boots on top of it; the caller
+// owns the returned store and must close it after Server.Close.
+func buildServer(cfg Config) (*hwstar.Server, *hwstar.Tracer, *hwstar.Store, error) {
 	m, ok := hw.Profiles()[cfg.Machine]
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown machine %q", cfg.Machine)
+		return nil, nil, nil, fmt.Errorf("unknown machine %q", cfg.Machine)
 	}
 	opts := hwstar.ServerOptions{
 		QueueDepth:       cfg.Queue,
@@ -135,17 +138,42 @@ func buildServer(cfg Config) (*hwstar.Server, *hwstar.Tracer, error) {
 		tracer = hwstar.NewTracer(hwstar.TraceConfig{Capacity: 16, SampleEvery: cfg.TraceEvery})
 		opts.Trace = tracer
 	}
+	var st *hwstar.Store
+	if cfg.DataDir != "" {
+		var err error
+		st, err = hwstar.OpenStore(hwstar.StoreOptions{
+			Dir:      cfg.DataDir,
+			Machine:  m,
+			HotBytes: cfg.HotBytes,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		opts.Store = st
+		opts.CheckpointInterval = time.Duration(cfg.CheckpointInterval)
+	}
 	srv, err := hwstar.NewServer(m, opts)
 	if err != nil {
-		return nil, nil, err
+		if st != nil {
+			st.Close()
+		}
+		return nil, nil, nil, err
 	}
-	return srv, tracer, nil
+	return srv, tracer, st, nil
 }
 
 func run(ctx context.Context, cfg Config) (*report, error) {
-	srv, tracer, err := buildServer(cfg)
+	srv, tracer, st, err := buildServer(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		defer st.Close()
+		// Load generation starts against a fully replayed hot set; the
+		// cold-start-under-load path is server mode's (see serveAPI).
+		if err := srv.WaitRecovered(ctx); err != nil {
+			return nil, err
+		}
 	}
 	var listenAddr string
 	if cfg.Listen != "" {
@@ -255,6 +283,11 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 	if err := srv.Close(); err != nil {
 		return nil, err
 	}
+	if st != nil {
+		// Close flushed a final checkpoint; re-read health so the report
+		// shows the manifest version the run actually left on disk.
+		r.health = srv.Health()
+	}
 	return r, nil
 }
 
@@ -290,6 +323,11 @@ func (r *report) print(w io.Writer, cfg Config) {
 			fmt.Fprintf(w, " %s=%d", c, h.Faults[c])
 		}
 		fmt.Fprintln(w)
+	}
+	if cfg.DataDir != "" {
+		h := r.health
+		fmt.Fprintf(w, "  durable store %s  (manifest v%d, recovered %d tables / %d hot, checkpoints %d, cold loads %d)\n",
+			cfg.DataDir, h.StoreVersion, h.Recovery.TablesTotal, h.Recovery.TablesHot, h.Checkpoints, h.ColdLoads)
 	}
 	if r.listenAddr != "" {
 		fmt.Fprintf(w, "  debug endpoints served on %s (/metrics, /debug/vars, /debug/pprof)\n", r.listenAddr)

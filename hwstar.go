@@ -21,7 +21,8 @@
 // with high-level, context-first operations that return both real results and
 // modeled hardware costs, and a Server that multiplexes concurrent clients
 // onto the engine with shared-scan batching, admission control, and
-// memory-budget governance with graceful spill. The E1–E22
+// memory-budget governance with graceful spill, and a durable storage tier
+// (checkpointed segments, crash recovery) via OpenStore. The E1–E24
 // experiment suite (internal/experiments, cmd/hwbench) reproduces the
 // behaviour the hardware-conscious database literature reports, on any host,
 // deterministically.
@@ -52,6 +53,7 @@ import (
 	"hwstar/internal/scan"
 	"hwstar/internal/sched"
 	"hwstar/internal/serve"
+	"hwstar/internal/store"
 	"hwstar/internal/table"
 	"hwstar/internal/trace"
 	"hwstar/internal/vecexec"
@@ -91,6 +93,14 @@ var (
 	// (MemoryConfig.KillOnOverage) allocated past its budget. Fatal, not
 	// retryable.
 	ErrOOMKilled = errs.ErrOOMKilled
+	// ErrCorrupted reports durable state that failed validation: a segment
+	// or manifest whose checksum does not match its payload. Not retryable;
+	// recovery falls back to the last manifest version that validates.
+	ErrCorrupted = errs.ErrCorrupted
+	// ErrRecovering reports a request that arrived while a Server was still
+	// replaying durable state after a restart. Retryable — admission opens
+	// as soon as the hot set is loaded.
+	ErrRecovering = errs.ErrRecovering
 )
 
 // Cost is the modeled hardware cost shared by every result type: simulated
@@ -511,6 +521,33 @@ type MemoryConfig = mem.Config
 // position, peak usage, live reservations, and denial/kill counters.
 type MemoryStats = mem.Stats
 
+// Store is the durable storage tier: checkpointed columnar segments with
+// per-segment checksums, an atomically-committed versioned manifest,
+// crash-recovery replay, and DRAM/flash tiering priced through the machine's
+// flash bandwidth. Arm one on a Server via ServerOptions.Store; the server
+// replays the hot set before admitting work and the caller closes the store
+// after Server.Close. See internal/store for the commit protocol.
+type Store = store.Store
+
+// StoreOptions configures a Store: directory, pricing machine, fault
+// injector, and the DRAM budget of the hot/cold placement policy.
+type StoreOptions = store.Options
+
+// RecoveryStats describes one OpenStore's replay of durable state:
+// the manifest version recovery landed on, fallbacks past corrupt
+// candidates, and the validated byte volume with its modeled flash cost.
+type RecoveryStats = store.RecoveryStats
+
+// CheckpointStats describes one committed checkpoint: manifest version,
+// segments and bytes written, modeled flash-write cycles, and wall time.
+type CheckpointStats = store.CheckpointStats
+
+// OpenStore opens (or creates) a durable store and replays its committed
+// state, falling back to the newest manifest version that validates end to
+// end. A directory whose manifests are all corrupt fails with ErrCorrupted
+// rather than silently serving an empty store.
+var OpenStore = store.Open
+
 // Tracer records query-lifecycle span trees (admit → queue → batch assembly
 // → execute → retries, down to per-worker schedules) in a bounded ring. Arm
 // one on a Server via ServerOptions.Trace; read completed traces with
@@ -615,7 +652,7 @@ type (
 // returning the stable code, HTTP status, and retryability.
 var V1CodeFor = v1.CodeFor
 
-// RunExperiment executes one experiment of the E1–E22 suite at the given
+// RunExperiment executes one experiment of the E1–E24 suite at the given
 // scale (1 = full size) and returns its result tables.
 func RunExperiment(id string, scale float64) ([]*ResultTable, error) {
 	exp, err := experiments.ByID(id)

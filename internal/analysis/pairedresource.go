@@ -7,11 +7,15 @@ import (
 )
 
 // PairedResource enforces hwstar's paired lifecycles, lostcancel-style:
-// a trace.Span that is Started or Child-ed must reach End, and a granted
-// mem.Reservation must reach Release. An un-Ended span corrupts the trace
-// tree's attribution (PR 3's whole point); an unreleased reservation leaks
-// budget until the governor wedges every later query into ErrMemoryPressure
-// (PR 4's whole point).
+// a trace.Span that is Started or Child-ed must reach End, a granted
+// mem.Reservation must reach Release, and a store segment handle
+// (SegmentWriter from CreateSegment, SegmentReader from OpenSegment) must
+// reach Close. An un-Ended span corrupts the trace tree's attribution (PR
+// 3's whole point); an unreleased reservation leaks budget until the
+// governor wedges every later query into ErrMemoryPressure (PR 4's whole
+// point); an un-Closed segment handle leaks a file descriptor — and for a
+// writer, an orphaned temp file that recovery has to sweep (PR 7's whole
+// point).
 //
 // The check is intraprocedural and deliberately conservative: a resource
 // that escapes the function — returned, stored in a struct or slice,
@@ -35,6 +39,8 @@ type resourceKind struct {
 var pairedResources = []resourceKind{
 	{"hwstar/internal/trace", "Span", "End"},
 	{"hwstar/internal/mem", "Reservation", "Release"},
+	{"hwstar/internal/store", "SegmentWriter", "Close"},
+	{"hwstar/internal/store", "SegmentReader", "Close"},
 }
 
 func resourceFor(t types.Type) (resourceKind, bool) {
@@ -47,7 +53,8 @@ func resourceFor(t types.Type) (resourceKind, bool) {
 }
 
 func runPairedResource(pass *Pass) error {
-	if !PathHasPrefix(pass.Path, "hwstar") || pass.Path == "hwstar/internal/trace" || pass.Path == "hwstar/internal/mem" {
+	if !PathHasPrefix(pass.Path, "hwstar") || pass.Path == "hwstar/internal/trace" ||
+		pass.Path == "hwstar/internal/mem" || pass.Path == "hwstar/internal/store" {
 		// The implementing packages manipulate their own internals freely.
 		return nil
 	}
@@ -67,9 +74,12 @@ func runPairedResource(pass *Pass) error {
 	return nil
 }
 
-// creatingNames are the method names that mint a tracked resource; every
-// other producer of a resource-typed value is a borrow.
-var creatingNames = map[string]bool{"Start": true, "Child": true, "Reserve": true}
+// creatingNames are the method and function names that mint a tracked
+// resource; every other producer of a resource-typed value is a borrow.
+var creatingNames = map[string]bool{
+	"Start": true, "Child": true, "Reserve": true,
+	"CreateSegment": true, "OpenSegment": true,
+}
 
 func isCreatingCall(e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)

@@ -18,3 +18,11 @@ func TestPairedResourceImplementorExemption(t *testing.T) {
 		t.Fatalf("implementing package produced diagnostics: %v", diags)
 	}
 }
+
+// TestPairedResourceStoreImplementorExemption: internal/store hands segment
+// writers across its checkpoint pipeline; the check must not fire there.
+func TestPairedResourceStoreImplementorExemption(t *testing.T) {
+	if diags := runOn(t, "testdata/pairedresource", "hwstar/internal/store", analysis.PairedResource); len(diags) != 0 {
+		t.Fatalf("implementing package produced diagnostics: %v", diags)
+	}
+}

@@ -49,4 +49,14 @@ var (
 	// ErrMemoryPressure it is fatal, not retryable: the naive engine in E22
 	// dies this way, the governed engine never does.
 	ErrOOMKilled = errors.New("oom killed")
+	// ErrCorrupted reports durable state that failed validation: a segment or
+	// manifest whose checksum does not match its payload, a torn write, or a
+	// truncated file. Not retryable — the bytes on disk are wrong and will
+	// stay wrong; recovery falls back to the last manifest version that
+	// validates end to end.
+	ErrCorrupted = errors.New("corrupted data")
+	// ErrRecovering reports a request that arrived while the server was still
+	// replaying its durable state after a restart. Retryable — admission
+	// opens as soon as the hot set is loaded and validated.
+	ErrRecovering = errors.New("server recovering")
 )

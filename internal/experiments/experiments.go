@@ -1,4 +1,4 @@
-// Package experiments implements the E1–E23 experiment suite defined in
+// Package experiments implements the E1–E24 experiment suite defined in
 // DESIGN.md: each experiment operationalizes one claim of the keynote
 // "Hardware killed the software star" as a parameter sweep over the hwstar
 // engine and its hardware-oblivious baselines, and renders the results as

@@ -3,8 +3,8 @@
 // machines run hot and slow down, tasks die — and a parallel design is only
 // trustworthy when exactly those modes are exercised deliberately. An
 // Injector is armed on a scheduler run (sched.Options.Inject) or a server
-// (serve.Options.Faults) and produces five fault classes at configurable,
-// reproducible probabilities:
+// (serve.Options.Faults) or a store (store.Options.Faults) and produces
+// eight fault classes at configurable, reproducible probabilities:
 //
 //   - panics: a scheduled task panics before its body runs;
 //   - stragglers: a worker's cycle charges are multiplied by a skew factor,
@@ -12,7 +12,14 @@
 //   - transient errors: a task fails with errs.ErrTransient, retryable;
 //   - core loss: a worker disappears at the start of a run;
 //   - allocation failures: a memory-reservation charge fails with
-//     errs.ErrMemoryPressure before any bytes are accounted.
+//     errs.ErrMemoryPressure before any bytes are accounted;
+//   - crashes: the process "dies" at a named durability step, aborting a
+//     checkpoint with exactly the partial on-disk state a SIGKILL would
+//     leave;
+//   - torn writes: only a prefix of a payload reaches disk while the write
+//     reports success, caught by checksums at read time;
+//   - checksum flips: a silent single-byte corruption after the checksum
+//     was computed, modelling bit rot.
 //
 // Injected panics and transient errors fire at the morsel boundary, BEFORE
 // the task body executes, so a re-dispatched or retried morsel never
@@ -38,11 +45,14 @@ type Class string
 
 // Fault classes.
 const (
-	ClassPanic     Class = "panic"
-	ClassStraggler Class = "straggler"
-	ClassTransient Class = "transient"
-	ClassCoreLoss  Class = "core-loss"
-	ClassAllocFail Class = "alloc-fail"
+	ClassPanic        Class = "panic"
+	ClassStraggler    Class = "straggler"
+	ClassTransient    Class = "transient"
+	ClassCoreLoss     Class = "core-loss"
+	ClassAllocFail    Class = "alloc-fail"
+	ClassCrash        Class = "crash"
+	ClassTornWrite    Class = "torn-write"
+	ClassChecksumFlip Class = "checksum-flip"
 )
 
 // Config arms an Injector. Probabilities are in [0,1]; zero disables the
@@ -80,6 +90,20 @@ type Config struct {
 	// accounted, so a retried allocation never double-charges.
 	AllocFailProb float64
 
+	// CrashProb is the per-durability-step probability that the process
+	// "dies" at that step: the store aborts the checkpoint immediately,
+	// leaving exactly the partial on-disk state a SIGKILL at that instant
+	// would leave. Recovery must cope with whatever is on disk.
+	CrashProb float64
+	// TornWriteProb is the per-write probability that only a prefix of the
+	// payload reaches disk while the write still reports success, modelling
+	// a power cut mid-sector. The checksum catches it at read time.
+	TornWriteProb float64
+	// ChecksumFlipProb is the per-file probability of a silent single-byte
+	// corruption after the checksum was computed, modelling bit rot or a
+	// misdirected write. Only checksum validation at read time can catch it.
+	ChecksumFlipProb float64
+
 	// PanicSites, TransientSites and AllocFailSites override the class
 	// probability for specific sites (a site is the morsel family name, e.g.
 	// "clock-scan" or "agg-part"; allocation sites are charge labels like
@@ -87,6 +111,13 @@ type Config struct {
 	PanicSites     map[string]float64
 	TransientSites map[string]float64
 	AllocFailSites map[string]float64
+	// CrashSites, TornWriteSites and ChecksumFlipSites override the
+	// durability-fault probabilities for specific sites (sites are store
+	// step labels like "segment-payload", "manifest-write" or
+	// "current-rename"). An entry of 0 shields that site entirely.
+	CrashSites        map[string]float64
+	TornWriteSites    map[string]float64
+	ChecksumFlipSites map[string]float64
 
 	// MaxFaults, when positive, caps the total number of injected faults:
 	// after the budget is spent the injector goes quiet. Tests use it to
@@ -136,7 +167,9 @@ func (in *Injector) Enabled() bool {
 	c := in.cfg
 	return c.PanicProb > 0 || c.TransientProb > 0 || c.StragglerProb > 0 ||
 		c.CoreLossProb > 0 || c.AllocFailProb > 0 ||
-		len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0 || len(c.AllocFailSites) > 0
+		c.CrashProb > 0 || c.TornWriteProb > 0 || c.ChecksumFlipProb > 0 ||
+		len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0 || len(c.AllocFailSites) > 0 ||
+		len(c.CrashSites) > 0 || len(c.TornWriteSites) > 0 || len(c.ChecksumFlipSites) > 0
 }
 
 // fire draws one fault with the given probability, honouring the fault
@@ -204,6 +237,34 @@ func (in *Injector) AllocError(site string, worker int) error {
 		return nil
 	}
 	return fmt.Errorf("fault: injected alloc failure at %s on worker %d: %w", site, worker, errs.ErrMemoryPressure)
+}
+
+// ShouldCrash reports whether the process "dies" at the durability step
+// named site. The store aborts the checkpoint on the spot, leaving the same
+// partial on-disk state a SIGKILL at that instant would leave.
+func (in *Injector) ShouldCrash(site string) bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(ClassCrash, siteProb(in.cfg.CrashSites, site, in.cfg.CrashProb), site, -1)
+}
+
+// TornWrite reports whether the write at site is torn: only a prefix of the
+// payload reaches disk while the write still reports success.
+func (in *Injector) TornWrite(site string) bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(ClassTornWrite, siteProb(in.cfg.TornWriteSites, site, in.cfg.TornWriteProb), site, -1)
+}
+
+// FlipChecksum reports whether the file written at site suffers a silent
+// single-byte corruption after its checksum was computed.
+func (in *Injector) FlipChecksum(site string) bool {
+	if in == nil {
+		return false
+	}
+	return in.fire(ClassChecksumFlip, siteProb(in.cfg.ChecksumFlipSites, site, in.cfg.ChecksumFlipProb), site, -1)
 }
 
 // WorkerSkew returns the cycle multiplier for the given worker in one run:

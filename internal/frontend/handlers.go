@@ -171,6 +171,17 @@ func (f *Frontend) handleHealth(w http.ResponseWriter, r *http.Request) {
 		MemInUseBytes:  h.Memory.InUseBytes,
 		MemBudgetBytes: h.Memory.BudgetBytes,
 	}
+	if h.Durable {
+		out.Durable = true
+		out.Recovering = h.Recovering
+		out.StoreVersion = h.StoreVersion
+		out.RecoveredTables = h.Recovery.TablesTotal
+		out.RecoveredHot = h.Recovery.TablesHot
+		out.RecoveryFallbacks = h.Recovery.Fallbacks
+		out.Checkpoints = h.Checkpoints
+		out.CheckpointFailures = h.CheckpointFailures
+		out.ColdLoads = h.ColdLoads
+	}
 	if len(h.Tenants) > 0 {
 		out.Tenants = make(map[string]v1.TenantStats, len(h.Tenants))
 		for id, th := range h.Tenants {
@@ -247,11 +258,13 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // writeError maps an engine error through the v1 code table. 429s carry a
-// Retry-After so well-behaved clients back off.
+// Retry-After so well-behaved clients back off, and so does the 503 a
+// recovering server sheds with — replay finishes on its own schedule, so
+// the right client move is wait-and-retry, not fail over.
 func (f *Frontend) writeError(w http.ResponseWriter, traceID string, err error) {
 	code, status, retryable := v1.CodeFor(err)
 	retryAfter := time.Duration(0)
-	if status == http.StatusTooManyRequests {
+	if status == http.StatusTooManyRequests || code == v1.CodeUnavailableRecovering {
 		retryAfter = time.Second
 	}
 	f.writeCode(w, code, status, retryable, retryAfter, traceID, err.Error())

@@ -48,6 +48,14 @@ const (
 	// CodeInternal — worker panic, simulated OOM kill, or any unclassified
 	// failure. HTTP 500. Not retryable.
 	CodeInternal = "INTERNAL"
+	// CodeDataLoss — durable state failed validation: a segment or manifest
+	// checksum mismatch, torn write, or truncated file (errs.ErrCorrupted).
+	// HTTP 500. Not retryable: the bytes on disk stay wrong.
+	CodeDataLoss = "DATA_LOSS"
+	// CodeUnavailableRecovering — the server is still replaying durable
+	// state after a restart (errs.ErrRecovering). HTTP 503 with Retry-After.
+	// Retryable: admission opens once the hot set is loaded.
+	CodeUnavailableRecovering = "UNAVAILABLE_RECOVERING"
 )
 
 // CodeFor classifies err against the sentinel taxonomy, returning the wire
@@ -65,8 +73,12 @@ func CodeFor(err error) (code string, status int, retryable bool) {
 		return CodeMemoryPressure, http.StatusTooManyRequests, true
 	case errors.Is(err, errs.ErrDegraded):
 		return CodeDegraded, http.StatusServiceUnavailable, true
+	case errors.Is(err, errs.ErrRecovering):
+		return CodeUnavailableRecovering, http.StatusServiceUnavailable, true
 	case errors.Is(err, errs.ErrClosed):
 		return CodeUnavailable, http.StatusServiceUnavailable, true
+	case errors.Is(err, errs.ErrCorrupted):
+		return CodeDataLoss, http.StatusInternalServerError, false
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadlineExceeded, http.StatusGatewayTimeout, true
 	case errors.Is(err, context.Canceled):

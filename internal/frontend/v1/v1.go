@@ -290,7 +290,8 @@ func ResponseFrom(q *QueryRequest, tenant, priority string, wallMs float64, resp
 
 // HealthResponse is the body of GET /v1/health.
 type HealthResponse struct {
-	// Status is "ok", "degraded" (circuit breaker open/half-open), or
+	// Status is "ok", "degraded" (circuit breaker open/half-open),
+	// "recovering" (durable replay in progress, admission closed), or
 	// "closed" (server shutting down).
 	Status string `json:"status"`
 	// Queue and workers.
@@ -304,6 +305,23 @@ type HealthResponse struct {
 	// Memory budget position (zero when ungoverned).
 	MemInUseBytes  int64 `json:"mem_in_use_bytes"`
 	MemBudgetBytes int64 `json:"mem_budget_bytes"`
+	// Durability (all zero/absent when the server runs memory-only).
+	// Durable reports a durable store is armed; Recovering that boot replay
+	// is still in progress. StoreVersion is the last committed manifest
+	// version; RecoveredTables/RecoveredHot what boot replay found and how
+	// much of it is DRAM-resident; RecoveryFallbacks how many corrupt
+	// manifest versions recovery skipped past. Checkpoints and
+	// CheckpointFailures count background/shutdown flushes; ColdLoads counts
+	// flash-resident tables faulted in on first access.
+	Durable            bool   `json:"durable,omitempty"`
+	Recovering         bool   `json:"recovering,omitempty"`
+	StoreVersion       uint64 `json:"store_version,omitempty"`
+	RecoveredTables    int    `json:"recovered_tables,omitempty"`
+	RecoveredHot       int    `json:"recovered_hot,omitempty"`
+	RecoveryFallbacks  int    `json:"recovery_fallbacks,omitempty"`
+	Checkpoints        int64  `json:"checkpoints,omitempty"`
+	CheckpointFailures int64  `json:"checkpoint_failures,omitempty"`
+	ColdLoads          int64  `json:"cold_loads,omitempty"`
 	// Tenants breaks admission down per tenant id.
 	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }

@@ -88,6 +88,11 @@ type Machine struct {
 	// exceeds its budget (NVMe, CXL-attached memory, a fast network drive).
 	// Zero means "an order of magnitude below DRAM": MemBWPerSocket/8.
 	SpillBWPerSocket float64
+	// FlashBWPerSocket is the streaming bandwidth of the durable flash tier
+	// — the device the store checkpoints to and recovers from, and where
+	// cold segments live under the DRAM/flash tiering policy. Zero means
+	// "well below the spill tier": MemBWPerSocket/16.
+	FlashBWPerSocket float64
 
 	// MLP is the memory-level parallelism: how many independent random
 	// misses a core can keep in flight. Effective random-access latency is
@@ -263,6 +268,25 @@ func (m *Machine) SpillBandwidth(activeCores int) float64 {
 	bw := m.SpillBWPerSocket
 	if bw <= 0 {
 		bw = m.MemBWPerSocket / 8
+	}
+	return bw / float64(activeCores)
+}
+
+// FlashBandwidth returns the per-core flash-tier streaming bandwidth in
+// bytes/cycle when activeCores cores stream checkpoint or recovery traffic
+// concurrently. The durable tier's socket bandwidth (FlashBWPerSocket,
+// defaulting to a sixteenth of DRAM bandwidth) is shared evenly — a
+// background checkpoint and a cold-segment load queue on the same device.
+func (m *Machine) FlashBandwidth(activeCores int) float64 {
+	if activeCores < 1 {
+		activeCores = 1
+	}
+	if activeCores > m.CoresPerSocket {
+		activeCores = m.CoresPerSocket
+	}
+	bw := m.FlashBWPerSocket
+	if bw <= 0 {
+		bw = m.MemBWPerSocket / 16
 	}
 	return bw / float64(activeCores)
 }

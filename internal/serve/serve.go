@@ -44,6 +44,18 @@
 // circuit breaker: a full budget is relieved by completions, not by shedding
 // into degraded mode.
 //
+// With Options.Store armed the server is durable (see internal/store):
+// registered tables are staged into the segment store, Checkpoint writes an
+// atomically-committed manifest version while serving continues, and a
+// restarted server replays the store before admitting traffic — requests
+// arriving during the replay are rejected with ErrRecovering (retryable)
+// until the hot set is registered. Cold-tier tables are validated at
+// recovery but loaded lazily, priced through the machine's flash-bandwidth
+// tier, on their first request. CheckpointInterval arms a background
+// checkpointer whose encode buffers are charged against the memory governor,
+// so durability work competes with queries under the same byte budget
+// instead of around it.
+//
 // Per-server metrics (queue depth, batch sizes, latencies, modeled cycles
 // per query, admission and resilience counters) are recorded in a
 // metrics.Registry.
@@ -70,6 +82,7 @@ import (
 	"hwstar/internal/queries"
 	"hwstar/internal/scan"
 	"hwstar/internal/sched"
+	"hwstar/internal/store"
 	"hwstar/internal/table"
 	"hwstar/internal/trace"
 )
@@ -281,6 +294,22 @@ type Options struct {
 	IsolatePanics      bool
 	StragglerThreshold float64
 	SchedBlockSize     int
+
+	// Store arms the durable storage tier: an opened (and therefore already
+	// crash-recovered) segment store. Tables registered on the server are
+	// staged into it, Checkpoint persists them as an atomically-committed
+	// manifest version, and New replays the store's tables back into the
+	// serving layer before admitting traffic — Submit and Register return
+	// ErrRecovering until the hot set is registered. The server does not
+	// close the store; its opener does, after Server.Close. Nil (the
+	// default) keeps the server memory-only.
+	Store *store.Store
+
+	// CheckpointInterval arms a background checkpointer that persists the
+	// store every interval while the server runs, stopping (after a final
+	// flush) at Close. Requires Store; 0 disables background checkpoints —
+	// Close still flushes once when a store is armed.
+	CheckpointInterval time.Duration
 }
 
 func (o Options) withDefaults(m *hw.Machine) (Options, error) {
@@ -329,6 +358,9 @@ func (o Options) withDefaults(m *hw.Machine) (Options, error) {
 	}
 	if o.MaxRetries > 0 && o.RetryBackoff <= 0 {
 		o.RetryBackoff = 200 * time.Microsecond
+	}
+	if o.CheckpointInterval > 0 && o.Store == nil {
+		return o, fmt.Errorf("serve: checkpoint interval %s without a store: %w", o.CheckpointInterval, errs.ErrInvalidInput)
 	}
 	if o.BreakerThreshold > 0 {
 		if o.BreakerCooldown <= 0 {
@@ -397,6 +429,15 @@ type Server struct {
 	closed  bool
 	tables  map[string]*scan.Relation
 	tenants map[string]struct{} // tenant ids seen, for the Health breakdown
+
+	// Durable-tier state (zero when Options.Store is nil). recovering gates
+	// admission while the boot replay registers the store's tables; recovered
+	// closes when it finishes. stopc ends the background checkpointer and an
+	// in-flight replay at Close.
+	st         *store.Store
+	recovering atomic.Bool
+	recovered  chan struct{}
+	stopc      chan struct{}
 
 	wg sync.WaitGroup // dispatcher + in-flight executors
 
@@ -473,9 +514,172 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 	if mc.BudgetBytes > 0 || mc.Faults != nil {
 		s.gov = mem.NewGovernor(mc)
 	}
+	// A durable server replays its store before admitting traffic. The
+	// replay runs concurrently with New returning — a restarted server binds
+	// its listener immediately and sheds with ErrRecovering (retryable)
+	// until the hot set is registered — so recovery time never multiplies
+	// into connection-refused storms.
+	if opts.Store != nil {
+		s.st = opts.Store
+		s.recovered = make(chan struct{})
+		s.stopc = make(chan struct{})
+		s.recovering.Store(true)
+		s.wg.Add(1)
+		go s.replayStore()
+		if opts.CheckpointInterval > 0 {
+			s.wg.Add(1)
+			go s.checkpointLoop()
+		}
+	}
 	s.wg.Add(1)
 	go s.dispatch()
 	return s, nil
+}
+
+// lifetimeCtx is the context of server-owned background work (the boot
+// replay, the interval checkpointer): done when the server closes, never
+// before. It is hand-rolled rather than derived from context.Background()
+// because these goroutines have no caller to inherit cancellation from —
+// their lifecycle IS the server's, and ctxfirst bans fresh root contexts in
+// library code for exactly the caller-inheriting paths this is not.
+type lifetimeCtx struct{ done chan struct{} }
+
+func (c lifetimeCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c lifetimeCtx) Done() <-chan struct{}       { return c.done }
+func (c lifetimeCtx) Value(any) any               { return nil }
+func (c lifetimeCtx) Err() error {
+	select {
+	case <-c.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// replayStore registers the store's recovered tables into the serving layer
+// and then opens admission. Hot-tier tables are resident after recovery and
+// register for free; cold-tier tables are left to loadCold on first touch,
+// so a cold start under load pays flash bandwidth only for tables the
+// traffic actually asks for. Tables whose columns are not all int64 stay
+// store-only: they are durable and Loadable, but have no scan.Relation
+// shape.
+func (s *Server) replayStore() {
+	defer s.wg.Done()
+	defer func() {
+		s.recovering.Store(false)
+		close(s.recovered)
+	}()
+	ctx := lifetimeCtx{done: s.stopc}
+	for _, name := range s.st.Tables() {
+		if ctx.Err() != nil {
+			return
+		}
+		if s.st.Tier(name) != store.TierHot {
+			continue
+		}
+		t, _, err := s.st.Load(ctx, name)
+		if err != nil {
+			s.reg.Counter("serve.replay_failures").Inc()
+			continue
+		}
+		cols, ok := store.ColsFromTable(t)
+		if !ok {
+			continue
+		}
+		rel, err := scan.NewRelation(cols)
+		if err != nil {
+			s.reg.Counter("serve.replay_failures").Inc()
+			continue
+		}
+		s.mu.Lock()
+		s.tables[name] = rel
+		s.mu.Unlock()
+		s.reg.Counter("serve.replayed_tables").Inc()
+	}
+}
+
+// checkpointLoop persists the store every CheckpointInterval until Close.
+// It waits out the boot replay first: checkpointing mid-replay would write a
+// manifest from a half-registered world for no benefit.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	ctx := lifetimeCtx{done: s.stopc}
+	select {
+	case <-s.recovered:
+	case <-s.stopc:
+		return
+	}
+	tick := time.NewTicker(s.opts.CheckpointInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+			if _, err := s.Checkpoint(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				s.reg.Counter("serve.checkpoint_failures").Inc()
+			}
+		}
+	}
+}
+
+// WaitRecovered blocks until the server's boot replay has finished and
+// admission is open, or ctx ends. It returns immediately on a memory-only
+// server. Callers that must observe the full recovered table set (rather
+// than retrying ErrRecovering) use it as a barrier.
+func (s *Server) WaitRecovered(ctx context.Context) error {
+	if s.recovered == nil {
+		return nil
+	}
+	select {
+	case <-s.recovered:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recovering reports whether the server is still replaying its durable
+// state; while true, Submit and Register fail with ErrRecovering.
+func (s *Server) Recovering() bool { return s.recovering.Load() }
+
+// Checkpoint persists every table staged in the durable store as one new
+// atomically-committed manifest version, concurrent with serving: the store
+// snapshots under its own lock and in-flight queries keep running against
+// the resident tables. When the memory governor is armed, the checkpoint's
+// encode buffers are charged against the server's byte budget under the
+// "_checkpoint" tenant — a budget too full to grant them fails the
+// checkpoint with ErrMemoryPressure rather than blowing the budget, and the
+// interval loop simply tries again next tick. Checkpoints are single-flight;
+// a concurrent call blocks on the store's checkpoint lock.
+func (s *Server) Checkpoint(ctx context.Context) (store.CheckpointStats, error) {
+	if s.st == nil {
+		return store.CheckpointStats{}, fmt.Errorf("serve: checkpoint without a store: %w", errs.ErrInvalidInput)
+	}
+	var resv *mem.Reservation
+	if s.gov != nil {
+		var err error
+		resv, err = s.gov.ReserveFor("_checkpoint", 0)
+		if err != nil {
+			s.reg.Counter("serve.checkpoint_mem_shed").Inc()
+			return store.CheckpointStats{}, fmt.Errorf("serve: checkpoint shed at admission: %w", err)
+		}
+		defer resv.Release()
+	}
+	st, err := s.st.Checkpoint(ctx, resv)
+	if err != nil {
+		// The denial can come from the per-segment encode charge, not just
+		// admission: count it under the same shed metric either way.
+		if errors.Is(err, errs.ErrMemoryPressure) {
+			s.reg.Counter("serve.checkpoint_mem_shed").Inc()
+		}
+		return st, err
+	}
+	s.reg.Counter("serve.checkpoints").Inc()
+	s.reg.Counter("serve.checkpoint_segments").Add(int64(st.Segments))
+	s.reg.Counter("serve.checkpoint_bytes").Add(st.Bytes)
+	s.reg.Histogram("serve.checkpoint_cycles").Record(st.SimCycles)
+	return st, nil
 }
 
 // Machine returns the server's hardware profile.
@@ -492,11 +696,27 @@ func (s *Server) Workers() int { return s.opts.Workers }
 
 // Register makes a columnar relation available to scan requests under the
 // given name. Registering an existing name replaces the relation (new
-// batches see the new data; a batch in flight finishes on the old).
+// batches see the new data; a batch in flight finishes on the old). On a
+// durable server the columns are also staged into the segment store —
+// zero-copy, so the next Checkpoint persists exactly the arrays being
+// served — and registration is refused with ErrRecovering until the boot
+// replay finishes (a replace racing the replay could silently lose to it).
 func (s *Server) Register(name string, cols [][]int64) error {
+	if s.recovering.Load() {
+		return fmt.Errorf("serve: register %q: %w", name, errs.ErrRecovering)
+	}
 	rel, err := scan.NewRelation(cols)
 	if err != nil {
 		return err
+	}
+	if s.st != nil {
+		t, err := store.TableFromCols(name, cols)
+		if err != nil {
+			return fmt.Errorf("serve: register %q: %w", name, err)
+		}
+		if err := s.st.Put(t); err != nil {
+			return fmt.Errorf("serve: register %q: %w", name, err)
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -553,16 +773,56 @@ func (s *Server) SetTenantMemCap(tenant string, bytes int64) {
 	s.gov.SetTenantCap(tenant, bytes)
 }
 
-// lookup returns the relation registered under name.
-func (s *Server) lookup(name string) (*scan.Relation, bool) {
+// lookup returns the relation registered under name, faulting cold-tier
+// tables in from the durable store on a miss.
+func (s *Server) lookup(ctx context.Context, name string) (*scan.Relation, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	rel, ok := s.tables[name]
-	return rel, ok
+	s.mu.RUnlock()
+	if ok || s.st == nil {
+		return rel, ok
+	}
+	return s.loadCold(ctx, name)
+}
+
+// loadCold faults one cold-tier table in from the durable store: the load
+// pays the machine's flash-bandwidth price (recorded, not charged to the
+// triggering request — the warmed table serves every later request), and
+// the decoded relation is registered so the next lookup hits memory.
+func (s *Server) loadCold(ctx context.Context, name string) (*scan.Relation, bool) {
+	if s.st.Tier(name) == "" {
+		return nil, false // not a stored table either
+	}
+	t, cycles, err := s.st.Load(ctx, name)
+	if err != nil {
+		return nil, false
+	}
+	cols, ok := store.ColsFromTable(t)
+	if !ok {
+		return nil, false // durable but not scan-shaped
+	}
+	rel, err := scan.NewRelation(cols)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	// A racing loadCold may have won; keep the first registration so
+	// in-flight batches and this lookup agree on one relation.
+	if prior, ok := s.tables[name]; ok {
+		return prior, true
+	}
+	s.tables[name] = rel
+	s.reg.Counter("serve.cold_loads").Inc()
+	s.reg.Histogram("serve.cold_load_cycles").Record(cycles)
+	return rel, true
 }
 
 // validate rejects malformed requests before they consume queue space.
-func (s *Server) validate(req Request) error {
+func (s *Server) validate(ctx context.Context, req Request) error {
 	switch req.Priority {
 	case "", PriorityInteractive, PriorityBatch:
 	default:
@@ -570,7 +830,7 @@ func (s *Server) validate(req Request) error {
 	}
 	switch req.Op {
 	case OpScan:
-		rel, ok := s.lookup(req.Table)
+		rel, ok := s.lookup(ctx, req.Table)
 		if !ok {
 			return fmt.Errorf("serve: unknown table %q: %w", req.Table, errs.ErrInvalidInput)
 		}
@@ -609,7 +869,16 @@ func (s *Server) validate(req Request) error {
 // stops at the next morsel boundary. In both cases Submit returns the
 // context's error.
 func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
-	if err := s.validate(req); err != nil {
+	// Recovery gate: a durable server replaying its store after restart has
+	// an incomplete table set; admitting now would misclassify valid scans
+	// as unknown-table. Shed retryably — admission opens the moment the hot
+	// set is registered.
+	if s.recovering.Load() {
+		s.reg.Counter("serve.recovering_shed").Inc()
+		s.tenantInc(req.Tenant, "shed")
+		return Response{}, fmt.Errorf("serve: submit during recovery: %w", errs.ErrRecovering)
+	}
+	if err := s.validate(ctx, req); err != nil {
 		s.reg.Counter("serve.invalid").Inc()
 		s.tenantInc(req.Tenant, "invalid")
 		return Response{}, err
@@ -704,9 +973,12 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
-// Close stops intake and drains: queued requests are still served, then the
-// server's goroutines exit. Safe to call once; further calls and further
-// Submits return ErrClosed.
+// Close stops intake and drains: queued requests are still served, the
+// background checkpointer and replay stop, then the server's goroutines
+// exit. On a durable server, one final checkpoint flushes every staged
+// table after the drain, so a cleanly-closed server restarts with nothing
+// to lose; its error (if any) is Close's error. Safe to call once; further
+// calls and further Submits return ErrClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -717,7 +989,18 @@ func (s *Server) Close() error {
 	close(s.intake)
 	close(s.intakeLo)
 	s.mu.Unlock()
+	if s.stopc != nil {
+		close(s.stopc)
+	}
 	s.wg.Wait()
+	if s.st != nil {
+		// The drain is over and nothing mutates the table set anymore; a
+		// nil-done lifetimeCtx (never cancelled) is the right scope for the
+		// shutdown flush.
+		if _, err := s.Checkpoint(lifetimeCtx{}); err != nil {
+			return fmt.Errorf("serve: close flush: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -1120,7 +1403,7 @@ func (s *Server) dispatch() {
 			flush() // a different relation cannot share the pass
 		}
 		if cur == nil {
-			rel, ok := s.lookup(p.req.Table)
+			rel, ok := s.lookup(p.ctx, p.req.Table)
 			if !ok { // table dropped since validation
 				s.finish(p, Response{}, fmt.Errorf("serve: unknown table %q: %w", p.req.Table, errs.ErrInvalidInput))
 				return
@@ -1476,6 +1759,24 @@ type Health struct {
 	// (nil when no injector is armed).
 	Faults map[string]int64
 
+	// Durability state (all zero on a memory-only server). Recovering means
+	// the boot replay is still running and admission is closed; Recovery is
+	// the store's crash-recovery report (manifest version restored, fallback
+	// and corruption counts, bytes validated); LastCheckpoint the most recent
+	// checkpoint's shape. Checkpoints/CheckpointFailures/CheckpointMemShed
+	// count background and explicit checkpoint outcomes; ColdLoads and
+	// ReplayedTables count tables faulted in from the flash tier and tables
+	// re-registered at boot; RecoveringShed counts requests rejected at the
+	// recovery gate.
+	Durable                                        bool
+	Recovering                                     bool
+	Recovery                                       store.RecoveryStats
+	LastCheckpoint                                 store.CheckpointStats
+	StoreVersion                                   uint64
+	Checkpoints, CheckpointFailures                int64
+	CheckpointMemShed, ColdLoads                   int64
+	ReplayedTables, ReplayFailures, RecoveringShed int64
+
 	// Tenants breaks the admission/outcome counters down by tenant id, for
 	// every tenant that has submitted at least one labelled request. Nil
 	// when no request carried a tenant.
@@ -1535,6 +1836,23 @@ func (s *Server) Health() Health {
 		h.ConsecutiveFailures = consec
 		if open {
 			h.State = "degraded"
+		}
+	}
+	if s.st != nil {
+		h.Durable = true
+		h.Recovering = s.recovering.Load()
+		h.Recovery = s.st.Recovery()
+		h.LastCheckpoint = s.st.LastCheckpoint()
+		h.StoreVersion = s.st.Version()
+		h.Checkpoints = c["serve.checkpoints"]
+		h.CheckpointFailures = c["serve.checkpoint_failures"]
+		h.CheckpointMemShed = c["serve.checkpoint_mem_shed"]
+		h.ColdLoads = c["serve.cold_loads"]
+		h.ReplayedTables = c["serve.replayed_tables"]
+		h.ReplayFailures = c["serve.replay_failures"]
+		h.RecoveringShed = c["serve.recovering_shed"]
+		if h.Recovering {
+			h.State = "recovering"
 		}
 	}
 	if ids := s.tenantIDs(); len(ids) > 0 {

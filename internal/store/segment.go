@@ -1,0 +1,384 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"hwstar/internal/errs"
+	"hwstar/internal/fault"
+	"hwstar/internal/table"
+)
+
+// Segment file format. A segment is one table checkpointed columnar:
+//
+//	magic (8 bytes) | header length (u32 LE) | header JSON | column payloads | crc32c (u32 LE)
+//
+// The CRC covers every byte before it (magic, length, header, payloads), so
+// a torn write, a truncated file, or a flipped byte anywhere is caught by
+// one validation pass at read time. Column payloads are little-endian:
+// int64/float64 columns as 8×rows bytes, string columns as the dictionary
+// (u32 count, then u32 length + bytes per entry) followed by 4×rows codes.
+var segMagic = [8]byte{'H', 'W', 'S', 'E', 'G', '1', 0, 1}
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on every
+// server CPU since SSE4.2, the checksum real storage engines use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segHeader is the JSON header of a segment file.
+type segHeader struct {
+	Table string   `json:"table"`
+	Rows  int      `json:"rows"`
+	Cols  []segCol `json:"cols"`
+}
+
+type segCol struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// encodeSegment serializes t into the segment format, checksum included.
+func encodeSegment(t *table.Table) ([]byte, error) {
+	hdr := segHeader{Table: t.Name(), Rows: t.NumRows()}
+	for i := 0; i < t.Schema().NumColumns(); i++ {
+		def := t.Schema().Column(i)
+		hdr.Cols = append(hdr.Cols, segCol{Name: def.Name, Type: def.Type.String()})
+	}
+	hdrJSON, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode header for %q: %w", t.Name(), err)
+	}
+	var buf bytes.Buffer
+	buf.Write(segMagic[:])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(hdrJSON)))
+	buf.Write(u32[:])
+	buf.Write(hdrJSON)
+	for i := 0; i < t.Schema().NumColumns(); i++ {
+		if err := encodeColumn(&buf, t.Column(i)); err != nil {
+			return nil, fmt.Errorf("store: table %q column %q: %w", t.Name(), t.Schema().Column(i).Name, err)
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], crc32.Checksum(buf.Bytes(), crcTable))
+	buf.Write(u32[:])
+	return buf.Bytes(), nil
+}
+
+func encodeColumn(buf *bytes.Buffer, c table.ColumnData) error {
+	var u32 [4]byte
+	var u64 [8]byte
+	switch d := c.(type) {
+	case *table.Int64Data:
+		for _, v := range d.Values {
+			binary.LittleEndian.PutUint64(u64[:], uint64(v))
+			buf.Write(u64[:])
+		}
+	case *table.Float64Data:
+		for _, v := range d.Values {
+			binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v))
+			buf.Write(u64[:])
+		}
+	case *table.StringData:
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(d.Dict)))
+		buf.Write(u32[:])
+		for _, s := range d.Dict {
+			binary.LittleEndian.PutUint32(u32[:], uint32(len(s)))
+			buf.Write(u32[:])
+			buf.WriteString(s)
+		}
+		for _, code := range d.Codes {
+			binary.LittleEndian.PutUint32(u32[:], uint32(code))
+			buf.Write(u32[:])
+		}
+	default:
+		return fmt.Errorf("unsupported column storage %T: %w", c, errs.ErrInvalidInput)
+	}
+	return nil
+}
+
+// decodeSegment validates the checksum and envelope of raw and rebuilds the
+// table. Any mismatch — bad magic, truncation, CRC failure, inconsistent
+// header — wraps errs.ErrCorrupted.
+func decodeSegment(raw []byte) (*table.Table, error) {
+	const envelope = 8 + 4 + 4 // magic + header length + trailing crc
+	if len(raw) < envelope {
+		return nil, fmt.Errorf("store: segment truncated at %d bytes: %w", len(raw), errs.ErrCorrupted)
+	}
+	if !bytes.Equal(raw[:8], segMagic[:]) {
+		return nil, fmt.Errorf("store: bad segment magic: %w", errs.ErrCorrupted)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	want := binary.LittleEndian.Uint32(tail)
+	if got := crc32.Checksum(body, crcTable); got != want {
+		return nil, fmt.Errorf("store: segment checksum mismatch (got %08x want %08x): %w", got, want, errs.ErrCorrupted)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(raw[8:12]))
+	if hdrLen < 0 || 12+hdrLen > len(body) {
+		return nil, fmt.Errorf("store: segment header length %d out of range: %w", hdrLen, errs.ErrCorrupted)
+	}
+	var hdr segHeader
+	if err := json.Unmarshal(raw[12:12+hdrLen], &hdr); err != nil {
+		return nil, fmt.Errorf("store: segment header: %w: %w", err, errs.ErrCorrupted)
+	}
+	defs := make([]table.ColumnDef, len(hdr.Cols))
+	for i, c := range hdr.Cols {
+		t, err := typeFromName(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		defs[i] = table.ColumnDef{Name: c.Name, Type: t}
+	}
+	schema, err := table.NewSchema(defs...)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment schema: %w: %w", err, errs.ErrCorrupted)
+	}
+	payload := body[12+hdrLen:]
+	cols := make([]table.ColumnData, len(defs))
+	for i, def := range defs {
+		var c table.ColumnData
+		c, payload, err = decodeColumn(payload, def.Type, hdr.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("store: table %q column %q: %w", hdr.Table, def.Name, err)
+		}
+		cols[i] = c
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("store: %d trailing payload bytes: %w", len(payload), errs.ErrCorrupted)
+	}
+	t, err := table.FromColumns(hdr.Table, schema, cols)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuild table: %w: %w", err, errs.ErrCorrupted)
+	}
+	return t, nil
+}
+
+func decodeColumn(payload []byte, typ table.Type, rows int) (table.ColumnData, []byte, error) {
+	need := func(n int) error {
+		if n < 0 || n > len(payload) {
+			return fmt.Errorf("payload truncated (need %d of %d bytes): %w", n, len(payload), errs.ErrCorrupted)
+		}
+		return nil
+	}
+	switch typ {
+	case table.Int64:
+		if err := need(rows * 8); err != nil {
+			return nil, nil, err
+		}
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+		return &table.Int64Data{Values: vals}, payload[rows*8:], nil
+	case table.Float64:
+		if err := need(rows * 8); err != nil {
+			return nil, nil, err
+		}
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+		return &table.Float64Data{Values: vals}, payload[rows*8:], nil
+	case table.String:
+		if err := need(4); err != nil {
+			return nil, nil, err
+		}
+		dictN := int(binary.LittleEndian.Uint32(payload))
+		payload = payload[4:]
+		dict := make([]string, 0, dictN)
+		for i := 0; i < dictN; i++ {
+			if err := need(4); err != nil {
+				return nil, nil, err
+			}
+			sl := int(binary.LittleEndian.Uint32(payload))
+			payload = payload[4:]
+			if err := need(sl); err != nil {
+				return nil, nil, err
+			}
+			dict = append(dict, string(payload[:sl]))
+			payload = payload[sl:]
+		}
+		if err := need(rows * 4); err != nil {
+			return nil, nil, err
+		}
+		codes := make([]int32, rows)
+		for i := range codes {
+			codes[i] = int32(binary.LittleEndian.Uint32(payload[i*4:]))
+		}
+		d, err := table.StringDataFromParts(dict, codes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %w", err, errs.ErrCorrupted)
+		}
+		return d, payload[rows*4:], nil
+	default:
+		return nil, nil, fmt.Errorf("unknown column type %v: %w", typ, errs.ErrCorrupted)
+	}
+}
+
+func typeFromName(name string) (table.Type, error) {
+	switch name {
+	case "int64":
+		return table.Int64, nil
+	case "float64":
+		return table.Float64, nil
+	case "string":
+		return table.String, nil
+	default:
+		return 0, fmt.Errorf("store: unknown column type %q: %w", name, errs.ErrCorrupted)
+	}
+}
+
+// SegmentWriter is the handle for writing one segment file. Create one with
+// Store.CreateSegment, write the table with WriteTable, make it durable with
+// Commit, and always Close — an uncommitted writer's Close removes the temp
+// file, a committed writer's Close is a no-op, so `defer w.Close()` after
+// CreateSegment is both the error-path cleanup and the happy-path no-op.
+type SegmentWriter struct {
+	f         *os.File
+	dir       string
+	tmp       string
+	final     string
+	site      string
+	in        *fault.Injector
+	committed bool
+	crashed   bool
+	closed    bool
+}
+
+// WriteTable encodes t and writes it through the handle. The injector's
+// durability faults apply here: a torn write persists only a prefix of the
+// payload (and still reports success), a checksum flip silently corrupts one
+// payload byte after the CRC was computed, and a crash aborts with
+// ErrInjectedCrash leaving the bytes written so far on disk — exactly the
+// partial state a SIGKILL at that instant would leave.
+func (w *SegmentWriter) WriteTable(t *table.Table) error {
+	raw, err := encodeSegment(t)
+	if err != nil {
+		return err
+	}
+	return w.writeRaw(raw)
+}
+
+func (w *SegmentWriter) writeRaw(raw []byte) error {
+	if w.in.ShouldCrash(w.site) {
+		w.crashed = true
+		return fmt.Errorf("store: %s: %w", w.site, ErrInjectedCrash)
+	}
+	if w.in.FlipChecksum(w.site) && len(raw) > 16 {
+		// Flip one bit in the middle of the payload, after the CRC in the
+		// trailer was computed over the clean bytes.
+		raw = append([]byte(nil), raw...)
+		raw[len(raw)/2] ^= 0x40
+	}
+	if w.in.TornWrite(w.site) {
+		// Only a prefix reaches the device; the write still reports success.
+		raw = raw[:len(raw)/2]
+	}
+	if _, err := w.f.Write(raw); err != nil {
+		return fmt.Errorf("store: write %s: %w", w.tmp, err)
+	}
+	return nil
+}
+
+// Commit makes the segment durable: fsync, close, rename into place, fsync
+// the directory. After Commit, Close is a no-op.
+func (w *SegmentWriter) Commit() error {
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", w.tmp, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", w.tmp, err)
+	}
+	w.closed = true
+	if w.in.ShouldCrash(w.site + "-rename") {
+		w.crashed = true
+		return fmt.Errorf("store: %s-rename: %w", w.site, ErrInjectedCrash)
+	}
+	if err := os.Rename(w.tmp, w.final); err != nil {
+		return fmt.Errorf("store: rename %s: %w", w.tmp, err)
+	}
+	w.committed = true
+	return syncDir(w.dir)
+}
+
+// Close releases the handle. Uncommitted temp files are removed — except
+// after an injected crash, which models a killed process: the OS reclaims
+// the descriptor but deletes nothing, so the partial file stays on disk for
+// recovery to cope with. Close is idempotent.
+func (w *SegmentWriter) Close() error {
+	if w.closed && (w.committed || w.crashed) {
+		return nil
+	}
+	var err error
+	if !w.closed {
+		err = w.f.Close()
+		w.closed = true
+	}
+	if !w.committed && !w.crashed {
+		if rmErr := os.Remove(w.tmp); rmErr != nil && !os.IsNotExist(rmErr) && err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// SegmentReader is the handle for reading one segment file back. Open with
+// OpenSegment, decode with ReadTable, and always Close.
+type SegmentReader struct {
+	f      *os.File
+	path   string
+	closed bool
+}
+
+// OpenSegment opens a segment file for validated reading.
+func OpenSegment(path string) (*SegmentReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: open segment %s: %w", filepath.Base(path), err)
+	}
+	return &SegmentReader{f: f, path: path}, nil
+}
+
+// ReadTable reads the whole segment, validates its checksum, and rebuilds
+// the table. Corruption of any kind wraps errs.ErrCorrupted.
+func (r *SegmentReader) ReadTable() (*table.Table, error) {
+	raw, err := io.ReadAll(r.f)
+	if err != nil {
+		return nil, fmt.Errorf("store: read segment %s: %w", filepath.Base(r.path), err)
+	}
+	t, err := decodeSegment(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(r.path), err)
+	}
+	return t, nil
+}
+
+// Close releases the handle; idempotent.
+func (r *SegmentReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.f.Close()
+}
+
+// syncDir fsyncs a directory so a completed rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
