@@ -6,7 +6,7 @@ GO ?= go
 # no dependencies beyond the toolchain.
 STRICT ?=
 
-.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend bench-store experiments clean
+.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend bench-store bench-serve experiments clean
 
 all: check
 
@@ -48,7 +48,7 @@ race:
 # where a data race would land first, so they get a fresh pass even when the
 # full race target is cache-warm.
 race-core:
-	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend
+	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend ./internal/vecexec ./internal/compress
 
 # check is the full verification gate: compile everything, run the static
 # analyzers, and run the whole suite under the race detector (core
@@ -72,6 +72,12 @@ bench-frontend:
 # committed BENCH_store.json artifact.
 bench-store:
 	$(GO) run ./cmd/hwbench -scale 1 -store-json BENCH_store.json E24
+
+# bench-serve runs E25 (vectorized compressed serving: speedup over the
+# row-at-a-time path, controller convergence, chaos-mix tail latency) at full
+# scale and regenerates the committed BENCH_serve.json artifact.
+bench-serve:
+	$(GO) run ./cmd/hwbench -scale 1 -serve-json BENCH_serve.json E25
 
 experiments:
 	$(GO) run ./cmd/hwbench

@@ -230,6 +230,14 @@ func TestValidate(t *testing.T) {
 			c.ServeAPI = ":0"
 			c.Tenants = []hwstar.TenantConfig{{ID: "a", Key: "k"}}
 		}, true},
+		{"vec_adaptive without vectorized", func(c *Config) { c.VecAdaptive = true }, false},
+		{"vec knobs without vectorized", func(c *Config) { c.VecBatchWidth = 8 }, false},
+		{"vectorized with knobs", func(c *Config) {
+			c.Vectorized = true
+			c.VecAdaptive = true
+			c.VecMorselRows = 8192
+			c.VecBatchWidth = 16
+		}, true},
 		{"checkpoint interval without data dir", func(c *Config) {
 			c.CheckpointInterval = Duration(time.Second)
 		}, false},

@@ -43,6 +43,12 @@
 // The default workload is all shared-scannable range aggregates; -mix mixed
 // adds joins and grouped aggregations that exercise the worker budget.
 //
+// -vectorized routes shared scans through the batch-at-a-time pass over
+// FOR/RLE-compressed columns (zone-map pruning, precomputed block sums,
+// decode-on-demand); -vec-morsel-rows and -vec-batch-width seed its knobs,
+// and -vec-adaptive arms the online controller that retunes both from pass
+// feedback. The report then includes a per-pass block-outcome line.
+//
 // -mem-budget arms the memory governor: joins and grouped aggregations
 // reserve against a server-wide byte budget at admission, charge their hash
 // tables against it, and degrade to grace-hash spill plans when the grant
@@ -111,6 +117,10 @@ func buildServer(cfg Config) (*hwstar.Server, *hwstar.Tracer, *hwstar.Store, err
 		RetryBackoff:     time.Duration(cfg.Backoff),
 		BreakerThreshold: cfg.Breaker,
 		BreakerCooldown:  time.Duration(cfg.Cooldown),
+		Vectorized:       cfg.Vectorized,
+		VecMorselRows:    cfg.VecMorselRows,
+		VecBatchWidth:    cfg.VecBatchWidth,
+		VecAdaptive:      cfg.VecAdaptive,
 	}
 	if cfg.MemBudget > 0 {
 		opts.Memory = hwstar.MemoryConfig{
@@ -308,6 +318,12 @@ func (r *report) print(w io.Writer, cfg Config) {
 		h := r.health
 		fmt.Fprintf(w, "  memory budget %d KiB  (peak %d KiB, shed at admission %d, spilled %d for %d KiB, oom kills %d)\n",
 			cfg.MemBudget>>10, h.Memory.PeakBytes>>10, r.memShed, h.Spills, h.SpillBytes>>10, r.oomKilled)
+	}
+	if cfg.Vectorized {
+		h := r.health
+		fmt.Fprintf(w, "  vectorized %d passes  (blocks: %d pruned, %d fast-summed, %d scanned; morsel %d rows, width %d, retunes %d, converged %v)\n",
+			h.VecPasses, h.VecBlocksPruned, h.VecFastSums, h.VecBlocksScanned,
+			h.Ctl.MorselRows, h.Ctl.BatchWidth, h.Ctl.Retunes, h.Ctl.Converged)
 	}
 	if cfg.faulty() {
 		h := r.health

@@ -43,6 +43,27 @@ func TestRunScanMix(t *testing.T) {
 	}
 }
 
+func TestRunVectorized(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Vectorized = true
+	cfg.VecAdaptive = true
+	r, err := run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.completed != int64(cfg.Clients*cfg.Requests) {
+		t.Fatalf("vectorized run lost requests: %+v", r)
+	}
+	if !r.health.Vectorized || r.health.VecPasses == 0 {
+		t.Fatalf("vectorized path never ran: %+v", r.health)
+	}
+	var sb strings.Builder
+	r.print(&sb, cfg)
+	if !strings.Contains(sb.String(), "vectorized") {
+		t.Fatalf("report missing vectorized line:\n%s", sb.String())
+	}
+}
+
 func TestRunMixedMix(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Mix = "mixed"

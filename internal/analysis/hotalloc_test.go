@@ -11,11 +11,17 @@ func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata/hotalloc", "hwstar/internal/join", analysis.HotAlloc)
 }
 
-// TestHotAllocScope: the serving layer formats error messages and trace
-// attributes at will; the boxing rule binds only the morsel-processing
-// packages.
+// TestHotAllocServe: the serving layer joined the scope when the vectorized
+// scan moved batch execution into it — span attributes and retry annotations
+// in its loops are held to the same no-boxing rule.
+func TestHotAllocServe(t *testing.T) {
+	analysistest.Run(t, "testdata/hotalloc_serve", "hwstar/internal/serve", analysis.HotAlloc)
+}
+
+// TestHotAllocScope: packages off the query path format error messages and
+// trace attributes at will; the boxing rule binds only the hot packages.
 func TestHotAllocScope(t *testing.T) {
-	if diags := runOn(t, "testdata/hotalloc", "hwstar/internal/serve", analysis.HotAlloc); len(diags) != 0 {
+	if diags := runOn(t, "testdata/hotalloc", "hwstar/internal/frontend", analysis.HotAlloc); len(diags) != 0 {
 		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
 	}
 }

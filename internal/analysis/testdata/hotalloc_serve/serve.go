@@ -1,0 +1,44 @@
+// Testdata for the hotalloc analyzer, judged as hwstar/internal/serve — in
+// scope since the vectorized scan made the serving layer's batch loops hot.
+// The cases mirror the real call sites: per-request span attributes and
+// retry annotations inside loops.
+package serve
+
+import (
+	"fmt"
+	"strconv"
+
+	"hwstar/internal/trace"
+)
+
+type pending struct {
+	span *trace.Span
+}
+
+func AttrPerRequest(live []*pending) {
+	for _, p := range live {
+		p.span.SetAttr("batch_size", fmt.Sprint(len(live))) // want "Sprint boxes its arguments"
+	}
+}
+
+// AttrHoistedOK is the fix: format once, outside the loop.
+func AttrHoistedOK(live []*pending) {
+	batchSize := strconv.Itoa(len(live))
+	for _, p := range live {
+		p.span.SetAttr("batch_size", batchSize)
+	}
+}
+
+func AnnotatePerAttempt(sp *trace.Span, attempts int) {
+	for a := 0; a < attempts; a++ {
+		sp.Annotate("attempt %d failed", a+1) // want "Annotate boxes its arguments"
+	}
+}
+
+// EventOK is the fix: Span.Event takes a pre-built string, assembled with
+// strconv — nothing boxes.
+func EventOK(sp *trace.Span, attempts int) {
+	for a := 0; a < attempts; a++ {
+		sp.Event("attempt " + strconv.Itoa(a+1) + " failed")
+	}
+}

@@ -24,10 +24,19 @@ const (
 	kindRLE                  // run-length encoding
 )
 
+// BlockHeaderBytes is the modelled encoded footprint of a block's metadata
+// (kind, count, reference/width bookkeeping, zone map). A zone-map-pruned
+// block costs only this many bytes of memory traffic.
+const BlockHeaderBytes = 16
+
 // block is one encoded block of up to BlockValues values.
 type block struct {
 	kind blockKind
 	n    int // values in the block
+	// Zone map: the exact min/max of the block's values, stored at encode
+	// time so range predicates can prune (or accept) whole blocks without
+	// decoding and without overflow-prone width arithmetic.
+	minV, maxV int64
 	// FOR: reference value, bit width, packed payload.
 	ref   int64
 	width uint8
@@ -57,12 +66,23 @@ func Encode(values []int64) *Compressed {
 }
 
 func encodeBlock(vals []int64) block {
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
 	forB := encodeFOR(vals)
+	b := forB
 	rleB, ok := encodeRLE(vals)
 	if ok && blockBytes(rleB) < blockBytes(forB) {
-		return rleB
+		b = rleB
 	}
-	return forB
+	b.minV, b.maxV = minV, maxV
+	return b
 }
 
 func encodeFOR(vals []int64) block {
@@ -115,12 +135,11 @@ func encodeRLE(vals []int64) (block, bool) {
 
 // blockBytes returns the encoded footprint of a block.
 func blockBytes(b block) int64 {
-	const header = 16 // kind, count, ref/width bookkeeping
 	switch b.kind {
 	case kindFOR:
-		return header + int64(len(b.words))*8
+		return BlockHeaderBytes + int64(len(b.words))*8
 	case kindRLE:
-		return header + int64(len(b.runs))*8
+		return BlockHeaderBytes + int64(len(b.runs))*8
 	default:
 		panic(fmt.Sprintf("compress: unknown block kind %d", b.kind))
 	}
@@ -220,10 +239,22 @@ func (c *Compressed) Sum() int64 {
 }
 
 // RangeCount counts values in [lo, hi] without materializing the column.
+// Blocks whose stored zone map misses the predicate are skipped outright,
+// and blocks wholly inside it are counted without decoding. (Earlier
+// versions derived the block maximum as ref + (1<<width - 1), which can
+// overflow int64 for blocks near the top of the domain and silently skip
+// blocks that matched; the zone map is exact and overflow-free.)
 func (c *Compressed) RangeCount(lo, hi int64) int64 {
 	var count int64
 	var buf [BlockValues]int64
 	for _, b := range c.blocks {
+		if b.minV > hi || b.maxV < lo {
+			continue
+		}
+		if b.minV >= lo && b.maxV <= hi {
+			count += int64(b.n)
+			continue
+		}
 		if b.kind == kindRLE {
 			for r := 0; r < len(b.runs); r += 2 {
 				if b.runs[r] >= lo && b.runs[r] <= hi {
@@ -231,22 +262,6 @@ func (c *Compressed) RangeCount(lo, hi int64) int64 {
 				}
 			}
 			continue
-		}
-		// FOR blocks can be skipped entirely when their value range misses
-		// the predicate — zone-map-style pruning for free. Wide blocks
-		// (width >= 63) span nearly the whole domain, so only the lower
-		// bound can prune without overflow.
-		if b.ref > hi {
-			continue
-		}
-		if b.width < 63 {
-			maxDelta := int64(0)
-			if b.width > 0 {
-				maxDelta = int64(1)<<b.width - 1
-			}
-			if b.ref+maxDelta < lo {
-				continue
-			}
 		}
 		for _, v := range decodeBlock(b, buf[:]) {
 			if v >= lo && v <= hi {

@@ -115,10 +115,10 @@ func (c *e23Client) query(body []byte) (status int, code string, err error) {
 
 // e23Counts tallies one cohort's outcomes.
 type e23Counts struct {
-	mu                                                 sync.Mutex
-	sent, completed, rateLimited, quota, shed, failed  int64
-	latenciesMs                                        []float64
-	elapsed                                            time.Duration
+	mu                                                sync.Mutex
+	sent, completed, rateLimited, quota, shed, failed int64
+	latenciesMs                                       []float64
+	elapsed                                           time.Duration
 }
 
 func (c *e23Counts) note(status int, code string, latency time.Duration) {

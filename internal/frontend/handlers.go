@@ -150,7 +150,7 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 	wallMs := float64(f.now().Sub(start).Microseconds()) / 1000
 	if err != nil {
 		f.reg.Counter("frontend.queries_failed").Inc()
-		f.writeError(w, q.TraceID, err)
+		f.writeError(w, ts, q.TraceID, err)
 		return
 	}
 	f.reg.Counter("frontend.queries_ok").Inc()
@@ -260,12 +260,19 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 // writeError maps an engine error through the v1 code table. 429s carry a
 // Retry-After so well-behaved clients back off, and so does the 503 a
 // recovering server sheds with — replay finishes on its own schedule, so
-// the right client move is wait-and-retry, not fail over.
-func (f *Frontend) writeError(w http.ResponseWriter, traceID string, err error) {
+// the right client move is wait-and-retry, not fail over. For 429s the
+// tenant's token bucket is consulted: if the tenant is also out of tokens,
+// the hint is the actual time to the next token, not a flat second.
+func (f *Frontend) writeError(w http.ResponseWriter, ts *tenantState, traceID string, err error) {
 	code, status, retryable := v1.CodeFor(err)
 	retryAfter := time.Duration(0)
 	if status == http.StatusTooManyRequests || code == v1.CodeUnavailableRecovering {
 		retryAfter = time.Second
+		if status == http.StatusTooManyRequests && ts != nil {
+			if hint := ts.retryHint(f.now()); hint > 0 {
+				retryAfter = hint
+			}
+		}
 	}
 	f.writeCode(w, code, status, retryable, retryAfter, traceID, err.Error())
 }

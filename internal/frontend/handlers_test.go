@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -372,6 +374,73 @@ func TestRateLimitRefills(t *testing.T) {
 	e.clock.advance(150 * time.Millisecond) // refills 1.5 tokens -> capped at 1
 	if status, _, raw := e.do("POST", "/v1/query", tok, q); status != 200 {
 		t.Fatalf("after refill: HTTP %d: %s", status, raw)
+	}
+}
+
+// TestRetryAfterHeaderAgreesWithBody pins the header/body contract: the
+// body's RetryAfterMs carries the precise wait, the header that wait rounded
+// up to whole seconds, so ceil(body_ms/1000) must equal the header.
+func TestRetryAfterHeaderAgreesWithBody(t *testing.T) {
+	e := newTestEnv(t, serve.Options{}, []TenantConfig{
+		{ID: "steady", Key: "k", RatePerSec: 10, Burst: 1},
+	}, Config{})
+	tok := e.open("steady", "k")
+	q := v1.QueryRequest{Op: v1.OpScan, Table: "facts", Scan: &v1.ScanArgs{Hi: 1000, AggCol: 1}}
+
+	if status, _, raw := e.do("POST", "/v1/query", tok, q); status != 200 {
+		t.Fatalf("first query: HTTP %d: %s", status, raw)
+	}
+	status, hdr, raw := e.do("POST", "/v1/query", tok, q)
+	if status != 429 {
+		t.Fatalf("drained bucket: HTTP %d: %s", status, raw)
+	}
+	info := errCode(t, raw)
+	if info.RetryAfterMs <= 0 || info.RetryAfterMs > 100 {
+		t.Fatalf("retry-after %dms, want (0,100] for rate 10/s", info.RetryAfterMs)
+	}
+	hdrSecs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After header %q: %v", hdr.Get("Retry-After"), err)
+	}
+	if want := int(math.Ceil(float64(info.RetryAfterMs) / 1000)); hdrSecs != want {
+		t.Fatalf("header %ds disagrees with body %dms (want ceil = %ds)", hdrSecs, info.RetryAfterMs, want)
+	}
+}
+
+// TestRetryHint pins the bucket-consulting backoff used for engine-side
+// 429s: a drained refilling bucket reports the true time to the next token,
+// an idle or burst-only bucket reports 0 (no opinion).
+func TestRetryHint(t *testing.T) {
+	e := newTestEnv(t, serve.Options{}, []TenantConfig{
+		{ID: "steady", Key: "k", RatePerSec: 10, Burst: 1},
+		{ID: "bursty", Key: "k", Burst: 2},
+	}, Config{})
+	now := e.clock.now()
+
+	steady, _ := e.fe.tenant("steady")
+	if hint := steady.retryHint(now); hint != 0 {
+		t.Fatalf("full bucket hinted %v, want 0", hint)
+	}
+	if ok, _ := steady.takeToken(now); !ok {
+		t.Fatal("token draw from full bucket refused")
+	}
+	hint := steady.retryHint(now)
+	if hint <= 0 || hint > 100*time.Millisecond {
+		t.Fatalf("drained bucket hinted %v, want (0,100ms] for rate 10/s", hint)
+	}
+	// The hint must match what a refusal would have reported.
+	if _, retryAfter := steady.takeToken(now); retryAfter != hint {
+		t.Fatalf("hint %v disagrees with takeToken's %v", hint, retryAfter)
+	}
+
+	bursty, _ := e.fe.tenant("bursty")
+	bursty.takeToken(now)
+	bursty.takeToken(now)
+	if ok, _ := bursty.takeToken(now); ok {
+		t.Fatal("burst-only bucket never drained")
+	}
+	if hint := bursty.retryHint(now); hint != 0 {
+		t.Fatalf("burst-only bucket hinted %v, want 0", hint)
 	}
 }
 

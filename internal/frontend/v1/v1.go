@@ -367,7 +367,12 @@ type ErrorInfo struct {
 	Message string `json:"message"`
 	// Retryable hints whether the same request may succeed later.
 	Retryable bool `json:"retryable"`
-	// RetryAfterMs mirrors the Retry-After header on 429 responses.
+	// RetryAfterMs is the suggested wait before retrying, in milliseconds.
+	// It is set whenever the response carries a Retry-After header — on
+	// 429s and on the 503 a recovering server sheds with — and is the
+	// precise value: the header is this duration rounded up to whole
+	// seconds (headers cannot carry fractions), so ceil(RetryAfterMs/1000)
+	// always equals the header.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
 	// TraceID echoes the request's trace id when one was supplied.
 	TraceID string `json:"trace_id,omitempty"`

@@ -687,6 +687,21 @@ func Morsels(n, morselSize int, name string, fn func(start, end int, w *Worker))
 	return tasks
 }
 
+// MorselsAligned is Morsels with the morsel size snapped to a multiple of
+// align (at least one align unit): the vectorized scan path hands out
+// morsels in whole compression blocks so no block is ever split across
+// workers. A non-positive align degenerates to Morsels.
+func MorselsAligned(n, morselSize, align int, name string, fn func(start, end int, w *Worker)) []Task {
+	if align > 0 {
+		if morselSize < align {
+			morselSize = align
+		} else if rem := morselSize % align; rem != 0 {
+			morselSize += align - rem
+		}
+	}
+	return Morsels(n, morselSize, name, fn)
+}
+
 // PinRoundRobin assigns preferred sockets to tasks round-robin over the
 // machine's sockets, modelling NUMA-partitioned input.
 func PinRoundRobin(tasks []Task, m *hw.Machine) []Task {

@@ -223,6 +223,36 @@ func TestMorsels(t *testing.T) {
 	}
 }
 
+func TestMorselsAligned(t *testing.T) {
+	// Size 1000 with align 1024 snaps up to one block per morsel.
+	tasks := MorselsAligned(4096, 1000, 1024, "vec", func(s, e int, w *Worker) {})
+	if len(tasks) != 4 {
+		t.Fatalf("snapped-up tasks = %d, want 4", len(tasks))
+	}
+	// Size 1500 snaps to 2048; boundaries must all be multiples of 1024
+	// except the final end.
+	m := hw.Laptop()
+	s, _ := New(m, Options{Workers: 1})
+	got := 0
+	run := MorselsAligned(5000, 1500, 1024, "vec2", func(start, end int, w *Worker) {
+		if start%1024 != 0 {
+			t.Errorf("morsel start %d not block-aligned", start)
+		}
+		if end != 5000 && end%1024 != 0 {
+			t.Errorf("morsel end %d not block-aligned", end)
+		}
+		got += end - start
+	})
+	s.Run(run)
+	if got != 5000 {
+		t.Fatalf("covered %d rows, want 5000", got)
+	}
+	// Zero align degenerates to plain Morsels.
+	if n := len(MorselsAligned(10, 3, 0, "x", func(s, e int, w *Worker) {})); n != 4 {
+		t.Fatalf("align 0 tasks = %d, want 4", n)
+	}
+}
+
 func TestMorselsDefaultSize(t *testing.T) {
 	tasks := Morsels(100, 0, "x", func(s, e int, w *Worker) {})
 	if len(tasks) != 1 {

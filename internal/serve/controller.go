@@ -1,0 +1,266 @@
+// The online execution controller: E2b's offline morsel-size sweep turned
+// into a runtime feedback loop. Every successful vectorized scan pass
+// reports its modeled cost; the controller hill-climbs morsel size and
+// query-batch width on the live workload, one knob at a time, over the
+// power-of-two grid the offline sweep explored. Readers (the hot path) see
+// the current settings through atomics — no lock on the submit path.
+
+package serve
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hwstar/internal/compress"
+)
+
+// Controller defaults and bounds. Morsel bounds are multiples of the
+// compression block so a morsel never splits a block; width bounds keep a
+// group's selection vectors and accumulators cache-resident.
+const (
+	vecMorselDefault = 8 * compress.BlockValues
+	vecMorselMin     = compress.BlockValues
+	vecMorselMax     = 128 * compress.BlockValues
+	vecWidthDefault  = 8
+	vecWidthMin      = 1
+	vecWidthMax      = 256
+
+	// ctlObsPerStep is how many pass observations average into one
+	// measurement; ctlEpsilon is the relative improvement a probe must show
+	// to be accepted. Both damp noise from varying batch sizes.
+	ctlObsPerStep = 3
+	ctlEpsilon    = 0.03
+)
+
+// VecCtlStats is a point-in-time snapshot of the adaptive controller, for
+// Health and the metrics endpoints.
+type VecCtlStats struct {
+	// MorselRows and BatchWidth are the settings the next pass will use.
+	MorselRows int
+	BatchWidth int
+	// Observations counts scan passes fed back; Retunes counts accepted
+	// setting changes.
+	Observations int64
+	Retunes      int64
+	// Converged reports that both knobs have stopped probing (steady
+	// workload reached a local optimum on the power-of-two grid).
+	Converged bool
+	// CostPerRowQuery is the latest measured cost at the current settings,
+	// in modeled cycles per (row × query); 0 until the first full
+	// measurement window.
+	CostPerRowQuery float64
+}
+
+// hillClimb is one knob's deterministic probe state machine. It measures
+// the cost at the current value over obsPerStep observations, probes a
+// power-of-two neighbor for the same window, and keeps whichever is
+// cheaper. A probe must improve by eps to be accepted, so the sequence of
+// accepted costs is non-increasing — monotone convergence on a steady
+// workload. Two consecutive rejected probes (both directions exhausted)
+// finish the knob.
+type hillClimb struct {
+	cur, lo, hi int
+
+	baseCost float64 // mean cost at cur over the last full window
+	baseN    int
+	probe    int // candidate under measurement; 0 = measuring cur
+	probeSum float64
+	probeN   int
+	dir      int // +1 probe cur*2 next, -1 probe cur/2
+	fails    int // consecutive rejected probes
+	done     bool
+
+	baseSum float64
+}
+
+func newHillClimb(initial, lo, hi int) *hillClimb {
+	if initial < lo {
+		initial = lo
+	}
+	if initial > hi {
+		initial = hi
+	}
+	return &hillClimb{cur: initial, lo: lo, hi: hi, dir: +1}
+}
+
+// setting returns the value passes should run with right now: the probe
+// while one is being measured, the accepted value otherwise.
+func (h *hillClimb) setting() int {
+	if h.probe != 0 {
+		return h.probe
+	}
+	return h.cur
+}
+
+// next returns the neighbor of cur in direction dir, or cur at a bound.
+func (h *hillClimb) next() int {
+	if h.dir > 0 {
+		if n := h.cur * 2; n <= h.hi {
+			return n
+		}
+		return h.cur
+	}
+	if n := h.cur / 2; n >= h.lo {
+		return n
+	}
+	return h.cur
+}
+
+// observe feeds one cost sample. It returns changed=true when the knob's
+// current value moved (a probe was accepted) and settled=true when this
+// sample completed a probe decision (accept or reject) — the controller
+// alternates knobs on settled decisions.
+func (h *hillClimb) observe(cost float64) (changed, settled bool) {
+	if h.done {
+		return false, true
+	}
+	if h.probe == 0 {
+		// Measuring the current value.
+		h.baseSum += cost
+		h.baseN++
+		if h.baseN < ctlObsPerStep {
+			return false, false
+		}
+		h.baseCost = h.baseSum / float64(h.baseN)
+		// Pick the next probe; flip at bounds. No neighbor on either side
+		// means the range is a single point: nothing to tune.
+		if h.next() == h.cur {
+			h.dir = -h.dir
+		}
+		if h.next() == h.cur {
+			h.done = true
+			return false, true
+		}
+		h.probe = h.next()
+		h.probeSum, h.probeN = 0, 0
+		return false, false
+	}
+	// Measuring the probe.
+	h.probeSum += cost
+	h.probeN++
+	if h.probeN < ctlObsPerStep {
+		return false, false
+	}
+	probeCost := h.probeSum / float64(h.probeN)
+	if probeCost < h.baseCost*(1-ctlEpsilon) {
+		// Accept: the probe's window becomes the new base; keep pushing the
+		// same direction.
+		h.cur = h.probe
+		h.baseCost = probeCost
+		h.baseSum, h.baseN = h.probeSum, h.probeN
+		h.fails = 0
+		h.probe = 0
+		return true, true
+	}
+	// Reject: stay, flip direction; two consecutive rejections mean both
+	// neighbors are worse — a local optimum on the grid.
+	h.fails++
+	h.dir = -h.dir
+	h.probe = 0
+	if h.fails >= 2 {
+		h.done = true
+	}
+	return false, true
+}
+
+// vecController tunes the vectorized scan path's morsel size and batch
+// width online. Hot-path readers (MorselRows, BatchWidth) are lock-free
+// atomic loads; Observe serializes tuning state under a mutex off the
+// request path (once per scan pass, not per request).
+type vecController struct {
+	adaptive bool
+
+	morsel  atomic.Int64
+	width   atomic.Int64
+	obs     atomic.Int64
+	retunes atomic.Int64
+	conv    atomic.Bool
+	cost    atomic.Uint64 // float64 bits of the latest measured cost
+
+	mu     sync.Mutex
+	knobs  [2]*hillClimb // 0 = morsel rows, 1 = batch width
+	active int
+}
+
+// newVecController builds a controller starting from the given settings.
+// adaptive=false pins them (the controller still counts observations).
+func newVecController(morselRows, batchWidth int, adaptive bool) *vecController {
+	if morselRows <= 0 {
+		morselRows = vecMorselDefault
+	}
+	if batchWidth <= 0 {
+		batchWidth = vecWidthDefault
+	}
+	c := &vecController{adaptive: adaptive}
+	c.knobs[0] = newHillClimb(snapToBlocks(morselRows), vecMorselMin, vecMorselMax)
+	c.knobs[1] = newHillClimb(batchWidth, vecWidthMin, vecWidthMax)
+	c.morsel.Store(int64(c.knobs[0].cur))
+	c.width.Store(int64(c.knobs[1].cur))
+	return c
+}
+
+// snapToBlocks rounds rows up to a whole number of compression blocks (at
+// least one), so morsel boundaries always align with block boundaries.
+func snapToBlocks(rows int) int {
+	if rows < compress.BlockValues {
+		return compress.BlockValues
+	}
+	if rem := rows % compress.BlockValues; rem != 0 {
+		rows += compress.BlockValues - rem
+	}
+	return rows
+}
+
+// MorselRows returns the morsel size the next vectorized pass should use.
+func (c *vecController) MorselRows() int { return int(c.morsel.Load()) }
+
+// BatchWidth returns the query-group width the next pass should use.
+func (c *vecController) BatchWidth() int { return int(c.width.Load()) }
+
+// Observe feeds one successful pass's feedback: rows scanned, queries
+// answered, and the pass's modeled makespan. The active knob advances its
+// probe state machine; knobs alternate on each completed probe decision so
+// one knob's measurements never mix settings of the other.
+func (c *vecController) Observe(rows, queries int, makespanCycles float64) {
+	c.obs.Add(1)
+	if !c.adaptive || rows <= 0 || queries <= 0 {
+		return
+	}
+	cost := makespanCycles / (float64(rows) * float64(queries))
+	c.cost.Store(math.Float64bits(cost))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := c.knobs[c.active]
+	changed, settled := k.observe(cost)
+	if changed {
+		c.retunes.Add(1)
+	}
+	// Publish what the next pass should run with — including an in-flight
+	// probe, which must be live to be measured.
+	c.morsel.Store(int64(c.knobs[0].setting()))
+	c.width.Store(int64(c.knobs[1].setting()))
+	if settled {
+		// Hand the next window to the other knob unless it is finished.
+		other := 1 - c.active
+		if !c.knobs[other].done {
+			c.active = other
+		}
+	}
+	if c.knobs[0].done && c.knobs[1].done {
+		c.conv.Store(true)
+	}
+}
+
+// Stats snapshots the controller.
+func (c *vecController) Stats() VecCtlStats {
+	return VecCtlStats{
+		MorselRows:      c.MorselRows(),
+		BatchWidth:      c.BatchWidth(),
+		Observations:    c.obs.Load(),
+		Retunes:         c.retunes.Load(),
+		Converged:       c.conv.Load(),
+		CostPerRowQuery: math.Float64frombits(c.cost.Load()),
+	}
+}

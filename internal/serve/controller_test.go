@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hwstar/internal/compress"
+)
+
+// convexCost is a deterministic synthetic workload: cost is convex in both
+// knobs with a unique optimum inside the grid, so the hill climber has a
+// well-defined target.
+func convexCost(morsel, width int) float64 {
+	m := math.Log2(float64(morsel) / float64(32*compress.BlockValues))
+	w := math.Log2(float64(width) / 32)
+	return 10 + m*m + w*w
+}
+
+// TestControllerConverges feeds the controller a steady convex workload and
+// checks that it (a) reaches the grid optimum for both knobs, (b) reports
+// convergence, and (c) never accepts a retune that raises the measured cost
+// — monotone convergence.
+func TestControllerConverges(t *testing.T) {
+	c := newVecController(0, 0, true)
+	lastAccepted := math.Inf(1)
+	var retunes int64
+	for i := 0; i < 500 && !c.Stats().Converged; i++ {
+		cost := convexCost(c.MorselRows(), c.BatchWidth())
+		// Observe scales cost by rows*queries; feed it unit work so the
+		// measured cost is exactly convexCost.
+		c.Observe(1, 1, cost)
+		if st := c.Stats(); st.Retunes > retunes {
+			retunes = st.Retunes
+			now := convexCost(st.MorselRows, st.BatchWidth)
+			if now > lastAccepted {
+				t.Fatalf("retune %d raised cost: %v -> %v", retunes, lastAccepted, now)
+			}
+			lastAccepted = now
+		}
+	}
+	st := c.Stats()
+	if !st.Converged {
+		t.Fatalf("did not converge: %+v", st)
+	}
+	if st.MorselRows != 32*compress.BlockValues {
+		t.Fatalf("morsel rows %d, want %d", st.MorselRows, 32*compress.BlockValues)
+	}
+	if st.BatchWidth != 32 {
+		t.Fatalf("batch width %d, want 32", st.BatchWidth)
+	}
+	if st.Retunes == 0 {
+		t.Fatal("converged without ever retuning (started at the optimum?)")
+	}
+}
+
+// TestControllerPinnedWhenNotAdaptive checks that adaptive=false keeps the
+// configured settings fixed no matter what costs are observed.
+func TestControllerPinnedWhenNotAdaptive(t *testing.T) {
+	c := newVecController(4*compress.BlockValues, 16, false)
+	for i := 0; i < 100; i++ {
+		c.Observe(1000, 10, float64(1000000*(i+1)))
+	}
+	st := c.Stats()
+	if st.MorselRows != 4*compress.BlockValues || st.BatchWidth != 16 {
+		t.Fatalf("pinned controller moved: %+v", st)
+	}
+	if st.Converged {
+		t.Fatal("pinned controller claims convergence")
+	}
+	if st.Observations != 100 {
+		t.Fatalf("observations %d, want 100", st.Observations)
+	}
+}
+
+// TestControllerConcurrentObserve hammers Observe from many goroutines while
+// readers spin on MorselRows/BatchWidth/Stats — run under -race this checks
+// the hot-path reads are torn-free, and it asserts the published settings
+// are always valid grid points.
+func TestControllerConcurrentObserve(t *testing.T) {
+	c := newVecController(0, 0, true)
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m, w := c.MorselRows(), c.BatchWidth()
+				if m < vecMorselMin || m > vecMorselMax || m%compress.BlockValues != 0 {
+					t.Errorf("torn/invalid morsel rows: %d", m)
+					return
+				}
+				if w < vecWidthMin || w > vecWidthMax {
+					t.Errorf("torn/invalid batch width: %d", w)
+					return
+				}
+				_ = c.Stats()
+			}
+		}()
+	}
+	var wwg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		i := i
+		wwg.Add(1)
+		go func() {
+			defer wwg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Observe(4096, 8, float64(1000+(i*perWriter+j)%97))
+			}
+		}()
+	}
+	wwg.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Stats().Observations; got != writers*perWriter {
+		t.Fatalf("observations %d, want %d", got, writers*perWriter)
+	}
+}

@@ -68,6 +68,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -237,6 +238,31 @@ type Options struct {
 	// finer-grained fault isolation and re-dispatch.
 	ScanSegRows int
 
+	// Vectorized arms the batch-at-a-time, compression-aware scan path:
+	// registered relations are additionally encoded into FOR/RLE-compressed
+	// columns with per-block zone maps and block sums, and scan batches
+	// execute with selection vectors directly on the compressed blocks,
+	// decode-on-demand priced through the hw model. Scans fall back to the
+	// row-at-a-time pass for tables without a current encoding. Off by
+	// default.
+	Vectorized bool
+	// VecMorselRows is the vectorized pass's initial morsel size in rows,
+	// snapped up to whole compression blocks (default 8 blocks = 8192).
+	// When VecAdaptive is set this is only the controller's starting point.
+	VecMorselRows int
+	// VecBatchWidth is the initial number of queries evaluated as one group
+	// against each decoded block (default 8, clamped to [1, 256]). Every
+	// query in a group gathers into its own accumulator while the block is
+	// hot, so the width sets the randomly-addressed working set of the
+	// inner loop: wider groups touch the decoded data less often per
+	// query, narrower groups keep the accumulator set cache-resident.
+	VecBatchWidth int
+	// VecAdaptive arms the online controller: every successful vectorized
+	// pass feeds its modeled cost back, and the controller hill-climbs
+	// morsel size and batch width at runtime (E2b's offline sweep as a
+	// feedback loop). Requires Vectorized.
+	VecAdaptive bool
+
 	// Faults arms a fault injector on every scheduled operation. Nil (the
 	// default) injects nothing.
 	Faults *fault.Injector
@@ -359,6 +385,20 @@ func (o Options) withDefaults(m *hw.Machine) (Options, error) {
 	if o.MaxRetries > 0 && o.RetryBackoff <= 0 {
 		o.RetryBackoff = 200 * time.Microsecond
 	}
+	if o.VecAdaptive && !o.Vectorized {
+		return o, fmt.Errorf("serve: adaptive controller without the vectorized path: %w", errs.ErrInvalidInput)
+	}
+	if o.Vectorized {
+		if o.VecMorselRows <= 0 {
+			o.VecMorselRows = vecMorselDefault
+		}
+		switch {
+		case o.VecBatchWidth <= 0:
+			o.VecBatchWidth = vecWidthDefault
+		case o.VecBatchWidth > vecWidthMax:
+			o.VecBatchWidth = vecWidthMax
+		}
+	}
 	if o.CheckpointInterval > 0 && o.Store == nil {
 		return o, fmt.Errorf("serve: checkpoint interval %s without a store: %w", o.CheckpointInterval, errs.ErrInvalidInput)
 	}
@@ -425,10 +465,16 @@ type Server struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	mu      sync.RWMutex // guards closed, tables, and tenants
+	mu      sync.RWMutex // guards closed, tables, vtables, and tenants
 	closed  bool
 	tables  map[string]*scan.Relation
 	tenants map[string]struct{} // tenant ids seen, for the Health breakdown
+
+	// Vectorized-path state (nil when Options.Vectorized is off): vtables
+	// holds the compressed encodings maintained alongside tables, ctl the
+	// online morsel/width controller.
+	vtables map[string]*vecTable
+	ctl     *vecController
 
 	// Durable-tier state (zero when Options.Store is nil). recovering gates
 	// admission while the boot replay registers the store's tables; recovered
@@ -502,6 +548,10 @@ func New(m *hw.Machine, opts Options) (*Server, error) {
 	}
 	if opts.BreakerThreshold > 0 {
 		s.brk = &breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown}
+	}
+	if opts.Vectorized {
+		s.vtables = make(map[string]*vecTable)
+		s.ctl = newVecController(opts.VecMorselRows, opts.VecBatchWidth, opts.VecAdaptive)
 	}
 	// Arm the memory governor when a budget is set or allocation faults are
 	// requested (an unlimited governor still injects). The server's compute
@@ -591,8 +641,15 @@ func (s *Server) replayStore() {
 			s.reg.Counter("serve.replay_failures").Inc()
 			continue
 		}
+		var vt *vecTable
+		if s.opts.Vectorized {
+			vt = newVecTable(cols)
+		}
 		s.mu.Lock()
 		s.tables[name] = rel
+		if vt != nil {
+			s.vtables[name] = vt
+		}
 		s.mu.Unlock()
 		s.reg.Counter("serve.replayed_tables").Inc()
 	}
@@ -718,12 +775,20 @@ func (s *Server) Register(name string, cols [][]int64) error {
 			return fmt.Errorf("serve: register %q: %w", name, err)
 		}
 	}
+	var vt *vecTable
+	if s.opts.Vectorized {
+		vt = newVecTable(cols)
+		s.reg.Histogram("serve.vec_compression_ratio").Record(vt.ratio())
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("serve: register %q: %w", name, errs.ErrClosed)
 	}
 	s.tables[name] = rel
+	if vt != nil {
+		s.vtables[name] = vt
+	}
 	return nil
 }
 
@@ -805,6 +870,10 @@ func (s *Server) loadCold(ctx context.Context, name string) (*scan.Relation, boo
 	if err != nil {
 		return nil, false
 	}
+	var vt *vecTable
+	if s.opts.Vectorized {
+		vt = newVecTable(cols)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -816,6 +885,9 @@ func (s *Server) loadCold(ctx context.Context, name string) (*scan.Relation, boo
 		return prior, true
 	}
 	s.tables[name] = rel
+	if vt != nil {
+		s.vtables[name] = vt
+	}
 	s.reg.Counter("serve.cold_loads").Inc()
 	s.reg.Histogram("serve.cold_load_cycles").Record(cycles)
 	return rel, true
@@ -1204,7 +1276,7 @@ func (s *Server) withRetry(ctx context.Context, sp *trace.Span, op func() error)
 		d := s.backoff(attempt)
 		s.reg.Counter("serve.retries").Inc()
 		s.reg.Histogram("serve.retry_backoff_ms").Record(float64(d.Microseconds()) / 1000)
-		sp.Annotate("attempt %d failed (%v); retrying after %s", attempt+1, err, d)
+		sp.Event("attempt " + strconv.Itoa(attempt+1) + " failed (" + err.Error() + "); retrying after " + d.String())
 		bs := sp.Child("retry-backoff")
 		timer := time.NewTimer(d)
 		select {
@@ -1266,6 +1338,7 @@ func (s *Server) recordPhases(phases []sched.Result, opErr error) {
 type batch struct {
 	table   string
 	rel     *scan.Relation
+	vt      *vecTable // compressed encoding, nil = row-at-a-time pass
 	reqs    []*pending
 	workers int
 	lo      bool // every member is batch-priority
@@ -1408,7 +1481,7 @@ func (s *Server) dispatch() {
 				s.finish(p, Response{}, fmt.Errorf("serve: unknown table %q: %w", p.req.Table, errs.ErrInvalidInput))
 				return
 			}
-			cur = &batch{table: p.req.Table, rel: rel, lo: true}
+			cur = &batch{table: p.req.Table, rel: rel, vt: s.vecFor(p.req.Table, rel), lo: true}
 			window = time.After(s.opts.BatchWindow)
 		}
 		// A single interactive member promotes the whole pass: sharing the
@@ -1541,7 +1614,13 @@ func (s *Server) runBatch(b *batch) {
 			return err
 		}
 		exec := leader.span.Child("execute")
-		sums, schedRes, err = scan.ParallelShared(trace.NewContext(passCtx, exec), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
+		if b.vt != nil {
+			// Vectorized compression-aware pass; the row-at-a-time clock
+			// scan remains the fallback for unencoded tables.
+			sums, schedRes, err = s.vecSharedScan(trace.NewContext(passCtx, exec), b.vt, qs, sch)
+		} else {
+			sums, schedRes, err = scan.ParallelShared(trace.NewContext(passCtx, exec), b.rel, qs, scan.SharedOptions{UseQueryIndex: true}, sch, s.opts.ScanSegRows)
+		}
 		exec.AddCycles(schedRes.MakespanCycles)
 		exec.End()
 		s.recordSched(schedRes.FaultStats, err)
@@ -1554,8 +1633,9 @@ func (s *Server) runBatch(b *batch) {
 		per := (schedRes.MakespanCycles + burned) / float64(len(live))
 		s.reg.Histogram("serve.batch_size").Record(float64(len(live)))
 		s.reg.Histogram("serve.cycles_per_query").Record(per)
+		batchSize := strconv.Itoa(len(live))
 		for i, p := range live {
-			p.span.SetAttr("batch_size", fmt.Sprint(len(live)))
+			p.span.SetAttr("batch_size", batchSize)
 			execs[i].AddCycles(per)
 			execs[i].End()
 			s.finish(p, Response{Cost: hw.Cost{SimCycles: per}, BatchSize: len(live), Sum: sums[i]}, nil)
@@ -1675,8 +1755,8 @@ func (s *Server) finish(p *pending, resp Response, err error) {
 		s.reg.Histogram("serve.latency_ms").Record(lat)
 		if tenant != "" {
 			s.tenantInc(tenant, "completed")
-			s.reg.Histogram("serve.tenant."+tenant+".latency_ms").Record(lat)
-			s.reg.Histogram("serve.tenant."+tenant+".cycles_per_query").Record(resp.SimCycles)
+			s.reg.Histogram("serve.tenant." + tenant + ".latency_ms").Record(lat)
+			s.reg.Histogram("serve.tenant." + tenant + ".cycles_per_query").Record(resp.SimCycles)
 		}
 		p.span.SetAttr("status", "ok")
 		if s.brk != nil {
@@ -1777,6 +1857,15 @@ type Health struct {
 	CheckpointMemShed, ColdLoads                   int64
 	ReplayedTables, ReplayFailures, RecoveringShed int64
 
+	// Vectorized-path state (all zero when Options.Vectorized is off).
+	// VecPasses counts vectorized shared-scan passes; the block counters
+	// decompose their outcomes (zone-map prunes, O(1) precomputed-sum
+	// folds, payload decodes); Ctl is the online controller's snapshot.
+	Vectorized                                     bool
+	VecPasses                                      int64
+	VecBlocksPruned, VecFastSums, VecBlocksScanned int64
+	Ctl                                            VecCtlStats
+
 	// Tenants breaks the admission/outcome counters down by tenant id, for
 	// every tenant that has submitted at least one labelled request. Nil
 	// when no request carried a tenant.
@@ -1854,6 +1943,14 @@ func (s *Server) Health() Health {
 		if h.Recovering {
 			h.State = "recovering"
 		}
+	}
+	if s.ctl != nil {
+		h.Vectorized = true
+		h.VecPasses = c["serve.vec_passes"]
+		h.VecBlocksPruned = c["serve.vec_blocks_pruned"]
+		h.VecFastSums = c["serve.vec_block_fast_sums"]
+		h.VecBlocksScanned = c["serve.vec_blocks_scanned"]
+		h.Ctl = s.ctl.Stats()
 	}
 	if ids := s.tenantIDs(); len(ids) > 0 {
 		h.Tenants = make(map[string]TenantHealth, len(ids))

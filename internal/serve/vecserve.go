@@ -1,0 +1,258 @@
+// The vectorized, compression-aware scan path: shared scan batches execute
+// batch-at-a-time over selection vectors directly on FOR/RLE-compressed
+// columns, decode-on-demand priced through the hw model (the E12
+// compute-for-bandwidth trade, in the production path). Per block and
+// query the pass consults the stored zone map first — a miss skips the
+// block for the price of its header, a full match folds in a
+// precomputed block sum without touching the payload — and only
+// range-straddling blocks decode into an L1-resident buffer for the
+// vectorized filter + gather. Morsel size and query-group width come from
+// the online controller (controller.go).
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"hwstar/internal/compress"
+	"hwstar/internal/hw"
+	"hwstar/internal/scan"
+	"hwstar/internal/sched"
+	"hwstar/internal/trace"
+	"hwstar/internal/vecexec"
+)
+
+// vecDispatchCycles is the modeled fixed overhead of one vectorized morsel
+// task: dispatch, queue handoff, cache warmup. It is what makes morsel
+// size a real trade-off — many small morsels pay it often, few huge ones
+// imbalance the workers — and thus what the controller tunes against
+// (E2b's dispatchCycles, live).
+const vecDispatchCycles = 2000
+
+// zoneCheckCycles and fastSumCycles price the per-(block, query) zone-map
+// comparison and the precomputed-sum fold; decodeTupleCycles matches the
+// compressed ScanWork decode price.
+const (
+	zoneCheckCycles   = 1.0
+	fastSumCycles     = 2.0
+	decodeTupleCycles = 4.0
+)
+
+// vecTable is a registered relation encoded for the vectorized path: every
+// column FOR/RLE-compressed, plus per-block sums per column so a zone-map
+// full match aggregates a block in O(1) without decoding it.
+type vecTable struct {
+	cols []*compress.Compressed
+	sums [][]int64 // [col][block]: whole-block sums
+	rows int
+}
+
+// newVecTable encodes cols into the vectorized representation.
+func newVecTable(cols [][]int64) *vecTable {
+	vt := &vecTable{cols: make([]*compress.Compressed, len(cols)), sums: make([][]int64, len(cols))}
+	if len(cols) > 0 {
+		vt.rows = len(cols[0])
+	}
+	var buf [compress.BlockValues]int64
+	for ci, col := range cols {
+		c := compress.Encode(col)
+		vt.cols[ci] = c
+		sums := make([]int64, c.NumBlocks())
+		for b := range sums {
+			sums[b], _ = c.SumBlockSel(b, nil, buf[:])
+		}
+		vt.sums[ci] = sums
+	}
+	return vt
+}
+
+// ratio returns the table-wide compression ratio (raw/compressed bytes).
+func (vt *vecTable) ratio() float64 {
+	var raw, comp int64
+	for _, c := range vt.cols {
+		raw += c.RawBytes()
+		comp += c.Bytes()
+	}
+	if comp == 0 {
+		return 1
+	}
+	return float64(raw) / float64(comp)
+}
+
+// vecPassStats aggregates one pass's block outcomes across tasks. Tasks
+// fold their local counts in once at morsel end — no atomics in the block
+// loop.
+type vecPassStats struct {
+	pruned   atomic.Int64 // zone map missed the predicate: header-only
+	fastSums atomic.Int64 // zone map proved a full match: O(1) fold
+	scanned  atomic.Int64 // payload decoded and filtered
+}
+
+// vecSharedScan runs the query batch against vt, sharing the pass
+// Crescando-style but block-at-a-time on the compressed form: rows are
+// split into block-aligned morsels, and each morsel task streams its blocks
+// once for the WHOLE batch — a straddling block is decoded at most once per
+// pass and every query evaluates it while it is cache-hot. Within a block,
+// queries run in width-sized groups so only width accumulators are live at
+// a time. Results are exact — identical to the row-at-a-time path.
+func (s *Server) vecSharedScan(ctx context.Context, vt *vecTable, queries []scan.Query, sch *sched.Scheduler) ([]int64, sched.Result, error) {
+	out := make([]int64, len(queries))
+	if len(queries) == 0 || vt.rows == 0 {
+		return out, sched.Result{}, nil
+	}
+	morsel := snapToBlocks(s.ctl.MorselRows())
+	width := s.ctl.BatchWidth()
+	if width < 1 {
+		width = 1
+	}
+	nSegs := (vt.rows + morsel - 1) / morsel
+	partials := make([][]int64, nSegs)
+	var stats vecPassStats
+
+	tasks := sched.MorselsAligned(vt.rows, morsel, compress.BlockValues, "vec-scan",
+		func(start, end int, w *sched.Worker) {
+			partials[start/morsel] = vecScanMorsel(vt, queries, width, start, end, w, &stats)
+		})
+
+	ps := trace.FromContext(ctx).Child("vec-scan")
+	ps.SetAttr("queries", fmt.Sprintf("%d", len(queries)))
+	ps.SetAttr("morsel_rows", fmt.Sprintf("%d", morsel))
+	ps.SetAttr("batch_width", fmt.Sprintf("%d", width))
+	schedRes, err := sch.RunContext(trace.NewContext(ctx, ps), tasks)
+	ps.AddCycles(schedRes.MakespanCycles)
+	ps.End()
+
+	s.reg.Counter("serve.vec_blocks_pruned").Add(stats.pruned.Load())
+	s.reg.Counter("serve.vec_block_fast_sums").Add(stats.fastSums.Load())
+	s.reg.Counter("serve.vec_blocks_scanned").Add(stats.scanned.Load())
+	if err != nil {
+		return nil, schedRes, err
+	}
+
+	for _, p := range partials {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+
+	s.reg.Counter("serve.vec_passes").Inc()
+	s.ctl.Observe(vt.rows, len(queries), schedRes.MakespanCycles)
+	s.reg.Gauge("serve.vec_morsel_rows").Set(int64(s.ctl.MorselRows()))
+	s.reg.Gauge("serve.vec_batch_width").Set(int64(s.ctl.BatchWidth()))
+	return out, schedRes, nil
+}
+
+// vecScanMorsel evaluates the whole query batch over one block-aligned
+// morsel, returning per-query partial sums. The loop is block-major: each
+// block's zone map is consulted for every query, and a block that any query
+// straddles is decoded at most once per column for the entire batch — every
+// straddling query filters it while it is L1-resident. Queries advance in
+// width-sized groups so at most width accumulators are live at a time. The
+// inner loop is allocation-free: the decode buffers and selection vector
+// live on the stack and are reused across blocks, and all hardware cost is
+// accumulated into one Work charged at morsel end.
+func vecScanMorsel(vt *vecTable, queries []scan.Query, width, start, end int, w *sched.Worker, stats *vecPassStats) []int64 {
+	out := make([]int64, len(queries))
+	var fbuf, abuf [compress.BlockValues]int64
+	sel := make(vecexec.Sel, 0, compress.BlockValues)
+
+	var pruned, fastSums, scannedBlocks int64
+	var zoneChecks, decodedTuples, evalTuples, gatherTuples int64
+	var hdrBytes, payloadBytes int64
+
+	firstBlk := start / compress.BlockValues
+	nBlocks := vt.cols[0].NumBlocks()
+	for blk := firstBlk; blk < nBlocks && vt.cols[0].BlockStart(blk) < end; blk++ {
+		hdrBytes += compress.BlockHeaderBytes
+		fCached, aCached := -1, -1
+		blockScanned := false
+		for g0 := 0; g0 < len(queries); g0 += width {
+			g1 := g0 + width
+			if g1 > len(queries) {
+				g1 = len(queries)
+			}
+			for qi := g0; qi < g1; qi++ {
+				q := &queries[qi]
+				fcol := vt.cols[q.FilterCol]
+				zoneChecks++
+				bmin, bmax := fcol.BlockRange(blk)
+				if bmin > q.Hi || bmax < q.Lo {
+					pruned++
+					continue
+				}
+				if bmin >= q.Lo && bmax <= q.Hi {
+					out[qi] += vt.sums[q.AggCol][blk]
+					fastSums++
+					continue
+				}
+				// Range straddles the block: decode on demand, once per
+				// block per column for the whole batch.
+				n := fcol.BlockLen(blk)
+				if fCached != q.FilterCol {
+					fcol.DecodeBlock(blk, fbuf[:])
+					fCached = q.FilterCol
+					payloadBytes += fcol.BlockBytes(blk)
+					decodedTuples += int64(n)
+				}
+				sel = vecexec.RangeFilterI64(fbuf[:n], q.Lo, q.Hi, nil, sel[:0])
+				evalTuples += int64(n)
+				blockScanned = true
+				if len(sel) == 0 {
+					continue
+				}
+				acol := vt.cols[q.AggCol]
+				if aCached != q.AggCol {
+					acol.DecodeBlock(blk, abuf[:])
+					aCached = q.AggCol
+					payloadBytes += acol.BlockBytes(blk)
+					decodedTuples += int64(n)
+				}
+				out[qi] += vecexec.SumI64(abuf[:n], sel)
+				gatherTuples += int64(len(sel))
+			}
+		}
+		if blockScanned {
+			scannedBlocks++
+		}
+	}
+
+	// One charge per morsel: the compressed bytes actually streamed, the
+	// decode and primitive compute, and the gather's randomly-addressed
+	// accumulator traffic whose working set grows with the group width —
+	// the cache-residency pressure that bounds useful batch width.
+	w.Charge(hw.Work{
+		Name:   "vec-scan",
+		Tuples: 1,
+		ComputePerTuple: float64(zoneChecks)*zoneCheckCycles +
+			float64(fastSums)*fastSumCycles +
+			float64(decodedTuples)*decodeTupleCycles +
+			float64(evalTuples+gatherTuples)*vecexec.VecTupleCycles,
+		SeqReadBytes: hdrBytes + payloadBytes,
+		RandomReads:  gatherTuples,
+		RandomWS:     int64(width) * 64,
+	})
+	w.AdvanceCycles(vecDispatchCycles)
+
+	stats.pruned.Add(pruned)
+	stats.fastSums.Add(fastSums)
+	stats.scanned.Add(scannedBlocks)
+	return out
+}
+
+// vecFor returns the vectorized encoding of table name if it matches the
+// relation the batch was formed against (a concurrent re-registration can
+// briefly leave the two out of step; the row path is the safe fallback).
+func (s *Server) vecFor(name string, rel *scan.Relation) *vecTable {
+	if s.ctl == nil {
+		return nil
+	}
+	s.mu.RLock()
+	vt := s.vtables[name]
+	s.mu.RUnlock()
+	if vt == nil || vt.rows != rel.NumRows() || len(vt.cols) != rel.NumCols() {
+		return nil
+	}
+	return vt
+}

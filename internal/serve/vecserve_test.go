@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"hwstar/internal/errs"
+	"hwstar/internal/hw"
+	"hwstar/internal/scan"
+	"hwstar/internal/workload"
+)
+
+func TestVecOptionsValidation(t *testing.T) {
+	if _, err := New(nil, Options{VecAdaptive: true}); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	s, err := New(hw.Server2S(), Options{VecAdaptive: true})
+	if err == nil {
+		s.Close()
+		t.Fatal("VecAdaptive without Vectorized accepted")
+	}
+	if !errors.Is(err, errs.ErrInvalidInput) {
+		t.Fatalf("error: %v", err)
+	}
+}
+
+// TestVecScanMatchesRowPath is the tentpole correctness check: the same
+// concurrent scan batch, answered through the vectorized compressed path and
+// through the row-at-a-time path, must produce identical sums — and both
+// must match a serial reference.
+func TestVecScanMatchesRowPath(t *testing.T) {
+	const clients = 48
+	cols, expect := testRelation(30000)
+	los := workload.UniformInts(91, clients, 9000)
+
+	run := func(opts Options) []Response {
+		t.Helper()
+		opts.QueueDepth = clients
+		opts.MaxBatch = clients
+		opts.BatchWindow = 10 * time.Second
+		s := newServer(t, opts)
+		defer s.Close()
+		if err := s.Register("events", cols); err != nil {
+			t.Fatal(err)
+		}
+		resps := make([]Response, clients)
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var err error
+				resps[i], err = s.Submit(context.Background(), Request{
+					Op:    OpScan,
+					Table: "events",
+					Query: scan.Query{FilterCol: 0, Lo: los[i], Hi: los[i] + 800, AggCol: 1},
+				})
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+				}
+			}()
+		}
+		wg.Wait()
+		if h := s.Health(); opts.Vectorized {
+			if !h.Vectorized || h.VecPasses == 0 {
+				t.Fatalf("vectorized health: %+v", h)
+			}
+			if h.VecBlocksPruned+h.VecFastSums+h.VecBlocksScanned == 0 {
+				t.Fatal("no block outcomes recorded")
+			}
+			if h.Ctl.Observations == 0 {
+				t.Fatal("controller saw no passes")
+			}
+		} else if h.Vectorized || h.VecPasses != 0 {
+			t.Fatalf("row-path health claims vectorized: %+v", h)
+		}
+		return resps
+	}
+
+	rowResps := run(Options{})
+	vecResps := run(Options{Vectorized: true})
+	for i := 0; i < clients; i++ {
+		want := expect(los[i], los[i]+800)
+		if rowResps[i].Sum != want {
+			t.Fatalf("row client %d: sum %d, want %d", i, rowResps[i].Sum, want)
+		}
+		if vecResps[i].Sum != want {
+			t.Fatalf("vec client %d: sum %d, want %d", i, vecResps[i].Sum, want)
+		}
+	}
+}
+
+// TestVecScanZeroMatchQueries covers the satellite-1 bug class end to end: a
+// batch where some queries select no rows must return zero sums, not values
+// leaked from an "all rows" misreading of an empty selection.
+func TestVecScanZeroMatchQueries(t *testing.T) {
+	cols, _ := testRelation(10000)
+	s := newServer(t, Options{Vectorized: true, QueueDepth: 8, MaxBatch: 4, BatchWindow: 10 * time.Second})
+	defer s.Close()
+	if err := s.Register("events", cols); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	resps := make([]Response, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		lo, hi := int64(50000), int64(60000) // above the value domain: no rows
+		if i%2 == 0 {
+			lo, hi = 0, 20000 // all rows
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			resps[i], err = s.Submit(context.Background(), Request{
+				Op:    OpScan,
+				Table: "events",
+				Query: scan.Query{FilterCol: 0, Lo: lo, Hi: hi, AggCol: 1},
+			})
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	var all int64
+	for _, v := range cols[1] {
+		all += v
+	}
+	for i, r := range resps {
+		want := all
+		if i%2 != 0 {
+			want = 0
+		}
+		if r.Sum != want {
+			t.Fatalf("client %d: sum %d, want %d", i, r.Sum, want)
+		}
+	}
+}
+
+// TestVecRegisterReplace re-registers a table with different data while the
+// server is live: the vectorized encoding must follow the relation, never
+// serving sums from the stale encoding.
+func TestVecRegisterReplace(t *testing.T) {
+	s := newServer(t, Options{Vectorized: true, QueueDepth: 4, MaxBatch: 1})
+	defer s.Close()
+	first := [][]int64{{1, 2, 3, 4}, {10, 20, 30, 40}}
+	if err := s.Register("t", first); err != nil {
+		t.Fatal(err)
+	}
+	second := [][]int64{{1, 2, 3, 4, 5}, {100, 200, 300, 400, 500}}
+	if err := s.Register("t", second); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Submit(context.Background(), Request{
+		Op:    OpScan,
+		Table: "t",
+		Query: scan.Query{FilterCol: 0, Lo: 2, Hi: 4, AggCol: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != 900 {
+		t.Fatalf("sum %d, want 900 (stale vectorized encoding?)", r.Sum)
+	}
+}

@@ -155,14 +155,24 @@ func atomicWrite(dir, name string, data []byte, in *fault.Injector, site string)
 
 // readCurrent returns the manifest file name CURRENT points at, or "" when
 // there is no readable CURRENT (fresh directory, or torn CURRENT write).
+// The name must match manifestName's exact MANIFEST-%08d shape: a torn
+// write persists a prefix of the payload, and a truncated name such as
+// "MANIFEST-000" sorts before every real manifest, which would silently
+// filter all of them out of recovery.
 func readCurrent(dir string) string {
 	raw, err := os.ReadFile(filepath.Join(dir, currentName))
 	if err != nil {
 		return ""
 	}
 	name := strings.TrimSpace(string(raw))
-	if !strings.HasPrefix(name, "MANIFEST-") {
+	digits, ok := strings.CutPrefix(name, "MANIFEST-")
+	if !ok || len(digits) != 8 {
 		return ""
+	}
+	for _, c := range digits {
+		if c < '0' || c > '9' {
+			return ""
+		}
 	}
 	return name
 }

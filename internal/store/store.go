@@ -199,6 +199,12 @@ func (s *Store) recoveryCandidates() []string {
 			out = append(out, name)
 		}
 	}
+	if len(out) == 0 {
+		// CURRENT parsed but commits nothing on disk — a torn or stale
+		// write. Treating it as authoritative would recover an empty store
+		// over real manifests; distrust it and try everything.
+		return all
+	}
 	return out
 }
 
@@ -467,7 +473,13 @@ func (s *Store) Checkpoint(ctx context.Context, res *mem.Reservation) (Checkpoin
 	}
 	var jobs []job
 	manifest := &Manifest{Version: version, Tables: make(map[string]TableEntry, len(s.tables))}
+	// snap records which entry object each manifest row was built from: a
+	// Put racing the I/O window below replaces the map entry, and state on
+	// the replacement must not be touched afterwards — the segment this
+	// checkpoint writes holds the old contents.
+	snap := make(map[string]*entry, len(s.tables))
 	for name, e := range s.tables {
+		snap[name] = e
 		if e.dirty {
 			jobs = append(jobs, job{name, e.t})
 		} else {
@@ -514,7 +526,10 @@ func (s *Store) Checkpoint(ctx context.Context, res *mem.Reservation) (Checkpoin
 	s.version = version
 	for name, e := range s.tables {
 		me, ok := manifest.Tables[name]
-		if !ok {
+		if !ok || snap[name] != e {
+			// Absent from the manifest, or re-Put while the segments were
+			// being written: the durable state is behind this entry, so it
+			// stays dirty for the next checkpoint to pick up.
 			continue
 		}
 		e.seg, e.tier, e.dirty = me.Segment, me.Tier, false

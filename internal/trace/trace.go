@@ -227,6 +227,18 @@ func (s *Span) Annotate(format string, args ...any) {
 	s.lt.mu.Unlock()
 }
 
+// Event appends a pre-built event string to the span: Annotate without the
+// formatting, for call sites inside allocation-policed loops that assemble
+// the message with strconv instead of boxing through fmt.
+func (s *Span) Event(ev string) {
+	if s == nil {
+		return
+	}
+	s.lt.mu.Lock()
+	s.events = append(s.events, ev)
+	s.lt.mu.Unlock()
+}
+
 // End completes the span, fixing its wall duration. Ending the root span
 // publishes the whole trace to the tracer's ring; End is idempotent.
 func (s *Span) End() {

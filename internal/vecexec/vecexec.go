@@ -18,9 +18,11 @@ const ChunkSize = 4096
 
 // Sel is a selection vector: indices of qualifying rows within a chunk. A
 // nil Sel means "all rows"; an empty non-nil Sel means "no rows". Filter
-// primitives return their out argument, so callers chaining filters should
-// seed out with a non-nil buffer (e.g. make(Sel, 0, ChunkSize)) to keep an
-// empty result distinguishable from "all rows".
+// primitives always return a non-nil Sel — even when seeded with a nil out
+// and zero rows qualify — so a filtered-to-nothing result can never be
+// mistaken for "all rows" when chained into the next primitive. Callers
+// that filter repeatedly should still seed out with a reusable buffer
+// (e.g. make(Sel, 0, ChunkSize)) to keep the inner loop allocation-free.
 type Sel = []int32
 
 // vecTupleCycles is the modelled per-tuple, per-primitive cost of vectorized
@@ -33,7 +35,8 @@ const fusedTupleCycles = 6.0
 
 // RangeFilterF64 appends to out the indices i in [0, n) (or in sel when sel
 // is non-nil) with lo <= col[i] <= hi, returning the result. The loop is
-// branch-light: the comparison result indexes the append.
+// branch-light: the comparison result indexes the append. The result is
+// never nil (see Sel).
 func RangeFilterF64(col []float64, lo, hi float64, sel Sel, out Sel) Sel {
 	if sel == nil {
 		for i, v := range col {
@@ -41,7 +44,7 @@ func RangeFilterF64(col []float64, lo, hi float64, sel Sel, out Sel) Sel {
 				out = append(out, int32(i))
 			}
 		}
-		return out
+		return notNil(out)
 	}
 	for _, i := range sel {
 		v := col[i]
@@ -49,7 +52,7 @@ func RangeFilterF64(col []float64, lo, hi float64, sel Sel, out Sel) Sel {
 			out = append(out, i)
 		}
 	}
-	return out
+	return notNil(out)
 }
 
 // RangeFilterI64 is RangeFilterF64 for int64 columns.
@@ -60,7 +63,7 @@ func RangeFilterI64(col []int64, lo, hi int64, sel Sel, out Sel) Sel {
 				out = append(out, int32(i))
 			}
 		}
-		return out
+		return notNil(out)
 	}
 	for _, i := range sel {
 		v := col[i]
@@ -68,7 +71,7 @@ func RangeFilterI64(col []int64, lo, hi int64, sel Sel, out Sel) Sel {
 			out = append(out, i)
 		}
 	}
-	return out
+	return notNil(out)
 }
 
 // EqFilterI32 filters a dictionary-code column for equality with code.
@@ -79,12 +82,22 @@ func EqFilterI32(col []int32, code int32, sel Sel, out Sel) Sel {
 				out = append(out, int32(i))
 			}
 		}
-		return out
+		return notNil(out)
 	}
 	for _, i := range sel {
 		if col[i] == code {
 			out = append(out, i)
 		}
+	}
+	return notNil(out)
+}
+
+// notNil converts a nil Sel into an empty non-nil one without allocating.
+// A filter that matched nothing must not hand "all rows" to the next
+// primitive in the chain.
+func notNil(out Sel) Sel {
+	if out == nil {
+		return Sel{}
 	}
 	return out
 }
@@ -92,6 +105,21 @@ func EqFilterI32(col []int32, code int32, sel Sel, out Sel) Sel {
 // SumF64 sums col over sel (or all of col when sel is nil).
 func SumF64(col []float64, sel Sel) float64 {
 	var s float64
+	if sel == nil {
+		for _, v := range col {
+			s += v
+		}
+		return s
+	}
+	for _, i := range sel {
+		s += col[i]
+	}
+	return s
+}
+
+// SumI64 sums col over sel (or all of col when sel is nil).
+func SumI64(col []int64, sel Sel) int64 {
+	var s int64
 	if sel == nil {
 		for _, v := range col {
 			s += v
