@@ -6,7 +6,7 @@ GO ?= go
 # no dependencies beyond the toolchain.
 STRICT ?=
 
-.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend bench-store bench-serve experiments clean
+.PHONY: all build vet hwlint lint lint-report test race race-core check bench bench-frontend bench-store bench-serve bench-cluster experiments clean
 
 all: check
 
@@ -48,7 +48,7 @@ race:
 # where a data race would land first, so they get a fresh pass even when the
 # full race target is cache-warm.
 race-core:
-	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend ./internal/vecexec ./internal/compress
+	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend ./internal/vecexec ./internal/compress ./internal/shard
 
 # check is the full verification gate: compile everything, run the static
 # analyzers, and run the whole suite under the race detector (core
@@ -78,6 +78,12 @@ bench-store:
 # scale and regenerates the committed BENCH_serve.json artifact.
 bench-serve:
 	$(GO) run ./cmd/hwbench -scale 1 -serve-json BENCH_serve.json E25
+
+# bench-cluster runs E26 (sharded tier: node-kill/failover cycles, hedged
+# dispatch vs stragglers, typed partial results, distributed join strategy)
+# at full scale and regenerates the committed BENCH_cluster.json artifact.
+bench-cluster:
+	$(GO) run ./cmd/hwbench -scale 1 -cluster-json BENCH_cluster.json E26
 
 experiments:
 	$(GO) run ./cmd/hwbench

@@ -85,6 +85,7 @@ func BenchmarkE22Memory(b *testing.B)        { runExperiment(b, "E22") }
 func BenchmarkE23Tenants(b *testing.B)       { runExperiment(b, "E23") }
 func BenchmarkE24Store(b *testing.B)         { runExperiment(b, "E24") }
 func BenchmarkE25VecServe(b *testing.B)      { runExperiment(b, "E25") }
+func BenchmarkE26Shard(b *testing.B)         { runExperiment(b, "E26") }
 
 // Live microbenchmarks: the real Go implementations on the host CPU.
 

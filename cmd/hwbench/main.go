@@ -1,11 +1,11 @@
-// Command hwbench runs the hwstar experiment suite (E1–E25 from DESIGN.md)
+// Command hwbench runs the hwstar experiment suite (E1–E26 from DESIGN.md)
 // and prints each experiment's result tables. Every table corresponds to one
 // claim of the ICDE 2013 keynote "Hardware killed the software star" made
 // measurable.
 //
 // Usage:
 //
-//	hwbench [-scale f] [-csv dir] [-frontend-json file] [-store-json file] [-serve-json file] [-list] [experiment ids...]
+//	hwbench [-scale f] [-csv dir] [-frontend-json file] [-store-json file] [-serve-json file] [-cluster-json file] [-list] [experiment ids...]
 //
 // With no ids, the full suite runs. Scale 1 is the full configuration;
 // smaller values shrink data sizes proportionally for quick runs.
@@ -20,6 +20,11 @@
 // writes its structured result — row vs vectorized cycles per query,
 // controller convergence, chaos-mix tail latency — as JSON, the
 // BENCH_serve.json artifact.
+// -cluster-json runs E26 (the sharded serving tier experiment) and writes
+// its structured result — node-kill/failover cycles with zero lost
+// committed answers, hedged-dispatch tail bounds, typed partial results on
+// total replica loss, and distributed join strategy choices — as JSON, the
+// BENCH_cluster.json artifact.
 package main
 
 import (
@@ -115,12 +120,40 @@ func writeServeBench(path string, cfg experiments.Config) error {
 	return nil
 }
 
+// writeClusterBench runs E26 and writes its structured result as indented
+// JSON to path.
+func writeClusterBench(path string, cfg experiments.Config) error {
+	b, tables, err := experiments.RunE26(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return err
+	}
+	fmt.Printf("    wrote %s (%d kill/failover cycles, %d lost answers; straggler p99 %.2fx no-fault)\n\n",
+		path, b.Failover.Cycles, b.Failover.LostAnswers, b.Hedge.P99Ratio)
+	return nil
+}
+
 func main() {
 	scale := flag.Float64("scale", 1.0, "experiment size multiplier (1 = full size)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	frontendJSON := flag.String("frontend-json", "", "run E23 and write its per-tenant bench result to this JSON file, then exit")
 	storeJSON := flag.String("store-json", "", "run E24 and write its durability bench result to this JSON file, then exit")
 	serveJSON := flag.String("serve-json", "", "run E25 and write its vectorized-serving bench result to this JSON file, then exit")
+	clusterJSON := flag.String("cluster-json", "", "run E26 and write its sharded-tier bench result to this JSON file, then exit")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -149,6 +182,14 @@ func main() {
 
 	if *serveJSON != "" {
 		if err := writeServeBench(*serveJSON, experiments.Config{Scale: *scale}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterJSON != "" {
+		if err := writeClusterBench(*clusterJSON, experiments.Config{Scale: *scale}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -18,6 +18,9 @@ import (
 // op=scan) and a "lineitem" table (for op=q1/q6) generated at cfg.Rows, so
 // a fresh instance is immediately queryable.
 func serveAPI(ctx context.Context, cfg Config, out io.Writer) error {
+	if cfg.Shards > 1 {
+		return serveAPICluster(ctx, cfg, out)
+	}
 	srv, _, st, err := buildServer(cfg)
 	if err != nil {
 		return err

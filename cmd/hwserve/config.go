@@ -63,6 +63,15 @@ type Config struct {
 	Window   Duration `json:"window"`
 	Deadline Duration `json:"deadline"`
 
+	// Sharded serving tier: Shards > 1 runs that many serve.Server shards
+	// behind a consistent-hash router with Replicas-way replication,
+	// replica failover, and hedged dispatch (see internal/shard). Shards
+	// 0/1 is the classic single-server mode. With -data-dir each shard
+	// gets its own node-N subdirectory, so node recovery re-replicates
+	// from the surviving replicas' durable stores.
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+
 	// Vectorized execution: Vectorized routes shared scans through the
 	// batch-at-a-time pass over FOR/RLE-compressed columns; the Vec* knobs
 	// seed its morsel size and query-group width, and VecAdaptive lets the
@@ -84,6 +93,10 @@ type Config struct {
 	StragglerProb float64 `json:"straggler_prob"`
 	StragglerSkew float64 `json:"straggler_skew"`
 	AllocFailProb float64 `json:"alloc_fail_prob"`
+	// NodeLossProb arms the router's chaos loop (needs Shards > 1): each
+	// tick draws a seeded node kill per live node, never killing the last
+	// one, and recovers dead nodes on the following tick.
+	NodeLossProb float64 `json:"node_loss_prob"`
 
 	// Resilience policy.
 	Retries  int      `json:"retries"`
@@ -154,6 +167,20 @@ func (c *Config) Validate() error {
 	if c.ServeAPI != "" && len(c.Tenants) == 0 {
 		return fmt.Errorf("-serve-api needs at least one tenant (configure tenants in -config)")
 	}
+	if c.Shards < 0 || c.Replicas < 0 {
+		return fmt.Errorf("negative shards/replicas: %d/%d", c.Shards, c.Replicas)
+	}
+	if c.Shards <= 1 {
+		if c.Replicas > 1 {
+			return fmt.Errorf("-replicas %d needs -shards > 1", c.Replicas)
+		}
+		if c.NodeLossProb > 0 {
+			return fmt.Errorf("-node-loss-prob needs -shards > 1")
+		}
+	}
+	if c.Replicas > c.Shards && c.Shards > 1 {
+		return fmt.Errorf("-replicas %d exceeds -shards %d", c.Replicas, c.Shards)
+	}
 	if c.DataDir == "" {
 		if c.CheckpointInterval > 0 {
 			return fmt.Errorf("-checkpoint-interval needs -data-dir")
@@ -211,6 +238,8 @@ func bindFlags(fs *flag.FlagSet, cfg *Config) map[string]string {
 	fs.IntVar(&cfg.MaxBatch, "maxbatch", cfg.MaxBatch, "alias for -max-batch")
 	fs.DurationVar((*time.Duration)(&cfg.Window), "window", time.Duration(cfg.Window), "batching window")
 	fs.DurationVar((*time.Duration)(&cfg.Deadline), "deadline", time.Duration(cfg.Deadline), "per-request deadline (0 = none)")
+	fs.IntVar(&cfg.Shards, "shards", cfg.Shards, "shard count of the replicated serving tier (0 or 1 = single server)")
+	fs.IntVar(&cfg.Replicas, "replicas", cfg.Replicas, "replicas per partition in the sharded tier (0 = default 2; needs -shards > 1)")
 	fs.BoolVar(&cfg.Vectorized, "vectorized", cfg.Vectorized, "execute shared scans batch-at-a-time over compressed columns (zone-map prune, block fast-sums, decode-on-demand)")
 	fs.IntVar(&cfg.VecMorselRows, "vec-morsel-rows", cfg.VecMorselRows, "initial vectorized morsel size in rows, snapped to compressed-block multiples (0 = default; needs -vectorized)")
 	fs.IntVar(&cfg.VecBatchWidth, "vec-batch-width", cfg.VecBatchWidth, "initial query-group width of the vectorized pass (0 = default; needs -vectorized)")
@@ -224,6 +253,7 @@ func bindFlags(fs *flag.FlagSet, cfg *Config) map[string]string {
 	fs.Float64Var(&cfg.StragglerProb, "straggler-prob", cfg.StragglerProb, "per-worker straggler probability")
 	fs.Float64Var(&cfg.StragglerSkew, "straggler-skew", cfg.StragglerSkew, "cycle multiplier for straggling workers")
 	fs.Float64Var(&cfg.AllocFailProb, "alloc-fail-prob", cfg.AllocFailProb, "per-charge injected allocation-failure probability")
+	fs.Float64Var(&cfg.NodeLossProb, "node-loss-prob", cfg.NodeLossProb, "per-tick node-kill probability of the router's chaos loop (needs -shards > 1)")
 	fs.IntVar(&cfg.Retries, "retries", cfg.Retries, "morsel-level retries per request (0 = retry-free)")
 	fs.DurationVar((*time.Duration)(&cfg.Backoff), "backoff", time.Duration(cfg.Backoff), "base retry backoff (doubles per attempt, jittered)")
 	fs.IntVar(&cfg.Breaker, "breaker", cfg.Breaker, "consecutive failures tripping the circuit breaker (0 = no breaker)")

@@ -82,11 +82,23 @@ import (
 
 	"hwstar"
 	"hwstar/internal/hw"
+	"hwstar/internal/metrics"
 )
+
+// engine is the surface the load loop drives — a single *hwstar.Server or,
+// with -shards > 1, a replicated *hwstar.Router. Both speak it verbatim.
+type engine interface {
+	Register(name string, cols [][]int64) error
+	Submit(ctx context.Context, req hwstar.Request) (hwstar.Response, error)
+	Metrics() *metrics.Registry
+	Health() hwstar.ServerHealth
+	Close() error
+}
 
 type report struct {
 	completed, rejected, deadlined int64
 	shed, failed                   int64
+	partials                       int64
 	memShed, oomKilled             int64
 	elapsed                        time.Duration
 	batches                        int
@@ -98,6 +110,8 @@ type report struct {
 	traces                         []hwstar.TraceData
 	tracesStarted, tracesDropped   uint64
 	listenAddr                     string
+	cluster                        *hwstar.ClusterHealth
+	chaosKills                     int
 }
 
 // buildServer assembles the Server (and optional Tracer and durable Store)
@@ -173,17 +187,38 @@ func buildServer(cfg Config) (*hwstar.Server, *hwstar.Tracer, *hwstar.Store, err
 }
 
 func run(ctx context.Context, cfg Config) (*report, error) {
-	srv, tracer, st, err := buildServer(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if st != nil {
-		defer st.Close()
-		// Load generation starts against a fully replayed hot set; the
-		// cold-start-under-load path is server mode's (see serveAPI).
-		if err := srv.WaitRecovered(ctx); err != nil {
+	var (
+		eng    engine
+		router *hwstar.Router
+		tracer *hwstar.Tracer
+		st     *hwstar.Store
+	)
+	if cfg.Shards > 1 {
+		rt, tr, stores, err := buildRouter(ctx, cfg)
+		if err != nil {
 			return nil, err
 		}
+		defer func() {
+			for _, s := range stores {
+				s.Close()
+			}
+		}()
+		eng, router, tracer = rt, rt, tr
+	} else {
+		srv, tr, store, err := buildServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		st = store
+		if st != nil {
+			defer st.Close()
+			// Load generation starts against a fully replayed hot set; the
+			// cold-start-under-load path is server mode's (see serveAPI).
+			if err := srv.WaitRecovered(ctx); err != nil {
+				return nil, err
+			}
+		}
+		eng, tracer = srv, tr
 	}
 	var listenAddr string
 	if cfg.Listen != "" {
@@ -192,7 +227,7 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 			return nil, err
 		}
 		listenAddr = ln.Addr().String()
-		hs := &http.Server{Handler: newDebugMux(srv.Metrics())}
+		hs := &http.Server{Handler: newDebugMux(eng.Metrics())}
 		go func() { _ = hs.Serve(ln) }()
 		defer hs.Close()
 	}
@@ -200,7 +235,7 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 		hwstar.GenUniform(41, cfg.Rows, 100000),
 		hwstar.GenUniform(42, cfg.Rows, 1000),
 	}
-	if err := srv.Register("facts", cols); err != nil {
+	if err := eng.Register("facts", cols); err != nil {
 		return nil, err
 	}
 	g := hwstar.GenJoin(43, 4096, 16384, 0)
@@ -212,8 +247,15 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 	aggKeys := hwstar.GenUniform(44, 65536, 1024)
 	aggVals := hwstar.GenUniform(45, 65536, 100)
 
+	var chaosStop chan struct{}
+	chaosKills := make(chan int, 1)
+	if router != nil && cfg.NodeLossProb > 0 {
+		chaosStop = make(chan struct{})
+		go func() { chaosKills <- runChaos(ctx, router, chaosStop) }()
+	}
+
 	var completed, rejected, deadlined, shed, failed int64
-	var memShed, oomKilled int64
+	var partials, memShed, oomKilled int64
 	var cycles atomicFloat
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -246,12 +288,16 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 				if cfg.Deadline > 0 {
 					reqCtx, cancel = context.WithTimeout(reqCtx, time.Duration(cfg.Deadline))
 				}
-				resp, err := srv.Submit(reqCtx, req)
+				resp, err := eng.Submit(reqCtx, req)
 				cancel()
 				switch {
 				case err == nil:
 					atomic.AddInt64(&completed, 1)
 					cycles.add(resp.SimCycles)
+				case errors.Is(err, hwstar.ErrPartialResult):
+					// The flagged answer is usable and exact over the
+					// covered fraction; count it apart from failures.
+					atomic.AddInt64(&partials, 1)
 				case errors.Is(err, hwstar.ErrOverloaded):
 					atomic.AddInt64(&rejected, 1)
 				case errors.Is(err, hwstar.ErrDegraded):
@@ -270,10 +316,10 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	bs := srv.Metrics().Histogram("serve.batch_size")
+	bs := eng.Metrics().Histogram("serve.batch_size")
 	r := &report{
 		completed: completed, rejected: rejected, deadlined: deadlined,
-		shed: shed, failed: failed,
+		shed: shed, failed: failed, partials: partials,
 		memShed: memShed, oomKilled: oomKilled,
 		elapsed:  elapsed,
 		batches:  bs.Count(),
@@ -284,19 +330,27 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 	if completed > 0 {
 		r.meanMcyc = cycles.load() / float64(completed) / 1e6
 	}
-	r.health = srv.Health()
+	if chaosStop != nil {
+		close(chaosStop)
+		r.chaosKills = <-chaosKills
+	}
+	r.health = eng.Health()
 	r.listenAddr = listenAddr
+	if router != nil {
+		ch := router.ClusterHealth()
+		r.cluster = &ch
+	}
 	if tracer != nil {
 		r.traces = tracer.Snapshot()
 		r.tracesStarted, r.tracesDropped = tracer.Started()
 	}
-	if err := srv.Close(); err != nil {
+	if err := eng.Close(); err != nil {
 		return nil, err
 	}
 	if st != nil {
 		// Close flushed a final checkpoint; re-read health so the report
 		// shows the manifest version the run actually left on disk.
-		r.health = srv.Health()
+		r.health = eng.Health()
 	}
 	return r, nil
 }
@@ -309,6 +363,11 @@ func (r *report) print(w io.Writer, cfg Config) {
 	}
 	fmt.Fprintf(w, "  completed %d / %d  (rejected %d, missed deadline %d, shed %d, failed %d)\n",
 		r.completed, total, r.rejected, r.deadlined, r.shed, r.failed)
+	if r.cluster != nil {
+		ch := r.cluster
+		fmt.Fprintf(w, "  cluster %d shards x %d replicas  (node losses %d, failovers %d, hedges %d/%d won, partial answers %d, re-replications %d)\n",
+			ch.Shards, ch.Replicas, ch.NodeLosses, ch.Failovers, ch.HedgeWins, ch.Hedges, r.partials, ch.Rereplications)
+	}
 	fmt.Fprintf(w, "  wall time %.2fs  (%.0f req/s)\n", r.elapsed.Seconds(), float64(r.completed)/r.elapsed.Seconds())
 	if r.batches > 0 {
 		fmt.Fprintf(w, "  scan batches %d  (p50 size %.0f, max %.0f)\n", r.batches, r.batchP50, r.batchMax)

@@ -53,6 +53,7 @@ import (
 	"hwstar/internal/scan"
 	"hwstar/internal/sched"
 	"hwstar/internal/serve"
+	"hwstar/internal/shard"
 	"hwstar/internal/store"
 	"hwstar/internal/table"
 	"hwstar/internal/trace"
@@ -101,6 +102,11 @@ var (
 	// replaying durable state after a restart. Retryable — admission opens
 	// as soon as the hot set is loaded.
 	ErrRecovering = errs.ErrRecovering
+	// ErrPartialResult reports a sharded query that could not reach every
+	// replica of some range: the returned Response is exact over
+	// CoveredFraction of the rows and flagged Partial, never a silent wrong
+	// total. Retryable once the lost ranges re-replicate.
+	ErrPartialResult = errs.ErrPartialResult
 )
 
 // Cost is the modeled hardware cost shared by every result type: simulated
@@ -596,15 +602,56 @@ func GenJoin(seed int64, buildRows, probeRows int, zipfS float64) JoinData {
 	})
 }
 
+// Router is the sharded serving tier: N serve.Server shards behind a
+// consistent-hash router with R-way replication, replica failover with
+// per-node circuit breakers, hedged dispatch against stragglers,
+// cost-model-chosen distributed join strategies, typed partial results on
+// total replica loss, and governed re-replication from surviving durable
+// stores on node recovery. See internal/shard.
+type Router = shard.Router
+
+// RouterOptions configures a Router: shard/replica/partition counts, the
+// per-shard ServerOptions, per-node durable stores, cluster fabric, fault
+// injector, cluster-wide admission and memory budgets, and the hedging and
+// breaker policy.
+type RouterOptions = shard.Options
+
+// RouterResponse is a Router's distributed answer: the serve.Response plus
+// the fabric price paid (strategy, network cycles, bytes moved) and the
+// routing story (hedged, failovers).
+type RouterResponse = shard.Response
+
+// ClusterHealth is the Router's observability surface: topology, live
+// nodes, routing counters (failovers, hedges, partials, re-replications),
+// and per-node breakdowns.
+type ClusterHealth = shard.ClusterHealth
+
+// NodeHealth is one shard's slice of ClusterHealth.
+type NodeHealth = shard.NodeHealth
+
+// PartitionInfo describes one partition's placement: its row stripe and
+// replica set. Chaos tooling uses it to stage targeted failures.
+type PartitionInfo = shard.PartitionInfo
+
+// NewRouter boots a sharded serving tier on the given machine profile,
+// waiting for every shard's durable replay (if stores are armed) before
+// returning.
+var NewRouter = shard.New
+
 // Frontend is the multi-tenant HTTP/JSON face of a Server: sessions with
 // bearer tokens, per-tenant token-bucket rate limits and concurrency quotas,
 // priority classes, and the versioned v1 wire protocol. Mount
 // Frontend.Handler on an http.Server. See internal/frontend.
 type Frontend = frontend.Frontend
 
-// FrontendConfig assembles a Frontend: the Server it fronts, the tenant set,
-// session TTL, query timeout, and named lineitem tables for q1/q6.
+// FrontendConfig assembles a Frontend: the backend it fronts (a Server, or
+// any FrontendBackend such as a Router), the tenant set, session TTL, query
+// timeout, and named lineitem tables for q1/q6.
 type FrontendConfig = frontend.Config
+
+// FrontendBackend is the engine surface a Frontend fronts; both *Server and
+// *Router satisfy it.
+type FrontendBackend = frontend.Backend
 
 // TenantConfig declares one tenant: id, API key, default priority class, and
 // its governance envelope (rate limit, concurrency quota, memory cap).

@@ -8,7 +8,9 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"hwstar/internal/hw"
 	"hwstar/internal/join"
@@ -25,11 +27,18 @@ type Cluster struct {
 	// share one unit.
 	NetBytesPerCycle float64
 	// NetLatencyCycles is the per-transfer fixed cost (connection setup,
-	// serialization floor).
+	// serialization floor). Real fabrics always have one — Rack10GbE models
+	// it at 50k cycles — but zero is explicitly valid: it prices an ideal
+	// latency-free fabric, the limiting case experiments use to separate
+	// bandwidth effects from latency effects. NaN and ±Inf are rejected.
 	NetLatencyCycles float64
 }
 
-// Validate reports an error for inconsistent clusters.
+// Validate reports an error for inconsistent clusters. NetBytesPerCycle
+// must be a positive finite number. NetLatencyCycles must be finite and
+// non-negative; zero is the documented ideal-fabric case (no per-transfer
+// floor), not an error — callers modelling a real NIC should start from
+// Rack10GbE/Rack40GbE, which always carry a serialization floor.
 func (c Cluster) Validate() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
@@ -40,8 +49,11 @@ func (c Cluster) Validate() error {
 	if err := c.Machine.Validate(); err != nil {
 		return err
 	}
-	if c.NetBytesPerCycle <= 0 || c.NetLatencyCycles < 0 {
-		return fmt.Errorf("cluster: invalid network parameters")
+	if c.NetBytesPerCycle <= 0 || math.IsNaN(c.NetBytesPerCycle) || math.IsInf(c.NetBytesPerCycle, 0) {
+		return fmt.Errorf("cluster: NetBytesPerCycle must be positive and finite, got %v", c.NetBytesPerCycle)
+	}
+	if c.NetLatencyCycles < 0 || math.IsNaN(c.NetLatencyCycles) || math.IsInf(c.NetLatencyCycles, 0) {
+		return fmt.Errorf("cluster: NetLatencyCycles must be finite and >= 0 (0 = ideal latency-free fabric), got %v", c.NetLatencyCycles)
 	}
 	return nil
 }
@@ -154,12 +166,16 @@ func (c Cluster) PredictBytes(buildRows, probeRows int64) (shuffleBytes, broadca
 // Join executes the distributed equi-join over the cluster. Input data is
 // initially distributed round-robin (node i holds every i-th tuple); the
 // strategy decides what moves. All node-local joins are real radix joins;
-// the returned matches/checksum are exact.
-func (c Cluster) Join(in join.Input, strat Strategy) (Result, error) {
+// the returned matches/checksum are exact. Cancelling ctx stops the join
+// between node-local phases and returns ctx.Err().
+func (c Cluster) Join(ctx context.Context, in join.Input, strat Strategy) (Result, error) {
 	if err := c.Validate(); err != nil {
 		return Result{}, err
 	}
 	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	if strat == StrategyAuto || strat == "" {
@@ -219,6 +235,9 @@ func (c Cluster) Join(in join.Input, strat Strategy) (Result, error) {
 	// node (skew shows up here for shuffle).
 	var maxLocal float64
 	for n := 0; n < c.Nodes; n++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		acct := hw.NewAccount(c.Machine, hw.DefaultContext())
 		localIn := join.Input{
 			BuildKeys: localBuild[n].keys, BuildVals: localBuild[n].vals,

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"context"
+	"errors"
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -30,6 +33,53 @@ func TestClusterValidate(t *testing.T) {
 	}
 }
 
+func TestValidateZeroLatencyFabric(t *testing.T) {
+	// NetLatencyCycles == 0 is the documented ideal-fabric case: valid, and
+	// joins over it price pure bandwidth with no per-transfer floor.
+	c := Rack10GbE(4)
+	c.NetLatencyCycles = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero-latency fabric must validate: %v", err)
+	}
+	in := testInput(2000, 8000)
+	ideal, err := c.Join(t.Context(), in, StrategyShuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := Rack10GbE(4).Join(t.Context(), in, StrategyShuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.BytesMoved != real.BytesMoved {
+		t.Fatalf("latency must not change traffic: %d vs %d", ideal.BytesMoved, real.BytesMoved)
+	}
+	wantDelta := Rack10GbE(4).NetLatencyCycles
+	if got := real.NetworkCycles - ideal.NetworkCycles; got != wantDelta {
+		t.Fatalf("network cycles delta = %v, want exactly the serialization floor %v", got, wantDelta)
+	}
+
+	// Non-finite network parameters are rejected, not silently priced.
+	for i, c := range []Cluster{
+		func() Cluster { c := Rack10GbE(2); c.NetLatencyCycles = math.NaN(); return c }(),
+		func() Cluster { c := Rack10GbE(2); c.NetLatencyCycles = math.Inf(1); return c }(),
+		func() Cluster { c := Rack10GbE(2); c.NetBytesPerCycle = math.NaN(); return c }(),
+		func() Cluster { c := Rack10GbE(2); c.NetBytesPerCycle = math.Inf(1); return c }(),
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("non-finite cluster %d should fail validation", i)
+		}
+	}
+}
+
+func TestJoinContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	_, err := Rack10GbE(4).Join(ctx, testInput(100, 100), StrategyShuffle)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled join returned %v, want context.Canceled", err)
+	}
+}
+
 func TestDistributedJoinMatchesLocal(t *testing.T) {
 	in := testInput(4000, 16000)
 	want, err := join.NPO(in, nil)
@@ -39,7 +89,7 @@ func TestDistributedJoinMatchesLocal(t *testing.T) {
 	for _, nodes := range []int{1, 2, 4, 8} {
 		c := Rack10GbE(nodes)
 		for _, strat := range []Strategy{StrategyShuffle, StrategyBroadcast, StrategyAuto} {
-			res, err := c.Join(in, strat)
+			res, err := c.Join(t.Context(), in, strat)
 			if err != nil {
 				t.Fatalf("%d nodes / %s: %v", nodes, strat, err)
 			}
@@ -60,7 +110,7 @@ func TestDuplicateKeysAcrossNodes(t *testing.T) {
 	want, _ := join.NestedLoop(in, nil)
 	c := Rack10GbE(3)
 	for _, strat := range []Strategy{StrategyShuffle, StrategyBroadcast} {
-		res, err := c.Join(in, strat)
+		res, err := c.Join(t.Context(), in, strat)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +123,7 @@ func TestDuplicateKeysAcrossNodes(t *testing.T) {
 func TestSingleNodeMovesNothing(t *testing.T) {
 	in := testInput(1000, 4000)
 	c := Rack10GbE(1)
-	res, err := c.Join(in, StrategyShuffle)
+	res, err := c.Join(t.Context(), in, StrategyShuffle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +154,7 @@ func TestPredictBytesShapes(t *testing.T) {
 func TestAutoPicksCheaperStrategy(t *testing.T) {
 	c := Rack10GbE(8)
 	smallBuild := testInput(500, 40000)
-	res, err := c.Join(smallBuild, StrategyAuto)
+	res, err := c.Join(t.Context(), smallBuild, StrategyAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +162,7 @@ func TestAutoPicksCheaperStrategy(t *testing.T) {
 		t.Fatalf("small build should broadcast, picked %s", res.Strategy)
 	}
 	bigBuild := testInput(40000, 40000)
-	res, err = c.Join(bigBuild, StrategyAuto)
+	res, err = c.Join(t.Context(), bigBuild, StrategyAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +174,7 @@ func TestAutoPicksCheaperStrategy(t *testing.T) {
 func TestActualTrafficMatchesPrediction(t *testing.T) {
 	c := Rack10GbE(4)
 	in := testInput(8000, 32000)
-	res, err := c.Join(in, StrategyShuffle)
+	res, err := c.Join(t.Context(), in, StrategyShuffle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +186,7 @@ func TestActualTrafficMatchesPrediction(t *testing.T) {
 		t.Fatalf("shuffle traffic %d vs predicted %d (ratio %.3f)", res.BytesMoved, predicted, ratio)
 	}
 
-	resB, err := c.Join(in, StrategyBroadcast)
+	resB, err := c.Join(t.Context(), in, StrategyBroadcast)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +198,11 @@ func TestActualTrafficMatchesPrediction(t *testing.T) {
 
 func TestFasterFabricShrinksNetworkTime(t *testing.T) {
 	in := testInput(20000, 80000)
-	slow, err := Rack10GbE(4).Join(in, StrategyShuffle)
+	slow, err := Rack10GbE(4).Join(t.Context(), in, StrategyShuffle)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := Rack40GbE(4).Join(in, StrategyShuffle)
+	fast, err := Rack40GbE(4).Join(t.Context(), in, StrategyShuffle)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,14 +216,14 @@ func TestFasterFabricShrinksNetworkTime(t *testing.T) {
 
 func TestJoinErrors(t *testing.T) {
 	c := Rack10GbE(2)
-	if _, err := c.Join(join.Input{BuildKeys: []int64{1}}, StrategyShuffle); err == nil {
+	if _, err := c.Join(t.Context(), join.Input{BuildKeys: []int64{1}}, StrategyShuffle); err == nil {
 		t.Fatal("invalid input should fail")
 	}
-	if _, err := c.Join(testInput(10, 10), Strategy("bogus")); err == nil {
+	if _, err := c.Join(t.Context(), testInput(10, 10), Strategy("bogus")); err == nil {
 		t.Fatal("unknown strategy should fail")
 	}
 	bad := Cluster{Nodes: 0}
-	if _, err := bad.Join(testInput(10, 10), StrategyShuffle); err == nil {
+	if _, err := bad.Join(t.Context(), testInput(10, 10), StrategyShuffle); err == nil {
 		t.Fatal("invalid cluster should fail")
 	}
 }
@@ -203,7 +253,7 @@ func TestDistributedEquivalenceProperty(t *testing.T) {
 		}
 		c := Rack10GbE(nodes)
 		for _, strat := range []Strategy{StrategyShuffle, StrategyBroadcast} {
-			got, err := c.Join(in, strat)
+			got, err := c.Join(t.Context(), in, strat)
 			if err != nil || got.Matches != want.Matches || got.Checksum != want.Checksum {
 				return false
 			}

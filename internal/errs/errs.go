@@ -59,4 +59,13 @@ var (
 	// replaying its durable state after a restart. Retryable — admission
 	// opens as soon as the hot set is loaded and validated.
 	ErrRecovering = errors.New("server recovering")
+	// ErrPartialResult reports that a distributed query could not reach every
+	// replica of every key range — typically because a range lost all its
+	// replicas at once — and the response carries an exact answer over the
+	// covered fraction only. The result is never a silent wrong total: the
+	// router marks the response Partial, reports CoveredFraction, and wraps
+	// this sentinel so callers can distinguish "partial but correct over what
+	// survived" from a full answer. Retryable once recovery re-replicates the
+	// lost range.
+	ErrPartialResult = errors.New("partial result")
 )

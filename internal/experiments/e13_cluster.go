@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"hwstar/internal/bench"
 	"hwstar/internal/cluster"
 	"hwstar/internal/join"
@@ -28,18 +29,18 @@ func runE13(cfg Config) ([]*Table, error) {
 		gen := workload.GenerateJoin(workload.JoinConfig{Seed: 1301, BuildRows: buildRows, ProbeRows: probeRows})
 		in := join.Input{BuildKeys: gen.BuildKeys, BuildVals: gen.BuildVals, ProbeKeys: gen.ProbeKeys, ProbeVals: gen.ProbeVals}
 
-		sh, err := rack.Join(in, cluster.StrategyShuffle)
+		sh, err := rack.Join(context.Background(), in, cluster.StrategyShuffle)
 		if err != nil {
 			return nil, err
 		}
-		bc, err := rack.Join(in, cluster.StrategyBroadcast)
+		bc, err := rack.Join(context.Background(), in, cluster.StrategyBroadcast)
 		if err != nil {
 			return nil, err
 		}
 		if sh.Matches != bc.Matches || sh.Checksum != bc.Checksum {
 			return nil, bench.ErrMismatch("E13", sh.Matches, bc.Matches)
 		}
-		auto, err := rack.Join(in, cluster.StrategyAuto)
+		auto, err := rack.Join(context.Background(), in, cluster.StrategyAuto)
 		if err != nil {
 			return nil, err
 		}
@@ -59,11 +60,11 @@ func runE13(cfg Config) ([]*Table, error) {
 		"nodes", "10GbE Mcyc", "10GbE net frac", "40GbE Mcyc", "40GbE net frac")
 	var base10 float64
 	for _, nodes := range []int{1, 2, 4, 8, 16} {
-		r10, err := cluster.Rack10GbE(nodes).Join(in, cluster.StrategyShuffle)
+		r10, err := cluster.Rack10GbE(nodes).Join(context.Background(), in, cluster.StrategyShuffle)
 		if err != nil {
 			return nil, err
 		}
-		r40, err := cluster.Rack40GbE(nodes).Join(in, cluster.StrategyShuffle)
+		r40, err := cluster.Rack40GbE(nodes).Join(context.Background(), in, cluster.StrategyShuffle)
 		if err != nil {
 			return nil, err
 		}

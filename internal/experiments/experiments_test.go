@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	want := []string{"E1", "E1a", "E1b", "E1c", "E2", "E2a", "E2b", "E3", "E4", "E5", "E5a",
 		"E6", "E7", "E8", "E9", "E10", "E10a", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18",
-		"E19", "E20", "E21", "E22", "E23", "E24", "E25"}
+		"E19", "E20", "E21", "E22", "E23", "E24", "E25", "E26"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("experiment %s missing: %v", id, err)

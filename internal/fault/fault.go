@@ -3,8 +3,9 @@
 // machines run hot and slow down, tasks die — and a parallel design is only
 // trustworthy when exactly those modes are exercised deliberately. An
 // Injector is armed on a scheduler run (sched.Options.Inject) or a server
-// (serve.Options.Faults) or a store (store.Options.Faults) and produces
-// eight fault classes at configurable, reproducible probabilities:
+// (serve.Options.Faults) or a store (store.Options.Faults) or a shard
+// router (shard.Options.Faults) and produces nine fault classes at
+// configurable, reproducible probabilities:
 //
 //   - panics: a scheduled task panics before its body runs;
 //   - stragglers: a worker's cycle charges are multiplied by a skew factor,
@@ -19,7 +20,9 @@
 //   - torn writes: only a prefix of a payload reaches disk while the write
 //     reports success, caught by checksums at read time;
 //   - checksum flips: a silent single-byte corruption after the checksum
-//     was computed, modelling bit rot.
+//     was computed, modelling bit rot;
+//   - node loss: a whole node (one shard's serve.Server) disappears,
+//     drawn per node per chaos tick by the shard router.
 //
 // Injected panics and transient errors fire at the morsel boundary, BEFORE
 // the task body executes, so a re-dispatched or retried morsel never
@@ -53,6 +56,11 @@ const (
 	ClassCrash        Class = "crash"
 	ClassTornWrite    Class = "torn-write"
 	ClassChecksumFlip Class = "checksum-flip"
+	// ClassNodeLoss is core loss lifted one level up the hierarchy: a whole
+	// shard (every core of one node's serve.Server) disappears at once. The
+	// shard router draws it per node per chaos tick and drives replica
+	// failover + re-replication in response.
+	ClassNodeLoss Class = "node-loss"
 )
 
 // Config arms an Injector. Probabilities are in [0,1]; zero disables the
@@ -76,12 +84,18 @@ type Config struct {
 	// CoreLossProb is the per-worker probability of disappearing at run
 	// start. The scheduler never loses its last surviving worker.
 	CoreLossProb float64
+	// NodeLossProb is the per-node probability, drawn once per chaos tick by
+	// the shard router, that the whole node (its serve.Server shard) dies.
+	// The router's chaos tick never kills the cluster's last live node;
+	// tests stage total loss explicitly via LostNodes or KillNode.
+	NodeLossProb float64
 
-	// StragglerWorkers and LostCores arm specific workers deterministically,
-	// in addition to the probabilistic draws — tests use these to stage an
-	// exact failure.
+	// StragglerWorkers, LostCores and LostNodes arm specific workers/nodes
+	// deterministically, in addition to the probabilistic draws — tests use
+	// these to stage an exact failure.
 	StragglerWorkers []int
 	LostCores        []int
+	LostNodes        []int
 
 	// AllocFailProb is the per-allocation-request probability that a memory
 	// reservation charge fails with errs.ErrMemoryPressure, modelling a
@@ -166,9 +180,10 @@ func (in *Injector) Enabled() bool {
 	}
 	c := in.cfg
 	return c.PanicProb > 0 || c.TransientProb > 0 || c.StragglerProb > 0 ||
-		c.CoreLossProb > 0 || c.AllocFailProb > 0 ||
+		c.CoreLossProb > 0 || c.NodeLossProb > 0 || c.AllocFailProb > 0 ||
 		c.CrashProb > 0 || c.TornWriteProb > 0 || c.ChecksumFlipProb > 0 ||
-		len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0 || len(c.AllocFailSites) > 0 ||
+		len(c.StragglerWorkers) > 0 || len(c.LostCores) > 0 || len(c.LostNodes) > 0 ||
+		len(c.AllocFailSites) > 0 ||
 		len(c.CrashSites) > 0 || len(c.TornWriteSites) > 0 || len(c.ChecksumFlipSites) > 0
 }
 
@@ -301,6 +316,25 @@ func (in *Injector) LoseCore(worker int) bool {
 		}
 	}
 	return in.fire(ClassCoreLoss, in.cfg.CoreLossProb, "", worker)
+}
+
+// LoseNode reports whether the given node's whole shard disappears this
+// chaos tick. Deterministically-armed nodes (LostNodes) fire once on first
+// draw, mirroring LostCores; otherwise NodeLossProb decides. The Worker
+// field of the logged event carries the node index.
+func (in *Injector) LoseNode(node int) bool {
+	if in == nil {
+		return false
+	}
+	for _, id := range in.cfg.LostNodes {
+		if id == node {
+			in.mu.Lock()
+			in.record(ClassNodeLoss, "", node)
+			in.mu.Unlock()
+			return true
+		}
+	}
+	return in.fire(ClassNodeLoss, in.cfg.NodeLossProb, "", node)
 }
 
 // Log returns a copy of the fault log in firing order.

@@ -143,6 +143,39 @@ func TestExplicitWorkerLists(t *testing.T) {
 	}
 }
 
+func TestNodeLoss(t *testing.T) {
+	in := New(Config{Seed: 1, LostNodes: []int{1}})
+	if !in.Enabled() {
+		t.Fatal("LostNodes should enable the injector")
+	}
+	if !in.LoseNode(1) {
+		t.Fatal("node 1 not lost")
+	}
+	if in.LoseNode(0) {
+		t.Fatal("node 0 lost with zero probability")
+	}
+	if c := in.Counts(); c[ClassNodeLoss] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+
+	// Probabilistic draws replay deterministically from the seed.
+	a := New(Config{Seed: 42, NodeLossProb: 0.5})
+	b := New(Config{Seed: 42, NodeLossProb: 0.5})
+	for node := 0; node < 64; node++ {
+		if a.LoseNode(node) != b.LoseNode(node) {
+			t.Fatalf("node-loss draw diverged at node %d", node)
+		}
+	}
+	if len(a.Log()) == 0 {
+		t.Fatal("expected some node losses at p=0.5 over 64 draws")
+	}
+	for _, ev := range a.Log() {
+		if ev.Class != ClassNodeLoss {
+			t.Fatalf("unexpected class %s", ev.Class)
+		}
+	}
+}
+
 func TestSkewDefault(t *testing.T) {
 	in := New(Config{Seed: 1, StragglerWorkers: []int{0}})
 	if k := in.WorkerSkew(0); k != 4 {

@@ -1,5 +1,6 @@
 // Package frontend is hwstar's multi-tenant network face: an HTTP/JSON API
-// (wire protocol in frontend/v1) over a serve.Server.
+// (wire protocol in frontend/v1) over any Backend — a single serve.Server
+// or a sharded, replicated shard.Router.
 //
 // The keynote's deployment reality — one engine, many concurrent clients of
 // unequal importance — is exactly what the in-process Go API cannot express.
@@ -22,6 +23,7 @@
 package frontend
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/subtle"
 	"encoding/hex"
@@ -36,6 +38,20 @@ import (
 	"hwstar/internal/serve"
 	"hwstar/internal/table"
 )
+
+// Backend is the engine surface the frontend fronts. Both a single
+// serve.Server and a shard.Router satisfy it, so the same HTTP tier runs
+// unchanged against one engine or a replicated cluster — the wire protocol
+// never learns which it is talking to (a sharded backend merely starts
+// setting the partial-result fields on serve.Response).
+type Backend interface {
+	Submit(ctx context.Context, req serve.Request) (serve.Response, error)
+	Health() serve.Health
+	TenantHealth(tenant string) serve.TenantHealth
+	Workers() int
+	Metrics() *metrics.Registry
+	SetTenantMemCap(tenant string, bytes int64)
+}
 
 // TenantConfig declares one tenant and its governance envelope.
 type TenantConfig struct {
@@ -62,8 +78,13 @@ type TenantConfig struct {
 
 // Config assembles a Frontend.
 type Config struct {
-	// Server is the engine the frontend fronts. Required.
+	// Server is the engine the frontend fronts. Either Server or Backend is
+	// required; Backend wins when both are set.
 	Server *serve.Server
+	// Backend fronts any engine implementing the Backend surface — in
+	// particular a shard.Router, which presents a replicated cluster behind
+	// the same six methods a single server exposes.
+	Backend Backend
 	// Tenants declares the tenant set. At least one tenant is required —
 	// an API with no one authorized to call it is a misconfiguration.
 	Tenants []TenantConfig
@@ -121,7 +142,7 @@ type tenantState struct {
 // Frontend is the HTTP API server state. Create with New, mount Handler on
 // an http.Server. All methods are safe for concurrent use.
 type Frontend struct {
-	srv       *serve.Server
+	srv       Backend
 	reg       *metrics.Registry
 	ttl       time.Duration
 	timeout   time.Duration
@@ -135,8 +156,12 @@ type Frontend struct {
 // New validates cfg and builds a Frontend, arming the engine's governor
 // with each tenant's memory cap.
 func New(cfg Config) (*Frontend, error) {
-	if cfg.Server == nil {
-		return nil, fmt.Errorf("frontend: nil serve.Server: %w", errs.ErrInvalidInput)
+	backend := cfg.Backend
+	if backend == nil && cfg.Server != nil {
+		backend = cfg.Server
+	}
+	if backend == nil {
+		return nil, fmt.Errorf("frontend: nil backend (set Server or Backend): %w", errs.ErrInvalidInput)
 	}
 	if len(cfg.Tenants) == 0 {
 		return nil, fmt.Errorf("frontend: no tenants configured: %w", errs.ErrInvalidInput)
@@ -148,8 +173,8 @@ func New(cfg Config) (*Frontend, error) {
 		cfg.Now = time.Now
 	}
 	f := &Frontend{
-		srv:       cfg.Server,
-		reg:       cfg.Server.Metrics(),
+		srv:       backend,
+		reg:       backend.Metrics(),
 		ttl:       cfg.SessionTTL,
 		timeout:   cfg.QueryTimeout,
 		now:       cfg.Now,
@@ -183,7 +208,7 @@ func New(cfg Config) (*Frontend, error) {
 			return nil, fmt.Errorf("frontend: duplicate tenant %q: %w", tc.ID, errs.ErrInvalidInput)
 		}
 		if tc.MemCapBytes > 0 {
-			cfg.Server.SetTenantMemCap(tc.ID, tc.MemCapBytes)
+			backend.SetTenantMemCap(tc.ID, tc.MemCapBytes)
 		}
 	}
 	return f, nil

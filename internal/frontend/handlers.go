@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"hwstar/internal/errs"
 	v1 "hwstar/internal/frontend/v1"
 	"hwstar/internal/serve"
 )
@@ -148,10 +149,18 @@ func (f *Frontend) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := f.now()
 	resp, err := f.srv.Submit(ctx, sreq)
 	wallMs := float64(f.now().Sub(start).Microseconds()) / 1000
-	if err != nil {
+	if err != nil && !errors.Is(err, errs.ErrPartialResult) {
 		f.reg.Counter("frontend.queries_failed").Inc()
 		f.writeError(w, ts, q.TraceID, err)
 		return
+	}
+	// A partial result (sharded backend, every replica of some range down)
+	// carries a usable answer that is exact over the covered fraction. That
+	// is a flagged success on the wire, not an error: the client gets the
+	// truth about what survived instead of a retryable 5xx hiding an exact
+	// partial sum.
+	if err != nil {
+		f.reg.Counter("frontend.queries_partial").Inc()
 	}
 	f.reg.Counter("frontend.queries_ok").Inc()
 	writeJSON(w, http.StatusOK, v1.ResponseFrom(&q, tenant, string(sreq.Priority.Lane()), wallMs, resp))

@@ -123,6 +123,16 @@ type QueryResponse struct {
 	Cost    CostInfo  `json:"cost"`
 	Spill   SpillInfo `json:"spill"`
 	Result  Result    `json:"result"`
+	// Partial marks a sharded deployment's answer that covers only the
+	// surviving fraction of the data: every replica of some range was down,
+	// and the result is exact over CoveredFraction of the rows rather than
+	// silently wrong over all of them. Single-server deployments never set
+	// it. Partial responses are HTTP 200 — the body is a usable (flagged)
+	// answer, not an error.
+	Partial bool `json:"partial,omitempty"`
+	// CoveredFraction is the fraction of rows the answer covers, in (0,1]
+	// when Partial is set.
+	CoveredFraction float64 `json:"covered_fraction,omitempty"`
 }
 
 // CostInfo prices the query on both clocks: simulated machine cycles and
@@ -260,6 +270,10 @@ func ResponseFrom(q *QueryRequest, tenant, priority string, wallMs float64, resp
 		TraceID:  q.TraceID,
 		Cost:     CostInfo{SimCycles: resp.SimCycles, WallMs: wallMs, BatchSize: resp.BatchSize},
 		Spill:    SpillInfo{Spilled: resp.Spilled, Bytes: resp.SpillBytes},
+		Partial:  resp.Partial,
+	}
+	if resp.Partial {
+		out.CoveredFraction = resp.CoveredFraction
 	}
 	switch q.Op {
 	case OpScan:

@@ -1,0 +1,72 @@
+package planner
+
+import (
+	"testing"
+
+	"hwstar/internal/cluster"
+	"hwstar/internal/hw"
+	"hwstar/internal/join"
+)
+
+// TestChooseDistStrategyRegimes pins the two classic regimes: a tiny
+// build side against a huge probe side favours broadcast (replicating
+// the build moves almost nothing, and probes never cross the fabric);
+// comparable sides favour shuffle (replicating the build would move
+// (N-1)× its size while shuffling moves under 1× of each side).
+func TestChooseDistStrategyRegimes(t *testing.T) {
+	c := cluster.Rack10GbE(8)
+
+	small := ChooseDistStrategy(c, join.Stats{BuildRows: 1 << 10, ProbeRows: 1 << 22}, hw.DefaultContext())
+	if small.Strategy != cluster.StrategyBroadcast {
+		t.Fatalf("tiny build: chose %s (all: %v), want broadcast", small.Strategy, small.All)
+	}
+	big := ChooseDistStrategy(c, join.Stats{BuildRows: 1 << 21, ProbeRows: 1 << 22}, hw.DefaultContext())
+	if big.Strategy != cluster.StrategyShuffle {
+		t.Fatalf("comparable sides: chose %s (all: %v), want shuffle", big.Strategy, big.All)
+	}
+
+	for _, p := range []DistPlan{small, big} {
+		if p.Predicted <= 0 || len(p.All) != 2 {
+			t.Fatalf("malformed plan: %+v", p)
+		}
+		if p.Predicted != p.All[p.Strategy] {
+			t.Fatalf("predicted %v != All[%s] %v", p.Predicted, p.Strategy, p.All[p.Strategy])
+		}
+	}
+}
+
+// TestChooseDistStrategyAgreesWithMovedBytesAtScale checks coherence with
+// the cluster simulation: when the byte gap is decisive, the planner's
+// pick matches StrategyAuto's bytes-only rule.
+func TestChooseDistStrategyAgreesWithMovedBytesAtScale(t *testing.T) {
+	c := cluster.Rack10GbE(8)
+	for _, s := range []join.Stats{
+		{BuildRows: 1 << 8, ProbeRows: 1 << 22},
+		{BuildRows: 1 << 22, ProbeRows: 1 << 22},
+	} {
+		plan := ChooseDistStrategy(c, s, hw.DefaultContext())
+		sb, bb := c.PredictBytes(s.BuildRows, s.ProbeRows)
+		bytesPick := cluster.StrategyShuffle
+		if bb < sb {
+			bytesPick = cluster.StrategyBroadcast
+		}
+		if plan.Strategy != bytesPick {
+			t.Fatalf("stats %+v: planner %s vs bytes rule %s (sb=%d bb=%d all=%v)",
+				s, plan.Strategy, bytesPick, sb, bb, plan.All)
+		}
+	}
+}
+
+// TestChooseDistStrategySingleNode: one node means no fabric cost and
+// either pick is sound; the chooser must not divide by zero or return a
+// zero plan.
+func TestChooseDistStrategySingleNode(t *testing.T) {
+	c := cluster.Rack10GbE(1)
+	p := ChooseDistStrategy(c, join.Stats{BuildRows: 1000, ProbeRows: 4000}, hw.DefaultContext())
+	if p.Predicted <= 0 {
+		t.Fatalf("single-node plan: %+v", p)
+	}
+	if p.All[cluster.StrategyShuffle] != p.All[cluster.StrategyBroadcast] {
+		t.Fatalf("single node should price both strategies identically (no fabric): %v", p.All)
+	}
+}

@@ -199,6 +199,15 @@ type Response struct {
 	// Q1Rows and Revenue are the analytic query results (OpQ1, OpQ6).
 	Q1Rows  []queries.Q1Row
 	Revenue float64
+
+	// Partial reports that a distributed execution could not reach every
+	// replica of every key range and the result covers only the surviving
+	// fraction — exact over what it covers, never a silent wrong total.
+	// CoveredFraction is the fraction of the table's rows the answer
+	// includes (1 when Partial is false). Single-server executions never
+	// set it; the shard router does, alongside errs.ErrPartialResult.
+	Partial         bool
+	CoveredFraction float64
 }
 
 // Options configures a Server.
@@ -840,6 +849,15 @@ func (s *Server) SetTenantMemCap(tenant string, bytes int64) {
 
 // lookup returns the relation registered under name, faulting cold-tier
 // tables in from the durable store on a miss.
+// HasTable reports whether name is currently servable: registered in
+// memory, or cold in the durable store and faulted in by the probe. The
+// shard router's recovery uses it to skip stripes a revived node's own
+// replay already restored.
+func (s *Server) HasTable(ctx context.Context, name string) bool {
+	_, ok := s.lookup(ctx, name)
+	return ok
+}
+
 func (s *Server) lookup(ctx context.Context, name string) (*scan.Relation, bool) {
 	s.mu.RLock()
 	rel, ok := s.tables[name]

@@ -1,0 +1,91 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over node ids. Placement must be stable —
+// the same table/partition key always lands on the same replica set — and
+// balanced, so every node carries a similar share of partitions. Virtual
+// points give the balance; hashing names (not node counts) gives the
+// stability: adding a node moves only the partitions whose arcs it splits.
+//
+// Membership is fixed at router construction. Liveness is NOT a ring
+// concern: a dead node keeps its ring position and its partition
+// assignments, and the router fails over among the assigned replicas at
+// dispatch time. Rebuilding the ring on every failure would silently
+// reassign ranges away from their durable copies.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  int
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// vnodesPerNode is the virtual-point count per physical node. 64 keeps the
+// per-node load imbalance under ~15% for small clusters while the ring
+// stays tiny (a few KiB).
+const vnodesPerNode = 64
+
+// hash64 is FNV-1a with a splitmix64 finalizer — cheap and stable across
+// processes. The finalizer matters: raw FNV of short, similar strings
+// clusters in the high bits, and ring positions are compared on the full
+// value, so without it vnode arcs bunch up and the load skews 3× (we need
+// spread, not cryptographic strength).
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+func newRing(nodes int) *ring {
+	r := &ring{nodes: nodes, points: make([]ringPoint, 0, nodes*vnodesPerNode)}
+	for n := 0; n < nodes; n++ {
+		for v := 0; v < vnodesPerNode; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("node-%d/vp-%d", n, v)),
+				node: n,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// lookup returns the first r distinct nodes clockwise from key's hash —
+// the replica set for that key, primary first. r is clamped to the node
+// count.
+func (rg *ring) lookup(key string, r int) []int {
+	if r > rg.nodes {
+		r = rg.nodes
+	}
+	h := hash64(key)
+	i := sort.Search(len(rg.points), func(i int) bool { return rg.points[i].hash >= h })
+	out := make([]int, 0, r)
+	seen := make(map[int]bool, r)
+	for len(out) < r {
+		p := rg.points[i%len(rg.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+		i++
+	}
+	return out
+}

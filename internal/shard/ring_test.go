@@ -1,0 +1,55 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingReplicaSetsAreDistinctAndStable(t *testing.T) {
+	rg := newRing(8)
+	for p := 0; p < 100; p++ {
+		key := fmt.Sprintf("orders/%d", p)
+		reps := rg.lookup(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %s: %d replicas, want 3", key, len(reps))
+		}
+		seen := map[int]bool{}
+		for _, n := range reps {
+			if n < 0 || n >= 8 {
+				t.Fatalf("key %s: node %d out of range", key, n)
+			}
+			if seen[n] {
+				t.Fatalf("key %s: duplicate replica %d in %v", key, n, reps)
+			}
+			seen[n] = true
+		}
+		again := rg.lookup(key, 3)
+		for i := range reps {
+			if reps[i] != again[i] {
+				t.Fatalf("key %s: lookup not stable: %v vs %v", key, reps, again)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const nodes, keys = 8, 4096
+	rg := newRing(nodes)
+	counts := make([]int, nodes)
+	for p := 0; p < keys; p++ {
+		counts[rg.lookup(fmt.Sprintf("t/%d", p), 1)[0]]++
+	}
+	want := keys / nodes
+	for n, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("node %d holds %d of %d primaries (ideal %d) — ring badly imbalanced", n, c, keys, want)
+		}
+	}
+}
+
+func TestRingClampsReplicasToNodes(t *testing.T) {
+	rg := newRing(2)
+	if got := rg.lookup("x", 5); len(got) != 2 {
+		t.Fatalf("replicas = %v, want clamped to 2 nodes", got)
+	}
+}
