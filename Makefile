@@ -17,8 +17,9 @@ vet:
 	$(GO) vet ./...
 
 # hwlint is the house-rule gate: the internal/analysis suite (ctxfirst,
-# seededrand, senterr, pairedresource, nolockcopy, hotalloc) over every
-# package. Non-zero on any violation.
+# seededrand, senterr, pairedresource, nolockcopy, hotalloc, goroleak,
+# lockorder, atomiconly, commitproto) over every package. Non-zero on any
+# violation.
 hwlint:
 	$(GO) run ./cmd/hwlint
 
@@ -46,9 +47,11 @@ race:
 # race-core re-runs the concurrency-heavy layers race-enabled and uncached:
 # the serving, scheduling, memory-governance, and network-frontend suites are
 # where a data race would land first, so they get a fresh pass even when the
-# full race target is cache-warm.
+# full race target is cache-warm. store joined when the checkpoint/recovery
+# paths went concurrent (PR 7/8); cluster, concurrent, and metrics are the
+# remaining shared-mutable-state tiers.
 race-core:
-	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend ./internal/vecexec ./internal/compress ./internal/shard
+	$(GO) test -race -count=1 ./internal/serve ./internal/sched ./internal/mem ./internal/frontend ./internal/vecexec ./internal/compress ./internal/shard ./internal/store ./internal/cluster ./internal/concurrent ./internal/metrics
 
 # check is the full verification gate: compile everything, run the static
 # analyzers, and run the whole suite under the race detector (core

@@ -254,8 +254,8 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 		go func() { chaosKills <- runChaos(ctx, router, chaosStop) }()
 	}
 
-	var completed, rejected, deadlined, shed, failed int64
-	var partials, memShed, oomKilled int64
+	var completed, rejected, deadlined, shed, failed atomic.Int64
+	var partials, memShed, oomKilled atomic.Int64
 	var cycles atomicFloat
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -292,24 +292,24 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 				cancel()
 				switch {
 				case err == nil:
-					atomic.AddInt64(&completed, 1)
+					completed.Add(1)
 					cycles.add(resp.SimCycles)
 				case errors.Is(err, hwstar.ErrPartialResult):
 					// The flagged answer is usable and exact over the
 					// covered fraction; count it apart from failures.
-					atomic.AddInt64(&partials, 1)
+					partials.Add(1)
 				case errors.Is(err, hwstar.ErrOverloaded):
-					atomic.AddInt64(&rejected, 1)
+					rejected.Add(1)
 				case errors.Is(err, hwstar.ErrDegraded):
-					atomic.AddInt64(&shed, 1)
+					shed.Add(1)
 				case errors.Is(err, hwstar.ErrOOMKilled):
-					atomic.AddInt64(&oomKilled, 1)
+					oomKilled.Add(1)
 				case errors.Is(err, hwstar.ErrMemoryPressure):
-					atomic.AddInt64(&memShed, 1)
+					memShed.Add(1)
 				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-					atomic.AddInt64(&deadlined, 1)
+					deadlined.Add(1)
 				default:
-					atomic.AddInt64(&failed, 1)
+					failed.Add(1)
 				}
 			}
 		}()
@@ -318,17 +318,17 @@ func run(ctx context.Context, cfg Config) (*report, error) {
 	elapsed := time.Since(start)
 	bs := eng.Metrics().Histogram("serve.batch_size")
 	r := &report{
-		completed: completed, rejected: rejected, deadlined: deadlined,
-		shed: shed, failed: failed, partials: partials,
-		memShed: memShed, oomKilled: oomKilled,
+		completed: completed.Load(), rejected: rejected.Load(), deadlined: deadlined.Load(),
+		shed: shed.Load(), failed: failed.Load(), partials: partials.Load(),
+		memShed: memShed.Load(), oomKilled: oomKilled.Load(),
 		elapsed:  elapsed,
 		batches:  bs.Count(),
 		batchP50: bs.Quantile(0.5), batchMax: bs.Max(),
 		queueDepth:  cfg.Queue,
 		interrupted: ctx.Err() != nil,
 	}
-	if completed > 0 {
-		r.meanMcyc = cycles.load() / float64(completed) / 1e6
+	if r.completed > 0 {
+		r.meanMcyc = cycles.load() / float64(r.completed) / 1e6
 	}
 	if chaosStop != nil {
 		close(chaosStop)

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestAtomicOnly(t *testing.T) {
+	analysistest.Run(t, "testdata/atomiconly", "hwstar/internal/vecexec", analysis.AtomicOnly)
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CommitProto enforces the durable tier's commit protocol in
+// hwstar/internal/store. The protocol is the whole crash-safety story:
+// every byte headed for a committed name is first written to a temp file,
+// fsynced, and renamed into place, and the rename IS the commit point —
+// followed by a directory sync so the rename itself is durable. PR 7 proved
+// the protocol with 128 seeded kill cycles and PR 8 still found two
+// recovery bugs at its edges (the torn CURRENT, the checkpoint lost-update
+// race); what it cannot survive is a future write that skips the temp hop,
+// because a crash mid-write then tears a *committed* file, and the
+// checksum fallback can only fall back as far as the history gc keeps.
+//
+// In internal/store the analyzer reports:
+//
+//   - os.WriteFile / os.Create / os.Truncate (and File.Truncate): in-place
+//     mutation of a possibly-committed name, no temp hop;
+//   - os.OpenFile with a writable mode (O_WRONLY / O_RDWR / O_APPEND) on a
+//     path that is not visibly a temp path (no ".tmp" literal and no
+//     tmp-named variable in the path expression);
+//   - os.Rename whose source is not visibly a temp path — committed names
+//     are only ever created by renaming a fsynced temp;
+//   - os.Rename with no File.Sync call lexically before it in the same
+//     function — renaming unsynced bytes commits garbage on power loss;
+//   - os.Rename with no directory sync (syncDir or another Sync call)
+//     lexically after it in the same function — the rename is not durable
+//     until the directory entry is.
+var CommitProto = &Analyzer{
+	Name: "commitproto",
+	Doc:  "internal/store writes follow write-temp, fsync, rename; committed files are never written in place",
+	Run:  runCommitProto,
+}
+
+func runCommitProto(pass *Pass) error {
+	if !PathHasPrefix(pass.Path, "hwstar/internal/store") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCommitProtoFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkCommitProtoFunc(pass *Pass, body *ast.BlockStmt) {
+	var syncs []token.Pos // File.Sync / syncDir call positions
+	var renames []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isSyncCall(pass, call) {
+			syncs = append(syncs, call.Pos())
+			return true
+		}
+		obj := pass.Callee(call)
+		if obj == nil {
+			return true
+		}
+		switch {
+		case IsPkgFunc(obj, "os", "WriteFile"):
+			pass.Reportf(call.Pos(),
+				"os.WriteFile writes in place: a crash mid-write tears a committed file — write a temp, fsync, rename (the commit point must stay the rename)")
+		case IsPkgFunc(obj, "os", "Create"):
+			pass.Reportf(call.Pos(),
+				"os.Create truncates the named file in place: committed files are immutable — create a temp, fsync, rename")
+		case IsPkgFunc(obj, "os", "Truncate") || isFileMethod(obj, "Truncate"):
+			pass.Reportf(call.Pos(),
+				"Truncate mutates a possibly-committed file in place: committed files are immutable")
+		case IsPkgFunc(obj, "os", "OpenFile"):
+			if len(call.Args) >= 2 && writableFlags(pass, call.Args[1]) && !tempPathExpr(call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"os.OpenFile opens a non-temp path for writing: committed files are immutable — write to a .tmp sibling and rename over the committed name")
+			}
+		case IsPkgFunc(obj, "os", "Rename"):
+			if len(call.Args) == 2 && !tempPathExpr(call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"os.Rename source is not a temp path: the committed name must only ever be produced by renaming a fsynced temp file")
+			}
+			renames = append(renames, call)
+		}
+		return true
+	})
+	sort.Slice(syncs, func(i, j int) bool { return syncs[i] < syncs[j] })
+	for _, r := range renames {
+		var before, after bool
+		for _, s := range syncs {
+			if s < r.Pos() {
+				before = true
+			} else {
+				after = true
+			}
+		}
+		if !before {
+			pass.Reportf(r.Pos(),
+				"os.Rename with no fsync before it in this function: renaming unsynced bytes makes the commit point meaningless — File.Sync the temp first")
+		}
+		if !after {
+			pass.Reportf(r.Pos(),
+				"os.Rename with no directory sync after it in this function: the rename is not durable until the directory entry is — call syncDir")
+		}
+	}
+}
+
+// isSyncCall recognizes both halves of the durability handshake: a Sync
+// method call (File.Sync on the temp file, or the opened directory in
+// syncDir) and a call to a function named syncDir.
+func isSyncCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Sync" || fun.Sel.Name == "syncDir"
+	case *ast.Ident:
+		return fun.Name == "syncDir"
+	}
+	return false
+}
+
+func isFileMethod(obj types.Object, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && NamedType(sig.Recv().Type(), "os", "File")
+}
+
+// writableFlags reports whether a flag expression names any writing mode.
+// O_CREATE alone (with the zero O_RDONLY) cannot modify committed bytes.
+func writableFlags(pass *Pass, e ast.Expr) bool {
+	writable := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		name := ""
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		case *ast.Ident:
+			name = n.Name
+		}
+		switch name {
+		case "O_WRONLY", "O_RDWR", "O_APPEND", "O_TRUNC":
+			writable = true
+		}
+		return true
+	})
+	return writable
+}
+
+// tempPathExpr reports whether a path expression is visibly a temp path:
+// it mentions a ".tmp" string literal or an identifier whose name contains
+// "tmp"/"temp" (w.tmp, tmpName). The naming convention is the protocol's
+// own: recovery sweeps *.tmp, so temp files must wear the suffix.
+func tempPathExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.STRING && strings.Contains(strings.ToLower(n.Value), ".tmp") {
+				found = true
+			}
+		case *ast.Ident:
+			lower := strings.ToLower(n.Name)
+			if strings.Contains(lower, "tmp") || strings.Contains(lower, "temp") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestCommitProto(t *testing.T) {
+	analysistest.Run(t, "testdata/commitproto", "hwstar/internal/store", analysis.CommitProto)
+}
+
+// TestCommitProtoScope: the commit protocol is the store's law, not the
+// tree's — the same calls in another package draw no diagnostics (serve
+// writes no durable state; what it persists goes through store).
+func TestCommitProtoScope(t *testing.T) {
+	if diags := runOn(t, "testdata/commitproto", "hwstar/internal/serve", analysis.CommitProto); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak demands that every goroutine launched in library code carry
+// structural evidence of termination. This is the PR 9 hedged-dispatch leak
+// class made a compile-time rule: the first draft of the hedge path sent the
+// loser's result on an unbuffered channel the winner had stopped reading,
+// and every cancelled hedge parked a goroutine forever. The fix — a result
+// channel buffered to the number of potential senders — is exactly the kind
+// of invariant review cannot hold across refactors, so the analyzer holds
+// it instead.
+//
+// For each `go` statement whose body is visible (a function literal, or a
+// function/method defined in the same package), at least one of these
+// termination proofs must appear in the body:
+//
+//   - join: the body calls Done() on a sync.WaitGroup (directly or
+//     deferred) — someone Waits for it;
+//   - cancellation: the body receives from a context's Done() channel;
+//   - close signal: the body receives from (or ranges over) a channel that
+//     this package close()s somewhere — the worker-loop idiom;
+//   - bounded shape: the body has no infinite loop, no receive that can
+//     block forever (time channels are bounded), and every send targets a
+//     channel constructed with a buffer — the fire-and-collect idiom, where
+//     the buffer must cover the sender count so abandoned senders still
+//     complete.
+//
+// Goroutines whose bodies live in other packages are not judged (the callee
+// owns its lifecycle); experiments and bench drivers are exempt wholesale,
+// as they own their run-to-completion lifetimes the way binaries do.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "every goroutine in library code has a provable termination path (ctx.Done select, WaitGroup join, close signal, or buffered result sends)",
+	Run:  runGoroLeak,
+}
+
+var goroLeakExempt = []string{
+	"hwstar/internal/experiments",
+	"hwstar/internal/bench",
+}
+
+func runGoroLeak(pass *Pass) error {
+	if !PathHasPrefix(pass.Path, "hwstar/internal") {
+		return nil
+	}
+	for _, p := range goroLeakExempt {
+		if PathHasPrefix(pass.Path, p) {
+			return nil
+		}
+	}
+	closed := collectClosedChans(pass)
+	buffered := collectBufferedChans(pass)
+	bodies := collectFuncBodies(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g, bodies)
+			if body == nil {
+				return true
+			}
+			if !terminationEvidence(pass, body, closed, buffered) {
+				pass.Reportf(g.Pos(),
+					"goroutine has no provable termination path: select on ctx.Done(), join it via a WaitGroup, receive from a package-closed channel, or send only to buffered channels (the PR 9 hedged-dispatch leak class)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectFuncBodies indexes the package's named function and method bodies,
+// so `go s.worker()` is judged by worker's own body.
+func collectFuncBodies(pass *Pass) map[types.Object]*ast.BlockStmt {
+	bodies := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				bodies[obj] = fd.Body
+			}
+		}
+	}
+	return bodies
+}
+
+// collectClosedChans returns the objects (fields and package-level or local
+// variables) that appear as the operand of a close() call anywhere in the
+// package: a receive from one of these is a join-via-close signal.
+func collectClosedChans(pass *Pass) map[types.Object]bool {
+	closed := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "close" || pass.ObjectOf(id) != types.Universe.Lookup("close") {
+				return true
+			}
+			if obj := chanIdentity(pass, call.Args[0]); obj != nil {
+				closed[obj] = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// collectBufferedChans returns the objects assigned a buffered make(chan)
+// at least once and an unbuffered make(chan) never: a send on one of these
+// cannot park the sender past the buffer, and the buffer is the author's
+// claim that it covers the sender count.
+func collectBufferedChans(pass *Pass) map[types.Object]bool {
+	buffered := map[types.Object]bool{}
+	unbuffered := map[types.Object]bool{}
+	note := func(lhs, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || pass.ObjectOf(id) != types.Universe.Lookup("make") {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		if _, ok := types.Unalias(pass.TypeOf(call.Args[0])).Underlying().(*types.Chan); !ok {
+			return
+		}
+		obj := chanIdentity(pass, lhs)
+		if obj == nil {
+			return
+		}
+		cap := false
+		if len(call.Args) >= 2 {
+			lit, isLit := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+			cap = !isLit || lit.Value != "0"
+		}
+		if cap {
+			buffered[obj] = true
+		} else {
+			unbuffered[obj] = true
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						note(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						note(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj := range unbuffered {
+		delete(buffered, obj)
+	}
+	return buffered
+}
+
+// chanIdentity resolves a channel expression to the object that names it: a
+// local or package variable, or a struct field (s.intake and r.intake are
+// the same identity — field-level, not instance-level, which is the right
+// granularity for "does this package close it").
+func chanIdentity(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// goBody resolves the body a go statement runs: a literal's own body, or
+// the declaration of a same-package function or method.
+func goBody(pass *Pass, g *ast.GoStmt, bodies map[types.Object]*ast.BlockStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if obj := pass.Callee(g.Call); obj != nil {
+		return bodies[obj]
+	}
+	return nil
+}
+
+// terminationEvidence reports whether body carries any of the four
+// termination proofs. Nested go statements are judged at their own launch
+// sites; nested function literals are walked, because a deferred
+// `func() { wg.Done() }()` is still this goroutine's join.
+func terminationEvidence(pass *Pass, body *ast.BlockStmt, closed, buffered map[types.Object]bool) bool {
+	// Locals aliased from a closed channel carry the close signal:
+	// `hi := s.intake` then `<-hi` still joins on close(s.intake).
+	aliases := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			src := chanIdentity(pass, as.Rhs[i])
+			dst := chanIdentity(pass, as.Lhs[i])
+			if src != nil && dst != nil && (closed[src] || aliases[src]) {
+				aliases[dst] = true
+			}
+		}
+		return true
+	})
+	isClosed := func(e ast.Expr) bool {
+		obj := chanIdentity(pass, e)
+		return obj != nil && (closed[obj] || aliases[obj])
+	}
+
+	var joined, unbounded bool
+	recvOK := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if isClosed(e) {
+			joined = true
+			return true
+		}
+		if call, ok := e.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				joined = true // <-ctx.Done() — any context implementation
+				return true
+			}
+			if obj := pass.Callee(call); obj != nil && IsPkgFunc(obj, "time", "After") {
+				return true // bounded wait
+			}
+		}
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "C" {
+			if t := pass.TypeOf(sel.X); NamedType(t, "time", "Timer") || NamedType(t, "time", "Ticker") {
+				return true // timer/ticker fire is a bounded wait
+			}
+		}
+		return false
+	}
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				// A nested launch is its own analysis unit; its call
+				// arguments still execute here.
+				for _, a := range m.Call.Args {
+					walk(a)
+				}
+				return false
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(m.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+					if NamedType(pass.TypeOf(sel.X), "sync", "WaitGroup") {
+						joined = true
+					}
+				}
+				return true
+			case *ast.SelectStmt:
+				hasDefault := false
+				for _, c := range m.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+						hasDefault = true
+					}
+				}
+				for _, c := range m.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm != nil && !hasDefault {
+						// Blocking select: judge each comm op.
+						switch comm := cc.Comm.(type) {
+						case *ast.ExprStmt:
+							if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW && !recvOK(u.X) {
+								unbounded = true
+							}
+						case *ast.AssignStmt:
+							for _, r := range comm.Rhs {
+								if u, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && u.Op == token.ARROW && !recvOK(u.X) {
+									unbounded = true
+								}
+							}
+						case *ast.SendStmt:
+							if !isBufferedSend(pass, comm.Chan, buffered) {
+								unbounded = true
+							}
+						}
+					}
+					for _, s := range cc.Body {
+						walk(s)
+					}
+				}
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !recvOK(m.X) {
+					unbounded = true
+				}
+				return true
+			case *ast.SendStmt:
+				if !isBufferedSend(pass, m.Chan, buffered) {
+					unbounded = true
+				}
+				return true
+			case *ast.ForStmt:
+				if m.Cond == nil {
+					unbounded = true // for {} terminates only via a signal judged above
+				}
+				return true
+			case *ast.RangeStmt:
+				if _, isChan := types.Unalias(pass.TypeOf(m.X)).Underlying().(*types.Chan); isChan {
+					if isClosed(m.X) {
+						joined = true
+					} else {
+						unbounded = true
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body)
+	return joined || !unbounded
+}
+
+func isBufferedSend(pass *Pass, ch ast.Expr, buffered map[types.Object]bool) bool {
+	obj := chanIdentity(pass, ch)
+	return obj != nil && buffered[obj]
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	analysistest.Run(t, "testdata/goroleak", "hwstar/internal/shard", analysis.GoroLeak)
+}
+
+// TestGoroLeakScope: the same code judged as an experiments driver produces
+// no diagnostics — run-to-completion binaries own their lifetimes the way
+// main does.
+func TestGoroLeakScope(t *testing.T) {
+	if diags := runOn(t, "testdata/goroleak", "hwstar/internal/experiments", analysis.GoroLeak); len(diags) != 0 {
+		t.Fatalf("exempt package produced diagnostics: %v", diags)
+	}
+}

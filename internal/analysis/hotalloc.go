@@ -29,13 +29,17 @@ var HotAlloc = &Analyzer{
 
 // serve joined the scope when the vectorized scan moved batch execution into
 // it: runBatch's result loop and vecScanMorsel's block loop are now as hot
-// as anything in scan.
+// as anything in scan. compress and shard joined with the PR 8/9 tiers —
+// the block codecs run per-block inside every vectorized scan, and the
+// router's dispatch/EWMA loops sit on every request path.
 var hotAllocScope = []string{
 	"hwstar/internal/scan",
 	"hwstar/internal/join",
 	"hwstar/internal/agg",
 	"hwstar/internal/vecexec",
 	"hwstar/internal/serve",
+	"hwstar/internal/compress",
+	"hwstar/internal/shard",
 }
 
 func runHotAlloc(pass *Pass) error {

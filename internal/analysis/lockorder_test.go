@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"hwstar/internal/analysis"
+	"hwstar/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/lockorder", "hwstar/internal/serve", analysis.LockOrder)
+}
+
+// TestLockOrderScope: the lock-graph rule covers the five concurrency-heavy
+// tiers; the same nesting in a package outside them draws no diagnostics.
+func TestLockOrderScope(t *testing.T) {
+	if diags := runOn(t, "testdata/lockorder", "hwstar/internal/workload", analysis.LockOrder); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced diagnostics: %v", diags)
+	}
+}

@@ -41,10 +41,24 @@ var pairedResources = []resourceKind{
 	{"hwstar/internal/mem", "Reservation", "Release"},
 	{"hwstar/internal/store", "SegmentWriter", "Close"},
 	{"hwstar/internal/store", "SegmentReader", "Close"},
+	// The PR 9 handles: a Router owns reaper and hedge goroutines, a Server
+	// owns its worker pool — an un-Closed one leaks the whole crew.
+	{"hwstar/internal/shard", "Router", "Close"},
+	{"hwstar/internal/serve", "Server", "Close"},
+	// The stdlib pair behind the hedged-dispatch timer: an un-Stopped Timer
+	// or Ticker pins its runtime timer (and for Ticker, fires forever).
+	{"time", "Ticker", "Stop"},
+	{"time", "Timer", "Stop"},
 }
 
-func resourceFor(t types.Type) (resourceKind, bool) {
+// resourceFor skips kinds implemented by the package under analysis: trace
+// manipulates raw Spans freely, shard wires Router internals — but each is
+// still held to the *other* packages' pairs.
+func resourceFor(t types.Type, inPkg string) (resourceKind, bool) {
 	for _, rk := range pairedResources {
+		if rk.pkg == inPkg {
+			continue
+		}
 		if NamedType(t, rk.pkg, rk.typ) {
 			return rk, true
 		}
@@ -53,9 +67,7 @@ func resourceFor(t types.Type) (resourceKind, bool) {
 }
 
 func runPairedResource(pass *Pass) error {
-	if !PathHasPrefix(pass.Path, "hwstar") || pass.Path == "hwstar/internal/trace" ||
-		pass.Path == "hwstar/internal/mem" || pass.Path == "hwstar/internal/store" {
-		// The implementing packages manipulate their own internals freely.
+	if !PathHasPrefix(pass.Path, "hwstar") {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -79,6 +91,11 @@ func runPairedResource(pass *Pass) error {
 var creatingNames = map[string]bool{
 	"Start": true, "Child": true, "Reserve": true,
 	"CreateSegment": true, "OpenSegment": true,
+	// shard.New / serve.New mint a Router / Server; NewRouter is the
+	// facade alias. The name filter is loose (every package has a New) —
+	// the type filter in resourceFor does the real gating.
+	"New": true, "NewRouter": true,
+	"NewTicker": true, "NewTimer": true,
 }
 
 func isCreatingCall(e ast.Expr) bool {
@@ -99,6 +116,11 @@ type acquisition struct {
 	obj  types.Object
 	kind resourceKind
 	pos  token.Pos
+	// errObj is the error assigned alongside the resource, when the minting
+	// call returns (T, error): a return inside that error's `!= nil` guard
+	// is the acquisition-failure path, where the handle is nil and there is
+	// nothing to release.
+	errObj types.Object
 }
 
 // checkPairedIn analyzes one function body. Nested function literals are
@@ -122,6 +144,14 @@ func checkPairedIn(pass *Pass, body *ast.BlockStmt) {
 		if len(as.Rhs) != 1 || !isCreatingCall(as.Rhs[0]) {
 			return true
 		}
+		var errObj types.Object
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.ObjectOf(id); obj != nil && types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+					errObj = obj
+				}
+			}
+		}
 		for _, l := range as.Lhs {
 			id, ok := l.(*ast.Ident)
 			if !ok || id.Name == "_" {
@@ -131,8 +161,8 @@ func checkPairedIn(pass *Pass, body *ast.BlockStmt) {
 			if obj == nil {
 				continue
 			}
-			if kind, ok := resourceFor(obj.Type()); ok {
-				acqs = append(acqs, acquisition{obj: obj, kind: kind, pos: id.Pos()})
+			if kind, ok := resourceFor(obj.Type(), pass.Path); ok {
+				acqs = append(acqs, acquisition{obj: obj, kind: kind, pos: id.Pos(), errObj: errObj})
 			}
 		}
 		return true
@@ -161,21 +191,56 @@ func checkAcquisition(pass *Pass, body *ast.BlockStmt, acq acquisition) {
 	// A use as the receiver of the release method is the pairing; as a
 	// receiver of any other method it is neutral (AddCycles, SetAttr,
 	// Charge); any other appearance is an escape.
-	var walk func(n ast.Node, inDefer, inFuncLit bool)
-	walk = func(n ast.Node, inDefer, inFuncLit bool) {
+	// isErrGuard recognizes `if err != nil` over the acquisition's own
+	// error: returns under it are the failure path, where the handle was
+	// never minted.
+	isErrGuard := func(cond ast.Expr) bool {
+		if acq.errObj == nil {
+			return false
+		}
+		guard := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || be.Op != token.NEQ {
+				return true
+			}
+			x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+			if yid, ok := y.(*ast.Ident); ok && yid.Name == "nil" {
+				if xid, ok := x.(*ast.Ident); ok && pass.ObjectOf(xid) == acq.errObj {
+					guard = true
+				}
+			}
+			return true
+		})
+		return guard
+	}
+	var walk func(n ast.Node, inDefer, inFuncLit, inErrGuard bool)
+	walk = func(n ast.Node, inDefer, inFuncLit, inErrGuard bool) {
 		ast.Inspect(n, func(m ast.Node) bool {
 			switch m := m.(type) {
 			case *ast.DeferStmt:
-				walk(m.Call, true, inFuncLit)
+				walk(m.Call, true, inFuncLit, inErrGuard)
 				return false
 			case *ast.FuncLit:
 				// The literal's body runs at an unknown time; a release
 				// inside a *deferred* literal still pairs. Any other use
 				// inside a literal is treated as an escape.
-				walk(m.Body, inDefer, true)
+				walk(m.Body, inDefer, true, inErrGuard)
 				return false
+			case *ast.IfStmt:
+				if isErrGuard(m.Cond) {
+					if m.Init != nil {
+						walk(m.Init, inDefer, inFuncLit, inErrGuard)
+					}
+					walk(m.Body, inDefer, inFuncLit, true)
+					if m.Else != nil {
+						walk(m.Else, inDefer, inFuncLit, inErrGuard)
+					}
+					return false
+				}
+				return true
 			case *ast.ReturnStmt:
-				if !inFuncLit && m.Pos() > acq.pos {
+				if !inFuncLit && !inErrGuard && m.Pos() > acq.pos {
 					returnsAfter = append(returnsAfter, m.Pos())
 				}
 				for _, r := range m.Results {
@@ -195,7 +260,7 @@ func checkAcquisition(pass *Pass, body *ast.BlockStmt, acq acquisition) {
 					}
 					// Receiver use: walk only the arguments.
 					for _, a := range m.Args {
-						walk(a, inDefer, inFuncLit)
+						walk(a, inDefer, inFuncLit, inErrGuard)
 					}
 					return false
 				}
@@ -243,7 +308,7 @@ func checkAcquisition(pass *Pass, body *ast.BlockStmt, acq acquisition) {
 			return true
 		})
 	}
-	walk(body, false, false)
+	walk(body, false, false, false)
 	if escapes {
 		return
 	}

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"hwstar/internal/analysis"
@@ -11,18 +12,41 @@ func TestPairedResource(t *testing.T) {
 	analysistest.Run(t, "testdata/pairedresource", "hwstar/internal/serve", analysis.PairedResource)
 }
 
-// TestPairedResourceImplementorExemption: internal/trace manipulates its
-// own spans freely (the ring recycles them); the check must not fire there.
+// The implementor exemption is per resource kind, not per package: trace
+// manipulates its own spans freely (the ring recycles them), store hands
+// segment writers across its checkpoint pipeline — but each package is
+// still held to every *other* package's pairs.
+
 func TestPairedResourceImplementorExemption(t *testing.T) {
-	if diags := runOn(t, "testdata/pairedresource", "hwstar/internal/trace", analysis.PairedResource); len(diags) != 0 {
-		t.Fatalf("implementing package produced diagnostics: %v", diags)
+	for _, d := range runOn(t, "testdata/pairedresource", "hwstar/internal/trace", analysis.PairedResource) {
+		if strings.Contains(d.Message, "Span.End") {
+			t.Fatalf("trace's own Span pair fired inside trace: %v", d)
+		}
 	}
 }
 
-// TestPairedResourceStoreImplementorExemption: internal/store hands segment
-// writers across its checkpoint pipeline; the check must not fire there.
 func TestPairedResourceStoreImplementorExemption(t *testing.T) {
-	if diags := runOn(t, "testdata/pairedresource", "hwstar/internal/store", analysis.PairedResource); len(diags) != 0 {
-		t.Fatalf("implementing package produced diagnostics: %v", diags)
+	for _, d := range runOn(t, "testdata/pairedresource", "hwstar/internal/store", analysis.PairedResource) {
+		if strings.Contains(d.Message, "SegmentWriter.Close") || strings.Contains(d.Message, "SegmentReader.Close") {
+			t.Fatalf("store's own segment pair fired inside store: %v", d)
+		}
+	}
+}
+
+// TestPairedResourceShardImplementorExemption: the Router pair added for
+// PR 9 must not fire inside shard itself, while the stdlib Timer/Ticker
+// pair still does.
+func TestPairedResourceShardImplementorExemption(t *testing.T) {
+	var tickerFired bool
+	for _, d := range runOn(t, "testdata/pairedresource", "hwstar/internal/shard", analysis.PairedResource) {
+		if strings.Contains(d.Message, "Router.Close") {
+			t.Fatalf("shard's own Router pair fired inside shard: %v", d)
+		}
+		if strings.Contains(d.Message, "Ticker.Stop") {
+			tickerFired = true
+		}
+	}
+	if !tickerFired {
+		t.Fatal("the stdlib Ticker pair went silent inside shard")
 	}
 }

@@ -10,6 +10,10 @@ func All() []*Analyzer {
 		PairedResource,
 		NoLockCopy,
 		HotAlloc,
+		GoroLeak,
+		LockOrder,
+		AtomicOnly,
+		CommitProto,
 	}
 }
 

@@ -33,12 +33,22 @@ var SeededRand = &Analyzer{
 	Run:  runSeededRand,
 }
 
+// The scope tracks the determinism frontier: every tier where a replayed
+// seed must reproduce a run. The PR 6-9 tiers (frontend, store, shard,
+// cluster) and the vectorized executor joined when they started making
+// seed-dependent decisions — hedge delays, replica choice, workload draws.
 var seededRandScope = []string{
 	"hwstar/internal/sched",
 	"hwstar/internal/serve",
 	"hwstar/internal/fault",
 	"hwstar/internal/experiments",
 	"hwstar/internal/hw",
+	"hwstar/internal/shard",
+	"hwstar/internal/store",
+	"hwstar/internal/frontend",
+	"hwstar/internal/cluster",
+	"hwstar/internal/vecexec",
+	"hwstar/internal/workload",
 }
 
 // randConstructors take an explicit seed or source and are therefore the

@@ -1,0 +1,54 @@
+// Testdata for the atomiconly analyzer, judged as hwstar/internal/vecexec —
+// the controller's hot-path counters are exactly where a torn plain read
+// becomes a wrong tuning decision with no crash to point at it.
+package vecexec
+
+import "sync/atomic"
+
+type Controller struct {
+	hits int64
+	miss int64        // plain-only everywhere: fine
+	knob atomic.Int64 // typed atomic: mixed access is unrepresentable
+}
+
+func (c *Controller) Hit() { atomic.AddInt64(&c.hits, 1) }
+
+// Snapshot reads the atomically-written counter plainly: the silent race.
+func (c *Controller) Snapshot() int64 {
+	return c.hits // want "mixed atomic/plain access"
+}
+
+func (c *Controller) SnapshotOK() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *Controller) Miss() { c.miss++ }
+
+func (c *Controller) Tune(v int64) { c.knob.Store(v) }
+
+// NewController sets the initial value through a composite-literal key —
+// before publication, exempt by rule.
+func NewController() *Controller {
+	return &Controller{hits: 0}
+}
+
+var total int64
+
+func Add(n int64) { atomic.AddInt64(&total, n) }
+
+func Total() int64 { return atomic.LoadInt64(&total) }
+
+// Reset writes the package counter plainly beside atomic adds.
+func Reset() {
+	total = 0 // want "mixed atomic/plain access"
+}
+
+// Swap via CompareAndSwap keeps every access atomic.
+func Drain() int64 {
+	for {
+		v := atomic.LoadInt64(&total)
+		if atomic.CompareAndSwapInt64(&total, v, 0) {
+			return v
+		}
+	}
+}

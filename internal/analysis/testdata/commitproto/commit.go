@@ -1,0 +1,94 @@
+// Testdata for the commitproto analyzer, judged as hwstar/internal/store —
+// the durable tier, where every byte headed for a committed name must take
+// the write-temp, fsync, rename road, and the rename is the commit point.
+package store
+
+import "os"
+
+// atomicWriteOK is the house protocol verbatim: temp sibling, write, sync,
+// close, rename, directory sync. No diagnostics.
+func atomicWriteOK(dir, final string, data []byte) error {
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// writeInPlace mutates the committed name directly: a crash mid-write
+// tears a committed file.
+func writeInPlace(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os.WriteFile writes in place"
+}
+
+func createInPlace(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create truncates the named file in place"
+}
+
+func truncateInPlace(path string) error {
+	return os.Truncate(path, 0) // want "Truncate mutates a possibly-committed file in place"
+}
+
+func truncateHandle(f *os.File) error {
+	return f.Truncate(0) // want "Truncate mutates a possibly-committed file in place"
+}
+
+// openCommitted opens a non-temp path writable: committed files are
+// immutable.
+func openCommitted(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644) // want "non-temp path for writing"
+}
+
+func appendCommitted(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644) // want "non-temp path for writing"
+}
+
+// openRead reads a committed file: always fine.
+func openRead(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDONLY, 0)
+}
+
+// renameCommitted renames a non-temp source, with no sync on either side:
+// all three rules fire at once.
+func renameCommitted(a, b string) error {
+	return os.Rename(a, b) // want "source is not a temp path" "no fsync before" "no directory sync after"
+}
+
+// renameNoSync has a proper temp source but skips both syncs: the bytes
+// and the directory entry are both volatile at the commit point.
+func renameNoSync(tmpName, final string) error {
+	return os.Rename(tmpName, final) // want "no fsync before" "no directory sync after"
+}
+
+// renameNoDirSync fsyncs the temp file but never the directory: the
+// rename itself can vanish on power loss.
+func renameNoDirSync(f *os.File, tmpName, final string) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename(tmpName, final) // want "no directory sync after"
+}

@@ -1,0 +1,118 @@
+// Testdata for the goroleak analyzer, judged as hwstar/internal/shard —
+// library code, where every goroutine must carry termination evidence.
+package shard
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Server struct {
+	wg     sync.WaitGroup
+	intake chan int
+}
+
+// Hedge is the PR 9 bug verbatim: the loser's send on an unbuffered
+// channel parks forever once the winner returns.
+func Hedge(work func() int) int {
+	results := make(chan int)
+	go func() { // want "no provable termination path"
+		results <- work()
+	}()
+	go func() { // want "no provable termination path"
+		results <- work()
+	}()
+	return <-results
+}
+
+// HedgeFixed is the PR 9 fix: buffer covers the sender count, so an
+// abandoned sender deposits its result and exits.
+func HedgeFixed(work func() int) int {
+	results := make(chan int, 2)
+	go func() {
+		results <- work()
+	}()
+	go func() {
+		results <- work()
+	}()
+	return <-results
+}
+
+// Run joins its workers through the WaitGroup: someone Waits.
+func (s *Server) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for v := range s.intake {
+				_ = v
+			}
+		}()
+	}
+	s.wg.Wait()
+}
+
+// Watch terminates via ctx.Done() — the cancellation idiom.
+func Watch(ctx context.Context, tick *time.Ticker) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+}
+
+// Close closes the intake, so ranging over it is a join-via-close signal.
+func (s *Server) Close() { close(s.intake) }
+
+func (s *Server) worker() {
+	for v := range s.intake {
+		_ = v
+	}
+}
+
+// Spawn launches a named method: judged by worker's own body, which
+// ranges over the package-closed intake.
+func (s *Server) Spawn() { go s.worker() }
+
+// SpawnAliased receives through a local alias of the closed channel —
+// serve's dispatch shape (hiCh := s.intake).
+func (s *Server) SpawnAliased() {
+	go func() {
+		in := s.intake
+		for {
+			v, ok := <-in
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+// Spin is a leak: an infinite loop with no signal, no join, no close.
+func Spin() {
+	go func() { // want "no provable termination path"
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// BlockForever is a leak: a receive from a channel nobody closes.
+func BlockForever(stop chan struct{}) {
+	go func() { // want "no provable termination path"
+		<-stop
+	}()
+}
+
+// Bounded runs to completion: straight-line body, no loop, no blocking op.
+func Bounded(log func(string)) {
+	go func() {
+		log("started")
+	}()
+}

@@ -1,0 +1,93 @@
+// Testdata for the lockorder analyzer, judged as hwstar/internal/serve —
+// one of the lock-graph packages. Two lock classes acquired in both orders
+// on any pair of paths is a constructible deadlock.
+package serve
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// ab nests A.mu -> B.mu; ba nests B.mu -> A.mu. Together: a cycle. The
+// deferred unlocks hold to function end, so both locks overlap.
+func ab(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "acquiring B.mu while holding A.mu completes a lock-order cycle"
+	b.mu.Unlock()
+}
+
+func ba(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want "acquiring A.mu while holding B.mu completes a lock-order cycle"
+	a.mu.Unlock()
+}
+
+// The call-graph edge: cThenD never touches D.mu directly, but lockD may
+// acquire it, so calling lockD while holding C.mu draws C.mu -> D.mu —
+// which dThenC's direct nesting then closes into a cycle.
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func cThenD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD(d) // want `calling lockD \(which may acquire D.mu\) while holding C.mu`
+}
+
+func dThenC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock() // want "acquiring C.mu while holding D.mu completes a lock-order cycle"
+	c.mu.Unlock()
+}
+
+// The house shape: Reservation.mu -> Governor.mu, one direction
+// everywhere. A consistent partial order draws edges but no cycle.
+type Governor struct{ mu sync.Mutex }
+type Reservation struct {
+	mu sync.Mutex
+	g  *Governor
+}
+
+func (r *Reservation) Charge() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.g.mu.Lock()
+	defer r.g.mu.Unlock()
+}
+
+func (r *Reservation) Release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.g.mu.Lock()
+	defer r.g.mu.Unlock()
+}
+
+// Sequential, not nested: the unlock releases before the next acquire, so
+// no edge is drawn in either order.
+func sequential(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// Same class twice (two shards, two breakers): instance identity is
+// beyond static scope, so no self-edge and no report.
+func twoOfAKind(x, y *A) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}

@@ -1,0 +1,87 @@
+// The PR 9 handles: routers and servers own goroutine crews, timers pin
+// runtime state — each must reach Close/Stop like any other paired
+// resource. Judged as hwstar/internal/serve, so serve.Server is the one
+// pair exempt here (the implementor package wires its own internals).
+package serve
+
+import (
+	"context"
+	"time"
+
+	"hwstar/internal/hw"
+	"hwstar/internal/serve"
+	"hwstar/internal/shard"
+)
+
+func LeakRouter(ctx context.Context, m *hw.Machine) error {
+	r, err := shard.New(ctx, m, shard.Options{Shards: 2}) // want `r acquired here never reaches Router.Close`
+	if err != nil {
+		return err
+	}
+	_ = r.Register("t", nil)
+	return nil
+}
+
+// GuardedOK: the early return inside the constructor's own err guard is
+// the acquisition-failure path — the handle was never minted, nothing
+// leaks. The Close at the end pairs the success path.
+func GuardedOK(ctx context.Context, m *hw.Machine) error {
+	r, err := shard.New(ctx, m, shard.Options{Shards: 2})
+	if err != nil {
+		return err
+	}
+	if err := r.Register("t", nil); err != nil {
+		r.Close()
+		return err
+	}
+	return r.Close()
+}
+
+// EarlyReturnRouter: a return between acquisition and the late Close that
+// is NOT the err guard does leak.
+func EarlyReturnRouter(ctx context.Context, m *hw.Machine, skip bool) error {
+	r, err := shard.New(ctx, m, shard.Options{Shards: 2}) // want `does not reach Router.Close on the early-return path`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return r.Close()
+}
+
+func DeferredRouterOK(ctx context.Context, m *hw.Machine, skip bool) error {
+	r, err := shard.New(ctx, m, shard.Options{Shards: 2})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if skip {
+		return nil
+	}
+	return r.Register("t", nil)
+}
+
+// LeakTicker: the hedged-dispatch shape before its fix — an un-Stopped
+// ticker fires forever.
+func LeakTicker(d time.Duration) {
+	t := time.NewTicker(d) // want `t acquired here never reaches Ticker.Stop`
+	<-t.C
+}
+
+func TimerOK(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+// ImplementorExempt: serve.Server is serve's own type; judged as serve,
+// the package may wire its internals freely (no diagnostic).
+func ImplementorExempt(m *hw.Machine) error {
+	s, err := serve.New(m, serve.Options{})
+	if err != nil {
+		return err
+	}
+	_ = s
+	return nil
+}

@@ -1,8 +1,8 @@
 package shard
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 )
 
 // ring is a consistent-hash ring over node ids. Placement must be stable —
@@ -59,7 +59,7 @@ func newRing(nodes int) *ring {
 	for n := 0; n < nodes; n++ {
 		for v := 0; v < vnodesPerNode; v++ {
 			r.points = append(r.points, ringPoint{
-				hash: hash64(fmt.Sprintf("node-%d/vp-%d", n, v)),
+				hash: hash64("node-" + strconv.Itoa(n) + "/vp-" + strconv.Itoa(v)),
 				node: n,
 			})
 		}

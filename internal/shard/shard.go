@@ -32,6 +32,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -352,9 +353,9 @@ func (r *Router) Register(name string, cols [][]int64) error {
 		}
 		part := &partition{
 			id:       p,
-			derived:  fmt.Sprintf("%s@%d", name, p),
+			derived:  name + "@" + strconv.Itoa(p),
 			rows:     hi - lo,
-			replicas: r.ring.lookup(fmt.Sprintf("%s/%d", name, p), r.opts.Replicas),
+			replicas: r.ring.lookup(name+"/"+strconv.Itoa(p), r.opts.Replicas),
 		}
 		for _, nid := range part.replicas {
 			n := nodes[nid]
